@@ -1,0 +1,44 @@
+"""Figure 8 — one-layer prefill compute vs offload vs clustering time.
+
+Paper: per-layer GPU compute grows quadratically with the prompt length while
+KVCache offloading and K-Means clustering grow linearly, so beyond a few
+thousand tokens the compute fully hides both, enabling overhead-free PQ
+construction.  The adaptive iteration budget (Eq. 3) grows accordingly.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.core import AdaptiveIterationPlanner
+
+SEQ_LENS = (4096, 16384, 65536, 131072)
+
+
+def test_prefill_component_scaling(benchmark, latency_model):
+    def run():
+        rows = {}
+        for seq_len in SEQ_LENS:
+            rows[seq_len] = latency_model.prefill_decomposition(seq_len)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 8 (per-layer prefill time decomposition, seconds)", rows)
+
+    # Crossover: computation dominates offload and clustering for long prompts.
+    longest = rows[SEQ_LENS[-1]]
+    assert longest["compute"] > longest["offload"]
+    assert longest["compute"] > longest["clustering"]
+    # Quadratic vs linear growth rates.
+    compute_growth = rows[131072]["compute"] / rows[16384]["compute"]
+    offload_growth = rows[131072]["offload"] / rows[16384]["offload"]
+    assert compute_growth > 3 * offload_growth
+
+    # Adaptive iteration budget grows with the sequence length (Eq. 3).
+    planner = AdaptiveIterationPlanner.from_device_model(
+        compute_seconds_fn=latency_model.layer_prefill_compute_seconds,
+        clustering_seconds_per_point=2e-8,
+        max_iterations=200,
+    )
+    budgets = {s: planner.max_iterations_for(s) for s in SEQ_LENS}
+    print_series("Adaptive K-Means iteration budget (Eq. 3)", budgets)
+    assert budgets[131072] >= budgets[4096]

@@ -1,0 +1,51 @@
+"""Figure 9 — Needle-in-a-Haystack heat map.
+
+Paper: PQCache, SnapKV(C) and PyramidKV(C) locate the needle almost
+everywhere (near Full/Oracle), while H2O and InfLLM miss it in a substantial
+fraction of (length, depth) cells.  This benchmark scores a small grid and
+prints one heat-map matrix per method (rows = depth, columns = length).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import LONGBENCH_PQ, make_budget, print_series
+from repro.baselines import build_policy
+from repro.workloads import NeedleGrid
+
+CONTEXT_LENGTHS = (256, 448, 640)
+DEPTHS = (0.15, 0.5, 0.85)
+METHODS = ("full", "pqcache", "snapkv(c)", "h2o(c)", "infllm")
+
+
+def test_needle_in_a_haystack(benchmark, harness):
+    budget = make_budget(token_ratio=0.1, comm_ratio=1.0 / 64.0)
+    grid = NeedleGrid(context_lengths=CONTEXT_LENGTHS, depth_fractions=DEPTHS,
+                      samples_per_cell=2, seed=0)
+
+    def factory(name):
+        base = name.split("(")[0]
+        if base == "pqcache":
+            return lambda: build_policy("pqcache", budget, pq_config=LONGBENCH_PQ)
+        return lambda: build_policy(base, budget)
+
+    def run():
+        matrices = {}
+        for method in METHODS:
+            scores = {}
+            for length, depth, dataset in grid.cells():
+                result = harness.evaluate(factory(method), dataset)
+                scores[(length, depth)] = result.score
+            matrices[method] = NeedleGrid.to_matrix(scores, CONTEXT_LENGTHS, DEPTHS)
+        return matrices
+
+    matrices = benchmark.pedantic(run, rounds=1, iterations=1)
+    means = {method: float(matrix.mean()) for method, matrix in matrices.items()}
+    print_series("Figure 9 (needle retrieval, mean over grid)", means)
+    for method, matrix in matrices.items():
+        print(f"  {method}:\n{np.array2string(matrix, precision=1)}")
+
+    assert means["full"] == pytest.approx(100.0)
+    assert means["pqcache"] >= means["h2o(c)"]
+    assert means["pqcache"] >= means["infllm"]
+    assert means["pqcache"] >= 50.0

@@ -1,0 +1,44 @@
+"""Figure 10a — GSM8k chain-of-thought accuracy vs token budget.
+
+Paper: PQCache outperforms the baselines across token budgets on CoT
+reasoning, where the model must attend back to in-context reasoning steps;
+scores rise as the token budget grows.
+"""
+
+import pytest
+
+from conftest import LONGBENCH_PQ, make_budget, print_series
+from repro.baselines import build_policy
+from repro.workloads import cot_arithmetic
+
+TOKEN_RATIOS = (0.1, 0.2, 0.4)
+METHODS = ("pqcache", "snapkv(c)", "h2o(c)", "infllm")
+
+
+def test_gsm8k_cot(benchmark, harness):
+    dataset = cot_arithmetic(num_samples=4, seq_len=384, num_steps=8, seed=7)
+
+    def factory(method, budget):
+        base = method.split("(")[0]
+        if base == "pqcache":
+            return lambda: build_policy("pqcache", budget, pq_config=LONGBENCH_PQ)
+        return lambda: build_policy(base, budget)
+
+    def run():
+        series = {}
+        for ratio in TOKEN_RATIOS:
+            budget = make_budget(token_ratio=ratio, comm_ratio=1.0 / 128.0)
+            series[ratio] = {
+                method: harness.evaluate(factory(method, budget), dataset).score
+                for method in METHODS
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 10a (GSM8k-CoT-like accuracy vs token budget)", series)
+
+    for ratio in TOKEN_RATIOS:
+        assert series[ratio]["pqcache"] >= series[ratio]["infllm"]
+        assert series[ratio]["pqcache"] >= series[ratio]["h2o(c)"]
+    # Larger budgets never hurt PQCache.
+    assert series[0.4]["pqcache"] >= series[0.1]["pqcache"] - 5.0

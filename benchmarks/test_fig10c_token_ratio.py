@@ -1,0 +1,43 @@
+"""Figure 10c — model quality vs the fraction of tokens used in attention.
+
+Paper (HotpotQA, 1/128 communication): every method improves as the token
+budget grows, and PQCache dominates the baselines across the sweep.
+"""
+
+import pytest
+
+from conftest import LONGBENCH_PQ, LONGBENCH_SEQ_LEN, make_budget, print_series
+from repro.baselines import build_policy
+from repro.workloads import multi_hop_qa
+
+RATIOS = (0.05, 0.1, 0.2, 0.4)
+METHODS = ("pqcache", "snapkv(c)", "infllm", "sparq")
+
+
+def test_token_ratio_sweep(benchmark, harness):
+    dataset = multi_hop_qa(num_samples=3, seq_len=LONGBENCH_SEQ_LEN, seed=13,
+                           name="hotpotqa-like")
+
+    def factory(method, budget):
+        base = method.split("(")[0]
+        if base == "pqcache":
+            return lambda: build_policy("pqcache", budget, pq_config=LONGBENCH_PQ)
+        return lambda: build_policy(base, budget)
+
+    def run():
+        series = {}
+        for ratio in RATIOS:
+            budget = make_budget(token_ratio=ratio, comm_ratio=1.0 / 128.0)
+            series[ratio] = {
+                method: harness.evaluate(factory(method, budget), dataset).score
+                for method in METHODS
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 10c (score vs token ratio, HotpotQA-like)", series)
+
+    # PQCache leads at every ratio and trends upward with more tokens.
+    for ratio in RATIOS:
+        assert series[ratio]["pqcache"] >= series[ratio]["infllm"] - 1e-9
+    assert series[0.4]["pqcache"] >= series[0.05]["pqcache"] - 5.0

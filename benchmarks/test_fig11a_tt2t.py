@@ -1,0 +1,39 @@
+"""Figure 11a — Time-To-Second-Token across methods and sequence lengths.
+
+Paper: with overlapping and adaptive clustering PQCache achieves nearly the
+lowest TT2T; H2O is far slower (no FlashAttention, dense score matrices) and
+hits OOM at the longest contexts; SnapKV/PyramidKV add negligible prefill
+overhead; InfLLM pays block-setup time.
+"""
+
+import pytest
+
+from conftest import print_series
+
+SEQ_LENS = (16384, 32768, 65536, 131072)
+METHODS = ("pqcache", "snapkv", "pyramidkv", "h2o", "sparq", "infllm")
+
+
+def test_time_to_second_token(benchmark, latency_model):
+    def run():
+        rows = {}
+        for seq_len in SEQ_LENS:
+            rows[seq_len] = {
+                method: latency_model.tt2t(seq_len, method) for method in METHODS
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 11a (TT2T seconds by method)", rows)
+
+    for seq_len in SEQ_LENS:
+        tt2t = rows[seq_len]
+        # H2O's dense-score prefill is the slowest.
+        assert tt2t["h2o"] == max(tt2t.values())
+        # PQCache is within 10% of the fastest method (overlapped clustering).
+        assert tt2t["pqcache"] <= 1.10 * min(tt2t.values())
+
+    # H2O's score matrices exceed a 24 GB GPU at 128K (the paper reports OOM).
+    oom_bytes = latency_model.gpu_memory_required_prefill(131072, "h2o")
+    print_series("H2O prefill GPU memory (GiB)", {"h2o@128K": oom_bytes / 2 ** 30})
+    assert oom_bytes > 24 * 2 ** 30

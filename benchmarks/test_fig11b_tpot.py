@@ -1,0 +1,40 @@
+"""Figure 11b — Time-Per-Output-Token across methods and sequence lengths.
+
+Paper: SPARQ's sequential partial-key fetch makes it the slowest and the only
+method above human reading speed; the dropping methods move no data; PQCache
+(with prefetching and the GPU cache) keeps a nearly flat TPOT that stays
+below the ~180 ms/token human-reading-speed budget.
+"""
+
+import pytest
+
+from conftest import print_series
+
+SEQ_LENS = (16384, 32768, 65536, 131072)
+METHODS = ("pqcache", "snapkv", "h2o", "sparq", "infllm")
+HUMAN_READING_SECONDS_PER_TOKEN = 60.0 / 333.0   # ~333 tokens/minute (§4.3.1)
+
+
+def test_time_per_output_token(benchmark, latency_model):
+    def run():
+        rows = {}
+        for seq_len in SEQ_LENS:
+            rows[seq_len] = {
+                method: latency_model.tpot(seq_len, method, cache_hit_rate=0.6)
+                for method in METHODS
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Figure 11b (TPOT seconds by method, 0.6 cache hit-rate)", rows)
+
+    longest = rows[SEQ_LENS[-1]]
+    # SPARQ is the slowest method at long contexts.
+    assert longest["sparq"] == max(longest.values())
+    # PQCache stays under the human reading-speed budget.
+    assert longest["pqcache"] < HUMAN_READING_SECONDS_PER_TOKEN
+    # PQCache TPOT is nearly flat while SPARQ grows with the context.
+    pqc_growth = rows[131072]["pqcache"] / rows[32768]["pqcache"]
+    sparq_growth = rows[131072]["sparq"] / rows[32768]["sparq"]
+    assert pqc_growth < 1.3
+    assert sparq_growth > pqc_growth

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Long-document QA: compare KVCache policies on planted-fact documents.
+
+Reproduces a miniature version of the paper's Table 2 / Table 3 experiment:
+synthetic long documents with planted facts, questions either after or before
+the document, and a panel of selective-attention policies scored by whether
+they still attend to the evidence.
+
+Run with::
+
+    python examples/long_document_qa.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import SelectionBudget, build_policy
+from repro.core import PQCacheConfig
+from repro.eval import EvaluationHarness
+from repro.llm import ModelConfig
+from repro.workloads import multi_hop_qa, single_fact_qa
+
+
+def build_factories(budget: SelectionBudget) -> dict:
+    pq_config = PQCacheConfig(num_partitions=2, num_bits=6, max_kmeans_iters=12,
+                              gpu_cache_tokens=0)
+    return {
+        "full": lambda: build_policy("full", budget),
+        "oracle": lambda: build_policy("oracle", budget),
+        "h2o(c)": lambda: build_policy("h2o", budget),
+        "snapkv(c)": lambda: build_policy("snapkv", budget),
+        "infllm": lambda: build_policy("infllm", budget),
+        "sparq": lambda: build_policy("sparq", budget),
+        "pqcache": lambda: build_policy("pqcache", budget, pq_config=pq_config),
+    }
+
+
+def main() -> None:
+    harness = EvaluationHarness(ModelConfig.tiny(), seed=0, qk_coupling=1.0)
+    budget = SelectionBudget(token_ratio=0.1, comm_ratio=1 / 128,
+                             num_initial=4, num_local=16)
+    factories = build_factories(budget)
+
+    print("=== Questions at the end of the document (standard benchmark) ===")
+    standard = [
+        single_fact_qa(num_samples=4, seq_len=512, seed=0, name="single-doc-qa"),
+        multi_hop_qa(num_samples=4, seq_len=512, seed=1, name="multi-hop-qa"),
+    ]
+    table = harness.evaluate_suite(factories, standard)
+    print(EvaluationHarness.format_table(table))
+
+    print("\n=== Questions placed before the document (Table 3 setting) ===")
+    question_first = [
+        single_fact_qa(num_samples=4, seq_len=512, seed=0,
+                       question_position="start", name="single-doc-qa"),
+        multi_hop_qa(num_samples=4, seq_len=512, seed=1,
+                     question_position="start", name="multi-hop-qa"),
+    ]
+    table_first = harness.evaluate_suite(factories, question_first)
+    print(EvaluationHarness.format_table(table_first))
+
+    print("\nTakeaway: SnapKV-style methods depend on the question sitting at the")
+    print("end of the prompt; PQCache retrieves evidence wherever it is, so its")
+    print("score is stable across both layouts (paper Table 3).")
+
+
+if __name__ == "__main__":
+    main()

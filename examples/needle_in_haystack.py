@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Needle-in-a-Haystack: where in the document can each method still find it?
+
+Builds a (context length x needle depth) grid of passkey-retrieval episodes
+and prints one text heat map per method, mirroring the paper's Figure 9.
+
+Run with::
+
+    python examples/needle_in_haystack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import SelectionBudget, build_policy
+from repro.core import PQCacheConfig
+from repro.eval import EvaluationHarness
+from repro.llm import ModelConfig
+from repro.workloads import NeedleGrid
+
+CONTEXT_LENGTHS = (256, 512, 768)
+DEPTHS = (0.1, 0.3, 0.5, 0.7, 0.9)
+METHODS = ("full", "pqcache", "snapkv", "h2o", "infllm")
+
+
+def heatmap(matrix: np.ndarray) -> str:
+    """Render a score matrix as a text heat map (rows = depth)."""
+    shades = " .:-=+*#%@"
+    lines = []
+    for row, depth in zip(matrix, DEPTHS):
+        cells = "".join(shades[min(int(v / 100 * (len(shades) - 1)), len(shades) - 1)] * 3
+                        for v in row)
+        lines.append(f"  depth {depth:.1f} |{cells}|")
+    header = "            " + "".join(f"{length:^3d}"[:3] for length in CONTEXT_LENGTHS)
+    return "\n".join(lines + [f"  lengths    {' '.join(str(l) for l in CONTEXT_LENGTHS)}"])
+
+
+def main() -> None:
+    harness = EvaluationHarness(ModelConfig.tiny(), seed=0, qk_coupling=1.0)
+    budget = SelectionBudget(token_ratio=0.1, comm_ratio=1 / 64,
+                             num_initial=4, num_local=16)
+    pq_config = PQCacheConfig(num_partitions=2, num_bits=6, max_kmeans_iters=12,
+                              gpu_cache_tokens=0)
+    grid = NeedleGrid(context_lengths=CONTEXT_LENGTHS, depth_fractions=DEPTHS,
+                      samples_per_cell=2, seed=0)
+
+    for method in METHODS:
+        if method == "pqcache":
+            factory = lambda: build_policy("pqcache", budget, pq_config=pq_config)
+        else:
+            factory = lambda m=method: build_policy(m, budget)
+        scores = {}
+        for length, depth, dataset in grid.cells():
+            scores[(length, depth)] = harness.evaluate(factory, dataset).score
+        matrix = NeedleGrid.to_matrix(scores, CONTEXT_LENGTHS, DEPTHS)
+        print(f"\n=== {method} (mean {matrix.mean():.1f}) ===")
+        print(heatmap(matrix))
+
+    print("\nDarker cells = higher retrieval score. Dropping methods lose needles")
+    print("planted early in long documents; PQCache tracks the Full model.")
+
+
+if __name__ == "__main__":
+    main()

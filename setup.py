@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this offline machine falls back to the legacy
+setuptools code path (``--no-use-pep517``), which requires a ``setup.py``.
+All metadata lives in ``pyproject.toml``; this file only delegates.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""PQCache reproduction: Product Quantization-based KVCache management for
+long-context LLM inference (SIGMOD 2025).
+
+Public API highlights
+---------------------
+* :class:`repro.core.PQCacheManager` / :class:`repro.core.PQCacheConfig` —
+  the PQ-based KVCache index.
+* :class:`repro.baselines.PQCachePolicy` and the baseline policies —
+  selective-attention strategies pluggable into the generation loop.
+* :class:`repro.llm.TransformerLM` — the NumPy decoder-only substrate.
+* :mod:`repro.workloads` — synthetic long-context task generators.
+* :mod:`repro.eval` — quality evaluation harness.
+* :mod:`repro.memory` / :mod:`repro.analysis` — latency and memory models.
+"""
+
+from . import analysis, baselines, core, eval, llm, memory, retrieval, workloads
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    DimensionError,
+    NotFittedError,
+    ReproError,
+    SchedulingError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "eval",
+    "llm",
+    "memory",
+    "retrieval",
+    "workloads",
+    "ReproError",
+    "ConfigurationError",
+    "DimensionError",
+    "NotFittedError",
+    "CapacityError",
+    "SchedulingError",
+    "WorkloadError",
+    "__version__",
+]

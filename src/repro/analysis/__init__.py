@@ -1,0 +1,5 @@
+"""Analytical models: KVCache memory/transfer costs and complexity accounting."""
+
+from .cost_model import ComplexityModel, KVCacheCostModel
+
+__all__ = ["ComplexityModel", "KVCacheCostModel"]

@@ -1,0 +1,28 @@
+"""Selective-attention policies: PQCache and every baseline from the paper."""
+
+from .base import KVCachePolicy, SelectionBudget
+from .dropping import H2OPolicy, PyramidKVPolicy, SnapKVPolicy, StreamingLLMPolicy
+from .exact import FullAttentionPolicy, OracleTopKPolicy
+from .offloading import InfLLMPolicy, SparqPolicy
+from .pqcache_policy import PQCachePolicy
+from .registry import POLICY_NAMES, build_policy, default_policy_suite
+from .sparse_prefill import SparsePrefillConfig, sparse_prefill
+
+__all__ = [
+    "KVCachePolicy",
+    "SelectionBudget",
+    "H2OPolicy",
+    "PyramidKVPolicy",
+    "SnapKVPolicy",
+    "StreamingLLMPolicy",
+    "FullAttentionPolicy",
+    "OracleTopKPolicy",
+    "InfLLMPolicy",
+    "SparqPolicy",
+    "PQCachePolicy",
+    "POLICY_NAMES",
+    "build_policy",
+    "default_policy_suite",
+    "SparsePrefillConfig",
+    "sparse_prefill",
+]

@@ -1,0 +1,197 @@
+"""Common interface for KVCache selective-attention policies.
+
+Every method compared in the paper — PQCache itself, the dropping baselines
+(H2O, SnapKV, PyramidKV, StreamingLLM) and the offloading baselines (SPARQ,
+InfLLM), plus Full and Oracle — is expressed as a :class:`KVCachePolicy`:
+
+* :meth:`KVCachePolicy.on_prefill` receives the model config and the
+  :class:`~repro.llm.model.PrefillResult` so it can build whatever per-layer
+  state it needs (PQ codebooks, accumulated attention scores, block
+  representatives, ...).
+* :meth:`KVCachePolicy.select` is called once per layer per decode step with
+  the current query and cache, and returns the token indices that participate
+  in attention (per KV head), or ``None`` for full attention.
+* :meth:`KVCachePolicy.on_decode_step` lets stateful policies update
+  themselves after a new token has been appended to the cache.
+* :meth:`KVCachePolicy.step_communication_bytes` reports the CPU→GPU traffic
+  a real deployment would incur for one decode step at a given sequence
+  length, which feeds the latency models.
+
+The shared :class:`SelectionBudget` implements the paper's two experiment
+knobs: the fraction of previous tokens used in selective attention and the
+extra-communication ratio relative to the raw keys (§4.1.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..llm.config import ModelConfig
+from ..llm.kvcache import KVCache, TokenSegments
+from ..llm.model import PrefillResult
+from ..utils import topk_indices
+
+__all__ = ["SelectionBudget", "KVCachePolicy"]
+
+
+@dataclass(frozen=True)
+class SelectionBudget:
+    """Token and communication budgets shared by all policies.
+
+    Attributes:
+        token_ratio: fraction of the prompt tokens allowed in selective
+            attention (1/5 and 1/10 in the paper's tables).
+        comm_ratio: extra communication allowed for relevance pre-computation,
+            expressed as a fraction of the raw keys' memory (1/128 or 1/64).
+        num_initial: attention-sink tokens always kept (``initial tokens``).
+        num_local: most recent tokens always kept (``local tokens``).
+        min_middle: lower bound on retrieved middle tokens so extremely short
+            prompts still exercise the retrieval path.
+    """
+
+    token_ratio: float = 0.2
+    comm_ratio: float = 1.0 / 128.0
+    num_initial: int = 4
+    num_local: int = 32
+    min_middle: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.token_ratio <= 1.0:
+            raise ConfigurationError("token_ratio must be in (0, 1]")
+        if not 0.0 < self.comm_ratio <= 1.0:
+            raise ConfigurationError("comm_ratio must be in (0, 1]")
+        if self.num_initial < 0 or self.num_local < 0:
+            raise ConfigurationError("segment sizes must be >= 0")
+        if self.min_middle < 0:
+            raise ConfigurationError("min_middle must be >= 0")
+
+    def total_tokens(self, prompt_len: int) -> int:
+        """Total token budget for a prompt of ``prompt_len`` tokens."""
+        return max(int(round(self.token_ratio * prompt_len)), 1)
+
+    def middle_budget(self, prompt_len: int) -> int:
+        """Middle-token (retrieval) budget after reserving init/local."""
+        reserved = self.num_initial + self.num_local
+        return max(self.total_tokens(prompt_len) - reserved, self.min_middle)
+
+    def segments(self, seq_len: int) -> TokenSegments:
+        """Initial/middle/local split of the current sequence."""
+        return TokenSegments(
+            seq_len=seq_len,
+            num_initial=self.num_initial,
+            num_local=self.num_local,
+        )
+
+
+class KVCachePolicy(abc.ABC):
+    """Base class for selective-attention policies."""
+
+    #: human-readable identifier used in tables and reports
+    name: str = "policy"
+    #: whether the policy keeps the full KVCache (offloading) or discards
+    #: entries permanently (dropping)
+    is_dropping: bool = False
+
+    def __init__(self, budget: SelectionBudget) -> None:
+        self.budget = budget
+        self.config: ModelConfig | None = None
+        self.prompt_len: int = 0
+        #: per-step record of the middle-token indices each KV head selected
+        #: in the *last* layer processed, useful for cache-trace replay.
+        self.last_selected_middle: list[np.ndarray] | None = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    def on_prefill(self, config: ModelConfig, prefill: PrefillResult) -> None:
+        """Inspect the prefill result and build per-layer state."""
+        self.config = config
+        self.prompt_len = prefill.seq_len
+        self._prepare(config, prefill)
+
+    def _prepare(self, config: ModelConfig, prefill: PrefillResult) -> None:
+        """Hook for subclasses; default is stateless."""
+
+    def on_decode_step(self, cache: KVCache) -> None:
+        """Called after each decode step appended a new token to the cache."""
+
+    # ----------------------------------------------------------- selection
+
+    @abc.abstractmethod
+    def select(
+        self, layer_index: int, query: np.ndarray, cache: KVCache
+    ) -> list[np.ndarray] | np.ndarray | None:
+        """Token indices to attend to for this layer (per KV head)."""
+
+    # ------------------------------------------------------------- helpers
+
+    def _require_config(self) -> ModelConfig:
+        if self.config is None:
+            raise ConfigurationError(
+                f"{self.name}: on_prefill must be called before select"
+            )
+        return self.config
+
+    def _kv_queries(self, query: np.ndarray) -> np.ndarray:
+        """Average query heads within each GQA group: ``(h_kv, d_h)``.
+
+        Selection happens at KV-head granularity (each key/value pair serves
+        a whole group of query heads), so policies score candidates with the
+        group-mean query — the same reduction SPARQ and InfLLM use.
+        """
+        config = self._require_config()
+        h_kv = config.num_kv_heads
+        group = config.gqa_group_size
+        return query.reshape(h_kv, group, config.head_dim).mean(axis=1)
+
+    def _assemble(
+        self,
+        middle_per_head: list[np.ndarray],
+        segments: TokenSegments,
+    ) -> list[np.ndarray]:
+        """Combine initial + selected middle + local indices per KV head."""
+        config = self._require_config()
+        init = segments.initial_indices
+        local = segments.local_indices
+        assembled = []
+        for head in range(config.num_kv_heads):
+            middle = np.asarray(middle_per_head[head], dtype=np.int64)
+            indices = np.concatenate([init, middle, local])
+            assembled.append(np.unique(indices))
+        self.last_selected_middle = [
+            np.asarray(m, dtype=np.int64) for m in middle_per_head
+        ]
+        return assembled
+
+    @staticmethod
+    def _topk(scores: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+        """Top-``k`` candidate indices ranked by ``scores`` (same length)."""
+        if candidates.size == 0 or k <= 0:
+            return np.empty(0, dtype=np.int64)
+        order = topk_indices(scores, min(k, candidates.size))
+        return candidates[order]
+
+    # -------------------------------------------------------- communication
+
+    def step_communication_bytes(self, seq_len: int) -> dict:
+        """CPU→GPU bytes one decode step would move in a real deployment.
+
+        Returns a dict with ``overlappable`` (can hide behind compute, e.g.
+        PQ-code prefetch) and ``blocking`` (on the critical path, e.g. the
+        top-k key/value fetch) byte counts.  Dropping methods move nothing.
+        """
+        return {"overlappable": 0.0, "blocking": 0.0}
+
+    def describe(self) -> dict:
+        """Summary of the policy configuration for reports."""
+        return {
+            "name": self.name,
+            "is_dropping": self.is_dropping,
+            "token_ratio": self.budget.token_ratio,
+            "comm_ratio": self.budget.comm_ratio,
+            "num_initial": self.budget.num_initial,
+            "num_local": self.budget.num_local,
+        }

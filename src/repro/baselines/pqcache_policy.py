@@ -1,0 +1,124 @@
+"""PQCache expressed as a :class:`~repro.baselines.base.KVCachePolicy`.
+
+This is the glue between the algorithmic core (:class:`PQCacheManager`) and
+the generation loop: PQ construction happens in ``on_prefill`` (paper
+Algorithm 1), approximate top-k retrieval plus GPU-cache bookkeeping happens
+in ``select`` (Algorithm 2), and tokens leaving the local window receive PQ
+codes in ``on_decode_step``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.adaptive import AdaptiveIterationPlanner
+from ..core.pqcache import PQCacheConfig, PQCacheManager
+from ..llm.config import ModelConfig
+from ..llm.kvcache import KVCache
+from ..llm.model import PrefillResult
+from .base import KVCachePolicy, SelectionBudget
+
+__all__ = ["PQCachePolicy"]
+
+
+class PQCachePolicy(KVCachePolicy):
+    """Selective attention driven by Product Quantization retrieval."""
+
+    name = "pqcache"
+    is_dropping = False
+
+    def __init__(
+        self,
+        budget: SelectionBudget,
+        pq_config: PQCacheConfig | None = None,
+        planner: AdaptiveIterationPlanner | None = None,
+    ) -> None:
+        super().__init__(budget)
+        self.pq_config = pq_config or PQCacheConfig()
+        #: optional adaptive iteration planner (paper §3.3); when present the
+        #: K-Means budget is derived from the prompt length instead of the
+        #: static ``max_kmeans_iters``.
+        self.planner = planner
+        self.manager: PQCacheManager | None = None
+        self._encoded_until = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _prepare(self, config: ModelConfig, prefill: PrefillResult) -> None:
+        self.manager = PQCacheManager(config, self.pq_config)
+        max_iters = None
+        if self.planner is not None:
+            max_iters = self.planner.max_iterations_for(prefill.seq_len)
+        self.manager.build(prefill.kvcache, max_iters=max_iters)
+        self._encoded_until = prefill.seq_len
+
+    def on_decode_step(self, cache: KVCache) -> None:
+        """Assign PQ codes to tokens that have left the local window.
+
+        After a decode step the sequence grew by one; any token whose index
+        now falls inside the middle segment but has no code yet is encoded
+        with the existing centroids (Algorithm 2 lines 3-5).
+        """
+        if self.manager is None:
+            return
+        config = self._require_config()
+        segments = self.budget.segments(cache.seq_len)
+        middle_end = (
+            int(segments.middle_indices[-1]) + 1 if segments.middle_indices.size else 0
+        )
+        while self._encoded_until < middle_end:
+            token = self._encoded_until
+            for layer_index in range(config.num_layers):
+                keys = cache[layer_index].keys[:, token, :]
+                self.manager.append_token(layer_index, keys)
+            self._encoded_until += 1
+
+    # ----------------------------------------------------------- selection
+
+    def select(self, layer_index: int, query: np.ndarray, cache: KVCache):
+        config = self._require_config()
+        assert self.manager is not None, "on_prefill must run before select"
+        layer_cache = cache[layer_index]
+        seq_len = len(layer_cache)
+        segments = self.budget.segments(seq_len)
+        k = self.budget.middle_budget(self.prompt_len)
+
+        kv_queries = self._kv_queries(query)
+        selected = self.manager.topk_middle(layer_index, kv_queries, segments, k)
+
+        # Register the union of per-head fetches with the GPU block cache so
+        # hit-rate statistics reflect real traffic.
+        if self.manager.gpu_cache is not None and selected:
+            union = (
+                np.unique(np.concatenate([s for s in selected if s.size]))
+                if any(s.size for s in selected)
+                else np.empty(0, dtype=np.int64)
+            )
+            self.manager.record_fetch(union)
+        return self._assemble(selected, segments)
+
+    # -------------------------------------------------------- communication
+
+    def step_communication_bytes(self, seq_len: int) -> dict:
+        config = self._require_config()
+        assert self.manager is not None
+        k = self.budget.middle_budget(self.prompt_len)
+        comm = self.manager.step_communication_bytes(seq_len, k)
+        cache = self.manager.gpu_cache
+        if cache is not None and cache.stats.lookups:
+            comm["blocking"] *= 1.0 - cache.stats.hit_rate
+        return comm
+
+    # ----------------------------------------------------------- reporting
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "pq_partitions": self.pq_config.num_partitions,
+                "pq_bits": self.pq_config.num_bits,
+                "gpu_cache_tokens": self.pq_config.gpu_cache_tokens,
+                "adaptive_planner": self.planner is not None,
+            }
+        )
+        return info

@@ -1,0 +1,82 @@
+"""Factory helpers for constructing the policy suite used in the tables.
+
+The benchmarks repeatedly need "all the methods of Table 2 at this token
+ratio and communication ratio"; :func:`build_policy` and
+:func:`default_policy_suite` centralise those constructions so experiment
+code stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.pqcache import PQCacheConfig
+from ..errors import ConfigurationError
+from .base import KVCachePolicy, SelectionBudget
+from .dropping import H2OPolicy, PyramidKVPolicy, SnapKVPolicy, StreamingLLMPolicy
+from .exact import FullAttentionPolicy, OracleTopKPolicy
+from .offloading import InfLLMPolicy, SparqPolicy
+from .pqcache_policy import PQCachePolicy
+
+__all__ = ["POLICY_NAMES", "build_policy", "default_policy_suite"]
+
+
+_BUILDERS: dict[str, Callable[[SelectionBudget, dict], KVCachePolicy]] = {
+    "full": lambda budget, kw: FullAttentionPolicy(budget),
+    "oracle": lambda budget, kw: OracleTopKPolicy(budget),
+    "streaming-llm": lambda budget, kw: StreamingLLMPolicy(budget),
+    "h2o": lambda budget, kw: H2OPolicy(budget, **kw),
+    "snapkv": lambda budget, kw: SnapKVPolicy(budget, **kw),
+    "pyramidkv": lambda budget, kw: PyramidKVPolicy(budget, **kw),
+    "sparq": lambda budget, kw: SparqPolicy(budget, **kw),
+    "infllm": lambda budget, kw: InfLLMPolicy(budget, **kw),
+    "pqcache": lambda budget, kw: PQCachePolicy(budget, **kw),
+}
+
+#: canonical method names accepted by :func:`build_policy`
+POLICY_NAMES = tuple(_BUILDERS)
+
+
+def build_policy(name: str, budget: SelectionBudget, **kwargs) -> KVCachePolicy:
+    """Construct a policy by canonical name.
+
+    Args:
+        name: one of :data:`POLICY_NAMES`.
+        budget: shared token/communication budget.
+        **kwargs: policy-specific options (e.g. ``pq_config=`` for pqcache,
+            ``compensated=`` for the dropping methods).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; valid names: {', '.join(POLICY_NAMES)}"
+        ) from None
+    return builder(budget, kwargs)
+
+
+def default_policy_suite(
+    budget: SelectionBudget,
+    pq_config: PQCacheConfig | None = None,
+    include_oracle: bool = True,
+    include_full: bool = True,
+) -> dict[str, KVCachePolicy]:
+    """The method line-up of Tables 2 and 4.
+
+    Returns an ordered mapping of display name to freshly constructed policy:
+    Full, Oracle, H2O(C), SnapKV(C), PyramidKV(C), InfLLM, SPARQ, PQCache.
+    """
+    suite: dict[str, KVCachePolicy] = {}
+    if include_full:
+        suite["full"] = build_policy("full", budget)
+    if include_oracle:
+        suite["oracle"] = build_policy("oracle", budget)
+    suite["h2o(c)"] = build_policy("h2o", budget, compensated=True)
+    suite["snapkv(c)"] = build_policy("snapkv", budget, compensated=True)
+    suite["pyramidkv(c)"] = build_policy("pyramidkv", budget, compensated=True)
+    suite["infllm"] = build_policy("infllm", budget)
+    suite["sparq"] = build_policy("sparq", budget)
+    suite["pqcache"] = build_policy(
+        "pqcache", budget, pq_config=pq_config or PQCacheConfig()
+    )
+    return suite

@@ -1,0 +1,213 @@
+"""Block-level GPU cache for frequently retrieved key/value pairs.
+
+Paper §3.4: the only decode-phase communication that cannot be overlapped is
+fetching the top-k tokens' key/value pairs, because it depends on the PQ
+search result.  PQCache therefore keeps a small GPU-resident cache of
+*blocks* of tokens (128 tokens per block by default) managed with an LRU or
+LFU eviction policy.  On every retrieval the top-``k_cache`` blocks — the
+blocks containing the most top-k tokens — are used to update the cache.
+
+The cache here tracks which token blocks are GPU-resident and reports, for a
+requested set of token indices, how many bytes must still be fetched over
+PCIe.  The latency model in :mod:`repro.memory` turns those bytes into time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CacheStats", "BlockGpuCache"]
+
+
+@dataclass
+class CacheStats:
+    """Running counters of cache behaviour."""
+
+    lookups: int = 0
+    token_hits: int = 0
+    token_misses: int = 0
+    block_evictions: int = 0
+    block_insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested tokens that were already GPU-resident."""
+        total = self.token_hits + self.token_misses
+        return self.token_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "lookups": self.lookups,
+            "token_hits": self.token_hits,
+            "token_misses": self.token_misses,
+            "block_evictions": self.block_evictions,
+            "block_insertions": self.block_insertions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class BlockGpuCache:
+    """Block-granular cache of key/value pairs with LRU or LFU eviction.
+
+    Args:
+        capacity_tokens: total number of tokens the cache may hold on GPU
+            (e.g. 4096 in the paper's experiments).
+        block_size: tokens per block (128 in the paper).
+        policy: ``"lru"`` or ``"lfu"``.
+        k_cache_blocks: number of top blocks used to update the cache per
+            retrieval (``k_cache`` in the paper; 32 by default).
+    """
+
+    def __init__(
+        self,
+        capacity_tokens: int,
+        block_size: int = 128,
+        policy: str = "lru",
+        k_cache_blocks: int = 32,
+    ) -> None:
+        if capacity_tokens < 0:
+            raise ConfigurationError("capacity_tokens must be >= 0")
+        if block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if policy not in ("lru", "lfu"):
+            raise ConfigurationError(f"unknown eviction policy: {policy!r}")
+        if k_cache_blocks <= 0:
+            raise ConfigurationError("k_cache_blocks must be positive")
+
+        self.capacity_tokens = int(capacity_tokens)
+        self.block_size = int(block_size)
+        self.policy = policy
+        self.k_cache_blocks = int(k_cache_blocks)
+        self.capacity_blocks = self.capacity_tokens // self.block_size
+
+        # LRU order is maintained by OrderedDict insertion order; LFU uses
+        # the frequency counter with LRU tie-breaking via the same ordering.
+        self._blocks: OrderedDict[int, int] = OrderedDict()  # block id -> freq
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return int(block_id) in self._blocks
+
+    @property
+    def resident_blocks(self) -> list[int]:
+        """Block ids currently held on GPU (unspecified order)."""
+        return list(self._blocks)
+
+    def block_of(self, token_index: int) -> int:
+        """Block id containing ``token_index``."""
+        return int(token_index) // self.block_size
+
+    def tokens_to_blocks(self, token_indices: np.ndarray) -> np.ndarray:
+        """Unique block ids covering ``token_indices``."""
+        token_indices = np.asarray(token_indices, dtype=np.int64)
+        return np.unique(token_indices // self.block_size)
+
+    # -------------------------------------------------------------- lookups
+
+    def lookup(self, token_indices: np.ndarray) -> dict:
+        """Check which requested tokens are cached, without updating.
+
+        Returns a dict with ``hit_tokens``, ``miss_tokens`` (arrays of token
+        indices) and ``miss_blocks`` (block ids that would need fetching).
+        """
+        token_indices = np.asarray(token_indices, dtype=np.int64)
+        if token_indices.size == 0:
+            return {
+                "hit_tokens": token_indices,
+                "miss_tokens": token_indices,
+                "miss_blocks": np.empty(0, dtype=np.int64),
+            }
+        blocks = token_indices // self.block_size
+        resident = np.array(
+            [int(b) in self._blocks for b in blocks], dtype=bool
+        )
+        return {
+            "hit_tokens": token_indices[resident],
+            "miss_tokens": token_indices[~resident],
+            "miss_blocks": np.unique(blocks[~resident]),
+        }
+
+    def access(self, token_indices: np.ndarray) -> dict:
+        """Serve a top-k retrieval and update the cache.
+
+        The update follows the paper: the ``k_cache`` blocks containing the
+        most requested tokens are inserted (or refreshed), evicting according
+        to the configured policy.  Returns the same dict as :meth:`lookup`
+        computed *before* the update, so miss counts reflect actual PCIe
+        traffic for this step.
+        """
+        self._clock += 1
+        self.stats.lookups += 1
+        result = self.lookup(token_indices)
+        self.stats.token_hits += int(result["hit_tokens"].size)
+        self.stats.token_misses += int(result["miss_tokens"].size)
+
+        token_indices = np.asarray(token_indices, dtype=np.int64)
+        if token_indices.size == 0 or self.capacity_blocks == 0:
+            return result
+
+        # Rank blocks by how many of the requested tokens they contain and
+        # keep the k_cache most useful ones for the update.
+        blocks, counts = np.unique(
+            token_indices // self.block_size, return_counts=True
+        )
+        order = np.argsort(-counts, kind="stable")
+        update_blocks = blocks[order][: self.k_cache_blocks]
+
+        for block_id in update_blocks:
+            self._touch(int(block_id))
+        return result
+
+    # -------------------------------------------------------------- updates
+
+    def _touch(self, block_id: int) -> None:
+        """Insert or refresh a block, evicting if necessary."""
+        if block_id in self._blocks:
+            freq = self._blocks.pop(block_id)
+            self._blocks[block_id] = freq + 1
+            return
+
+        if len(self._blocks) >= self.capacity_blocks:
+            self._evict_one()
+        self._blocks[block_id] = 1
+        self.stats.block_insertions += 1
+
+    def _evict_one(self) -> None:
+        if not self._blocks:
+            return
+        if self.policy == "lru":
+            victim = next(iter(self._blocks))
+        else:  # lfu with lru tie-break: earliest-inserted among min frequency
+            min_freq = min(self._blocks.values())
+            victim = next(
+                block for block, freq in self._blocks.items() if freq == min_freq
+            )
+        del self._blocks[victim]
+        self.stats.block_evictions += 1
+
+    def clear(self) -> None:
+        """Drop all cached blocks and reset statistics."""
+        self._blocks.clear()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------ accounting
+
+    def miss_bytes(
+        self,
+        token_indices: np.ndarray,
+        bytes_per_token: float,
+    ) -> float:
+        """PCIe bytes required to serve ``token_indices`` given current state."""
+        result = self.lookup(token_indices)
+        return float(result["miss_tokens"].size) * float(bytes_per_token)

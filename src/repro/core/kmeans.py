@@ -1,0 +1,190 @@
+"""K-Means clustering used for Product Quantization codebook training.
+
+PQCache trains one codebook per (layer, head, sub-space) by running K-Means
+over the sub-vectors of the prefilled keys (paper §3.1 step 2).  The paper's
+system contribution is an *adaptive* iteration budget (§3.3): clustering runs
+on otherwise-idle CPU cores and must finish under the GPU compute time of the
+same layer, so the number of Lloyd iterations is capped by a fitted cost
+model.  This module provides the clustering primitive with an explicit
+``max_iter`` knob; the cost model lives in :mod:`repro.core.adaptive`.
+
+Implementation notes
+--------------------
+* k-means++ seeding, Lloyd iterations, empty-cluster re-seeding from the
+  points furthest from their centroid.
+* Deterministic for a given ``seed``.
+* Handles ``n_points < n_clusters`` gracefully (duplicates centroids), which
+  happens for very short prompts or tiny sub-spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import as_rng, check_2d
+
+__all__ = ["KMeansResult", "kmeans_fit", "kmeans_assign", "kmeans_plus_plus_init"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a K-Means run.
+
+    Attributes:
+        centroids: ``(n_clusters, dim)`` cluster centres.
+        labels: ``(n_points,)`` index of the closest centroid per point.
+        inertia: sum of squared distances of points to their centroid.
+        n_iter: number of Lloyd iterations actually executed.
+        converged: whether the assignment stopped changing before the
+            iteration budget was exhausted.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centroids.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.centroids.shape[1])
+
+
+def _pairwise_sq_dists(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape ``(n_points, n_clusters)``."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; computed blockwise-free since
+    # PQ sub-spaces are small (dim <= 64, clusters <= 256).
+    x_sq = np.einsum("ij,ij->i", points, points)[:, None]
+    c_sq = np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    cross = points @ centroids.T
+    dists = x_sq - 2.0 * cross + c_sq
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportional to squared
+    distance from already-chosen centres."""
+    points = check_2d(points, "points")
+    n_points = points.shape[0]
+    n_clusters = min(n_clusters, n_points)
+
+    centroids = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n_points))
+    centroids[0] = points[first]
+    closest_sq = np.einsum("ij,ij->i", points - centroids[0], points - centroids[0])
+
+    for idx in range(1, n_clusters):
+        total = float(closest_sq.sum())
+        if total <= 1e-12:
+            # All remaining points coincide with an existing centroid;
+            # fall back to uniform choice.
+            choice = int(rng.integers(n_points))
+        else:
+            probs = closest_sq / total
+            choice = int(rng.choice(n_points, p=probs))
+        centroids[idx] = points[choice]
+        diff = points - centroids[idx]
+        new_sq = np.einsum("ij,ij->i", diff, diff)
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans_assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Assign each point to its nearest centroid (labels only)."""
+    points = check_2d(points, "points")
+    centroids = check_2d(centroids, "centroids")
+    dists = _pairwise_sq_dists(points, centroids)
+    return np.argmin(dists, axis=1).astype(np.int64)
+
+
+def kmeans_fit(
+    points: np.ndarray,
+    n_clusters: int,
+    max_iter: int = 25,
+    tol: float = 1e-6,
+    seed: int | np.random.Generator | None = 0,
+) -> KMeansResult:
+    """Run k-means++ initialised Lloyd iterations.
+
+    Args:
+        points: ``(n_points, dim)`` training vectors.
+        n_clusters: number of centroids (``2**b`` in PQ terms).
+        max_iter: maximum number of Lloyd iterations.  ``0`` returns the
+            k-means++ seeding directly, which is what the adaptive budget
+            degenerates to for very short prompts.
+        tol: relative inertia improvement below which we declare convergence.
+        seed: RNG seed or generator.
+
+    Returns:
+        A :class:`KMeansResult`.
+    """
+    points = check_2d(points, "points")
+    if n_clusters <= 0:
+        raise ConfigurationError("n_clusters must be positive")
+    if max_iter < 0:
+        raise ConfigurationError("max_iter must be >= 0")
+
+    rng = as_rng(seed)
+    n_points, dim = points.shape
+
+    if n_points <= n_clusters:
+        # Degenerate case: every point is its own centroid, remaining slots
+        # are filled by repeating points so downstream code always sees
+        # exactly ``n_clusters`` rows.
+        reps = int(np.ceil(n_clusters / n_points))
+        centroids = np.tile(points, (reps, 1))[:n_clusters].copy()
+        labels = np.arange(n_points, dtype=np.int64) % n_clusters
+        return KMeansResult(centroids, labels, 0.0, 0, True)
+
+    centroids = kmeans_plus_plus_init(points, n_clusters, rng)
+    dists = _pairwise_sq_dists(points, centroids)
+    labels = np.argmin(dists, axis=1)
+    inertia = float(dists[np.arange(n_points), labels].sum())
+
+    n_iter = 0
+    converged = max_iter == 0
+    for n_iter in range(1, max_iter + 1):
+        # Update step: mean of assigned points; empty clusters re-seeded from
+        # the points currently worst represented.
+        counts = np.bincount(labels, minlength=n_clusters).astype(np.float64)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, labels, points)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+
+        empty = np.flatnonzero(~nonempty)
+        if empty.size:
+            worst = np.argsort(-dists[np.arange(n_points), labels])[: empty.size]
+            centroids[empty] = points[worst]
+
+        dists = _pairwise_sq_dists(points, centroids)
+        new_labels = np.argmin(dists, axis=1)
+        new_inertia = float(dists[np.arange(n_points), new_labels].sum())
+
+        labels_stable = bool(np.array_equal(new_labels, labels))
+        labels = new_labels
+        improved = inertia - new_inertia
+        inertia = new_inertia
+        if labels_stable or improved <= tol * max(inertia, 1e-12):
+            converged = True
+            break
+
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels.astype(np.int64),
+        inertia=inertia,
+        n_iter=n_iter,
+        converged=converged,
+    )

@@ -1,0 +1,252 @@
+"""Product Quantization (PQ) for approximate inner-product search over keys.
+
+This is the retrieval core of PQCache (paper §2.2, §3.1).  A
+:class:`ProductQuantizer` splits each ``dim``-dimensional key vector into
+``m`` contiguous sub-vectors, clusters every sub-space into ``2**b``
+centroids, and represents each key by ``m`` small integer codes.  At decode
+time a query is scored against all encoded keys with Asymmetric Distance
+Computation (ADC): the query is split the same way, a ``(m, 2**b)`` lookup
+table of sub-space inner products is built from the centroids, and the
+approximate score of a key is the sum of table entries selected by its codes.
+
+The quantizer is storage-agnostic: :class:`repro.core.pqcache.PQCacheManager`
+owns the per-layer/per-head instances and the interaction with the memory
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError, NotFittedError
+from ..utils import as_rng, check_2d
+from .kmeans import kmeans_assign, kmeans_fit
+
+__all__ = ["PQConfig", "ProductQuantizer"]
+
+
+@dataclass(frozen=True)
+class PQConfig:
+    """Hyper-parameters of a product quantizer.
+
+    Attributes:
+        dim: dimensionality of the vectors being quantized (``d_h``).
+        num_partitions: ``m`` — number of sub-spaces.
+        num_bits: ``b`` — bits per code; each sub-space has ``2**b`` centroids.
+        max_kmeans_iters: Lloyd iteration budget per sub-space (``T``).
+        seed: RNG seed used for codebook training.
+    """
+
+    dim: int
+    num_partitions: int = 2
+    num_bits: int = 6
+    max_kmeans_iters: int = 25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ConfigurationError("dim must be positive")
+        if self.num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        if self.dim % self.num_partitions != 0:
+            raise ConfigurationError(
+                f"dim ({self.dim}) must be divisible by num_partitions "
+                f"({self.num_partitions})"
+            )
+        if not 1 <= self.num_bits <= 16:
+            raise ConfigurationError("num_bits must be in [1, 16]")
+        if self.max_kmeans_iters < 0:
+            raise ConfigurationError("max_kmeans_iters must be >= 0")
+
+    @property
+    def num_centroids(self) -> int:
+        """Centroids per sub-space (``2**b``)."""
+        return 1 << self.num_bits
+
+    @property
+    def sub_dim(self) -> int:
+        """Dimensionality of each sub-space (``d_m = d_h / m``)."""
+        return self.dim // self.num_partitions
+
+    def code_bytes_per_vector(self) -> float:
+        """Storage cost of one encoded vector in bytes (``m * b / 8``)."""
+        return self.num_partitions * self.num_bits / 8.0
+
+    def centroid_bytes(self, dtype_bytes: int = 2) -> int:
+        """Storage cost of the codebooks (defaults to fp16 like the paper)."""
+        return self.num_partitions * self.num_centroids * self.sub_dim * dtype_bytes
+
+
+class ProductQuantizer:
+    """Product quantizer with inner-product ADC scoring.
+
+    Typical usage::
+
+        pq = ProductQuantizer(PQConfig(dim=128, num_partitions=2, num_bits=6))
+        codes = pq.fit(keys)               # (s, m) uint16 codes
+        scores = pq.score(query, codes)    # (s,) approximate q.k scores
+    """
+
+    def __init__(self, config: PQConfig) -> None:
+        self.config = config
+        self._centroids: np.ndarray | None = None  # (m, 2**b, d_m)
+
+    # ------------------------------------------------------------------ fit
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Codebooks of shape ``(m, 2**b, sub_dim)``."""
+        if self._centroids is None:
+            raise NotFittedError("ProductQuantizer has not been fitted")
+        return self._centroids
+
+    def _split(self, vectors: np.ndarray) -> np.ndarray:
+        """Reshape ``(n, dim)`` into ``(m, n, sub_dim)`` sub-vectors."""
+        cfg = self.config
+        vectors = check_2d(vectors, "vectors")
+        if vectors.shape[1] != cfg.dim:
+            raise DimensionError(
+                f"vectors must have dim {cfg.dim}, got {vectors.shape[1]}"
+            )
+        n = vectors.shape[0]
+        return (
+            vectors.reshape(n, cfg.num_partitions, cfg.sub_dim)
+            .transpose(1, 0, 2)
+            .copy()
+        )
+
+    def fit(
+        self,
+        keys: np.ndarray,
+        max_iters: int | None = None,
+    ) -> np.ndarray:
+        """Train codebooks on ``keys`` and return their codes.
+
+        Args:
+            keys: ``(n, dim)`` key vectors from the prefilling phase.
+            max_iters: optional override of the Lloyd iteration budget,
+                used by the adaptive scheduler.
+
+        Returns:
+            ``(n, m)`` array of integer codes (dtype ``uint16``).
+        """
+        cfg = self.config
+        iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
+        rng = as_rng(cfg.seed)
+        sub_vectors = self._split(keys)
+
+        centroids = np.empty(
+            (cfg.num_partitions, cfg.num_centroids, cfg.sub_dim), dtype=np.float64
+        )
+        codes = np.empty((keys.shape[0], cfg.num_partitions), dtype=np.uint16)
+        total_iters = 0
+        for part in range(cfg.num_partitions):
+            result = kmeans_fit(
+                sub_vectors[part],
+                n_clusters=cfg.num_centroids,
+                max_iter=iters,
+                seed=rng,
+            )
+            centroids[part] = result.centroids
+            codes[:, part] = result.labels.astype(np.uint16)
+            total_iters += result.n_iter
+
+        self._centroids = centroids
+        self.last_fit_iterations = total_iters
+        return codes
+
+    # --------------------------------------------------------------- encode
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Encode new vectors with the existing codebooks.
+
+        Used when local tokens are evicted from the GPU sliding window and
+        must be assigned PQ codes based on their nearest centroids
+        (paper §3.1, end of overview).
+        """
+        centroids = self.centroids
+        sub_vectors = self._split(vectors)
+        codes = np.empty(
+            (vectors.shape[0], self.config.num_partitions), dtype=np.uint16
+        )
+        for part in range(self.config.num_partitions):
+            codes[:, part] = kmeans_assign(
+                sub_vectors[part], centroids[part]
+            ).astype(np.uint16)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes, shape ``(n, dim)``."""
+        centroids = self.centroids
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self.config.num_partitions:
+            raise DimensionError(
+                f"codes must have shape (n, {self.config.num_partitions})"
+            )
+        parts = [
+            centroids[part][codes[:, part].astype(np.int64)]
+            for part in range(self.config.num_partitions)
+        ]
+        return np.concatenate(parts, axis=1)
+
+    # ---------------------------------------------------------------- score
+
+    def lookup_table(self, query: np.ndarray) -> np.ndarray:
+        """Inner products between a query's sub-vectors and every centroid.
+
+        Returns a ``(m, 2**b)`` table; this corresponds to the
+        ``(h, m, 1, d_m) x (h, m, d_m, 2**b)`` multiplication in §3.2.
+        """
+        cfg = self.config
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != cfg.dim:
+            raise DimensionError(
+                f"query must have dim {cfg.dim}, got {query.shape[0]}"
+            )
+        centroids = self.centroids
+        sub_queries = query.reshape(cfg.num_partitions, cfg.sub_dim)
+        # (m, 2**b) = sum_d (m, 1, d) * (m, 2**b, d)
+        return np.einsum("md,mcd->mc", sub_queries, centroids)
+
+    def score(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Approximate inner products ``q . k_i`` for every encoded key.
+
+        Args:
+            query: ``(dim,)`` query vector.
+            codes: ``(n, m)`` PQ codes of the candidate keys.
+
+        Returns:
+            ``(n,)`` approximate scores.
+        """
+        table = self.lookup_table(query)
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[1] != self.config.num_partitions:
+            raise DimensionError(
+                f"codes must have shape (n, {self.config.num_partitions})"
+            )
+        # Gather-and-reduce: (n, m) codes index into (m, 2**b) table.
+        gathered = table[np.arange(self.config.num_partitions)[None, :], codes]
+        return gathered.sum(axis=1)
+
+    def reconstruction_error(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error of ``vectors`` (diagnostics)."""
+        approx = self.decode(self.encode(vectors))
+        exact = check_2d(vectors, "vectors")
+        return float(np.mean((approx - exact) ** 2))
+
+    # ------------------------------------------------------------ accounting
+
+    def memory_footprint(self, num_vectors: int, dtype_bytes: int = 2) -> dict:
+        """Bytes used by codes and centroids for ``num_vectors`` keys."""
+        cfg = self.config
+        return {
+            "codes_bytes": int(np.ceil(cfg.code_bytes_per_vector() * num_vectors)),
+            "centroid_bytes": cfg.centroid_bytes(dtype_bytes),
+            "raw_bytes": num_vectors * cfg.dim * dtype_bytes,
+        }

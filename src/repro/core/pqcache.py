@@ -1,0 +1,290 @@
+"""PQCacheManager: the paper's core contribution.
+
+The manager owns, for every (layer, KV head) pair, a
+:class:`~repro.core.pq.ProductQuantizer` trained on that head's prefilled
+keys plus the running list of PQ codes, and answers approximate top-k queries
+against the *middle* tokens during decoding (paper §3.1 steps ❷-❺):
+
+* :meth:`PQCacheManager.build` — PQ construction after prefilling, honouring
+  an (optionally adaptive) K-Means iteration budget.
+* :meth:`PQCacheManager.append_token` — assign codes to a token evicted from
+  the local window using its nearest centroids (no re-clustering).
+* :meth:`PQCacheManager.approximate_scores` / :meth:`topk_middle` — ADC
+  scoring of a decode query against the PQ codes and selection of the top-k
+  candidate tokens per head.
+
+It also tracks the communication/bookkeeping quantities the system section
+cares about: PQ code bytes, centroid bytes, and the GPU block cache that
+absorbs part of the top-k key/value fetch traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from ..llm.config import ModelConfig
+from ..llm.kvcache import KVCache, TokenSegments
+from ..utils import topk_indices
+from .gpu_cache import BlockGpuCache
+from .pq import PQConfig, ProductQuantizer
+
+__all__ = ["PQCacheConfig", "PQCacheManager"]
+
+
+@dataclass(frozen=True)
+class PQCacheConfig:
+    """Configuration of the PQCache KVCache manager.
+
+    Attributes:
+        num_partitions: ``m`` — PQ sub-spaces per head (2 for LongBench,
+            4 for InfiniteBench in the paper).
+        num_bits: ``b`` — bits per PQ code (6 and 8 respectively).
+        max_kmeans_iters: Lloyd iteration budget used when no adaptive
+            planner is supplied.
+        gpu_cache_tokens: capacity of the block-level GPU cache (0 disables).
+        gpu_cache_block: tokens per cache block.
+        gpu_cache_policy: ``"lru"`` or ``"lfu"``.
+        k_cache_blocks: blocks used to update the GPU cache per retrieval.
+        seed: RNG seed for codebook training.
+    """
+
+    num_partitions: int = 2
+    num_bits: int = 6
+    max_kmeans_iters: int = 25
+    gpu_cache_tokens: int = 4096
+    gpu_cache_block: int = 128
+    gpu_cache_policy: str = "lru"
+    k_cache_blocks: int = 32
+    seed: int = 0
+
+    def pq_config(self, head_dim: int) -> PQConfig:
+        """PQ hyper-parameters for a head of dimensionality ``head_dim``."""
+        return PQConfig(
+            dim=head_dim,
+            num_partitions=self.num_partitions,
+            num_bits=self.num_bits,
+            max_kmeans_iters=self.max_kmeans_iters,
+            seed=self.seed,
+        )
+
+    def code_bytes_per_token_per_head(self) -> float:
+        """PQ code bytes one token contributes per KV head (``m*b/8``)."""
+        return self.num_partitions * self.num_bits / 8.0
+
+    def communication_ratio(self, head_dim: int, dtype_bytes: int = 2) -> float:
+        """Extra communication relative to raw keys: ``m*b / (8*dtype*d_h)``.
+
+        This is the quantity the paper keeps at 1/128 (LongBench) or 1/64
+        (InfiniteBench) — see §4.1.3.
+        """
+        return self.code_bytes_per_token_per_head() / (dtype_bytes * head_dim)
+
+
+class PQCacheManager:
+    """Per-layer, per-head PQ index over the prefilled keys."""
+
+    def __init__(self, model_config: ModelConfig, config: PQCacheConfig | None = None) -> None:
+        self.model_config = model_config
+        self.config = config or PQCacheConfig()
+        head_dim = model_config.head_dim
+        if head_dim % self.config.num_partitions != 0:
+            raise ConfigurationError(
+                f"head_dim {head_dim} not divisible by num_partitions "
+                f"{self.config.num_partitions}"
+            )
+        self._quantizers: list[list[ProductQuantizer]] = []
+        self._codes: list[list[np.ndarray]] = []
+        self._built = False
+        self.total_kmeans_iterations = 0
+        self.gpu_cache: BlockGpuCache | None = None
+        if self.config.gpu_cache_tokens > 0:
+            self.gpu_cache = BlockGpuCache(
+                capacity_tokens=self.config.gpu_cache_tokens,
+                block_size=self.config.gpu_cache_block,
+                policy=self.config.gpu_cache_policy,
+                k_cache_blocks=self.config.k_cache_blocks,
+            )
+
+    # --------------------------------------------------------------- build
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise NotFittedError("PQCacheManager.build must be called first")
+
+    def build(self, kvcache: KVCache, max_iters: int | None = None) -> None:
+        """Train PQ codebooks on every layer/head's prefilled keys.
+
+        Args:
+            kvcache: cache produced by the prefilling phase.
+            max_iters: optional Lloyd iteration cap (e.g. from the adaptive
+                planner); defaults to the config's ``max_kmeans_iters``.
+        """
+        cfg = self.config
+        model = self.model_config
+        self._quantizers = []
+        self._codes = []
+        self.total_kmeans_iterations = 0
+        iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
+
+        for layer_index in range(model.num_layers):
+            layer_cache = kvcache[layer_index]
+            layer_q: list[ProductQuantizer] = []
+            layer_codes: list[np.ndarray] = []
+            for head in range(model.num_kv_heads):
+                pq = ProductQuantizer(cfg.pq_config(model.head_dim))
+                codes = pq.fit(layer_cache.keys[head], max_iters=iters)
+                self.total_kmeans_iterations += pq.last_fit_iterations
+                layer_q.append(pq)
+                layer_codes.append(codes)
+            self._quantizers.append(layer_q)
+            self._codes.append(layer_codes)
+        self._built = True
+
+    # -------------------------------------------------------------- update
+
+    def append_token(self, layer_index: int, keys: np.ndarray) -> None:
+        """Assign PQ codes to one new token's keys for every head of a layer.
+
+        Called when a generated token leaves the local window (paper §3.4
+        lines 3-5 of Algorithm 2): the token's key is encoded with the
+        existing centroids; no re-clustering happens.
+
+        Args:
+            layer_index: transformer layer.
+            keys: ``(num_kv_heads, head_dim)`` key vectors of the token.
+        """
+        self._require_built()
+        keys = np.asarray(keys, dtype=np.float64)
+        for head in range(self.model_config.num_kv_heads):
+            pq = self._quantizers[layer_index][head]
+            code = pq.encode(keys[head][None, :])
+            self._codes[layer_index][head] = np.concatenate(
+                [self._codes[layer_index][head], code.astype(np.uint16)], axis=0
+            )
+
+    def num_codes(self, layer_index: int, head: int = 0) -> int:
+        """Number of tokens currently encoded for (layer, head)."""
+        self._require_built()
+        return int(self._codes[layer_index][head].shape[0])
+
+    # --------------------------------------------------------------- query
+
+    def quantizer(self, layer_index: int, head: int) -> ProductQuantizer:
+        self._require_built()
+        return self._quantizers[layer_index][head]
+
+    def codes(self, layer_index: int, head: int) -> np.ndarray:
+        self._require_built()
+        return self._codes[layer_index][head]
+
+    def approximate_scores(
+        self, layer_index: int, kv_queries: np.ndarray
+    ) -> np.ndarray:
+        """ADC scores of every encoded token, shape ``(h_kv, n_codes)``.
+
+        Args:
+            kv_queries: ``(num_kv_heads, head_dim)`` group-mean queries.
+        """
+        self._require_built()
+        model = self.model_config
+        kv_queries = np.asarray(kv_queries, dtype=np.float64)
+        scores = []
+        for head in range(model.num_kv_heads):
+            pq = self._quantizers[layer_index][head]
+            codes = self._codes[layer_index][head]
+            scores.append(pq.score(kv_queries[head], codes))
+        return np.stack(scores, axis=0)
+
+    def topk_middle(
+        self,
+        layer_index: int,
+        kv_queries: np.ndarray,
+        segments: TokenSegments,
+        k: int,
+    ) -> list[np.ndarray]:
+        """Approximate top-k middle-token indices per KV head.
+
+        Tokens outside the middle segment (initial and local tokens) are
+        excluded — they are always attended to anyway and never retrieved.
+        """
+        self._require_built()
+        middle = segments.middle_indices
+        model = self.model_config
+        if middle.size == 0 or k <= 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(model.num_kv_heads)]
+
+        selected = []
+        for head in range(model.num_kv_heads):
+            pq = self._quantizers[layer_index][head]
+            codes = self._codes[layer_index][head]
+            # Only score codes that correspond to middle tokens; codes are
+            # aligned with absolute token positions by construction.
+            valid = middle[middle < codes.shape[0]]
+            if valid.size == 0:
+                selected.append(np.empty(0, dtype=np.int64))
+                continue
+            scores = pq.score(kv_queries[head], codes[valid])
+            order = topk_indices(scores, min(k, valid.size))
+            selected.append(valid[order])
+        return selected
+
+    def record_fetch(self, token_indices: np.ndarray) -> dict | None:
+        """Register a top-k key/value fetch with the GPU block cache.
+
+        Returns the cache lookup result (hit/miss token arrays) or ``None``
+        when the GPU cache is disabled.
+        """
+        if self.gpu_cache is None:
+            return None
+        return self.gpu_cache.access(token_indices)
+
+    # ---------------------------------------------------------- accounting
+
+    def memory_footprint(self, seq_len: int | None = None) -> dict:
+        """Bytes used by PQ codes and centroids across all layers/heads."""
+        self._require_built()
+        model = self.model_config
+        cfg = self.config
+        if seq_len is None:
+            seq_len = self.num_codes(0)
+        codes_bytes = (
+            model.num_layers
+            * model.num_kv_heads
+            * seq_len
+            * cfg.code_bytes_per_token_per_head()
+        )
+        centroid_bytes = (
+            model.num_layers
+            * model.num_kv_heads
+            * cfg.pq_config(model.head_dim).centroid_bytes(model.dtype_bytes)
+        )
+        raw_kv_bytes = model.kvcache_bytes(seq_len)
+        return {
+            "codes_bytes": float(codes_bytes),
+            "centroid_bytes": float(centroid_bytes),
+            "raw_kv_bytes": float(raw_kv_bytes),
+            "compression_ratio": float(raw_kv_bytes)
+            / max(codes_bytes + centroid_bytes, 1.0),
+        }
+
+    def step_communication_bytes(self, seq_len: int, k: int) -> dict:
+        """Per-decode-step communication of PQCache for the latency model.
+
+        PQ code prefetch is overlappable (it happens during the previous
+        layer's compute); the top-k key/value fetch is blocking but partially
+        served by the GPU cache (the caller applies the hit rate).
+        """
+        model = self.model_config
+        cfg = self.config
+        codes = (
+            model.num_kv_heads * seq_len * cfg.code_bytes_per_token_per_head()
+        )
+        topk_fetch = k * model.num_kv_heads * 2 * model.head_dim * model.dtype_bytes
+        return {"overlappable": float(codes), "blocking": float(topk_fetch)}

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PQCache reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied (bad shapes, ratios, ...)."""
+
+
+class DimensionError(ReproError):
+    """An array argument has an unexpected shape or dimensionality."""
+
+
+class NotFittedError(ReproError):
+    """An estimator (quantizer, index, cost model) was used before fitting."""
+
+
+class CapacityError(ReproError):
+    """A memory tier or cache was asked to hold more than its capacity."""
+
+
+class SchedulingError(ReproError):
+    """The overlap scheduler was given an inconsistent event sequence."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated with the given parameters."""

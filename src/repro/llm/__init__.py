@@ -1,0 +1,28 @@
+"""Transformer inference substrate: configs, layers, KVCache, model,
+generation loop and tokenizer."""
+
+from .attention import causal_attention, decode_attention, expand_kv_heads
+from .config import ModelConfig
+from .generation import GenerationResult, greedy_generate
+from .kvcache import KVCache, LayerKVCache, TokenSegments
+from .model import PrefillAggregates, PrefillResult, TransformerLM
+from .rope import apply_rope, rope_frequencies
+from .tokenizer import SimpleTokenizer
+
+__all__ = [
+    "causal_attention",
+    "decode_attention",
+    "expand_kv_heads",
+    "ModelConfig",
+    "GenerationResult",
+    "greedy_generate",
+    "KVCache",
+    "LayerKVCache",
+    "TokenSegments",
+    "PrefillAggregates",
+    "PrefillResult",
+    "TransformerLM",
+    "apply_rope",
+    "rope_frequencies",
+    "SimpleTokenizer",
+]

@@ -1,0 +1,155 @@
+"""Attention kernels for the transformer substrate.
+
+Two code paths mirror the paper's two phases:
+
+* :func:`causal_attention` — full causal self-attention used during
+  prefilling (all queries against all earlier keys).
+* :func:`decode_attention` — single-query attention for a decode step,
+  optionally restricted to a subset of token indices per key/value head;
+  this is the "selective attention" kernel every KVCache policy feeds.
+
+Grouped-Query Attention is handled by mapping each query head to its
+key/value head (``kv_head = q_head // group_size``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+from ..utils import softmax
+
+__all__ = [
+    "causal_attention",
+    "decode_attention",
+    "attention_scores_single_query",
+    "expand_kv_heads",
+]
+
+
+def expand_kv_heads(tensor: np.ndarray, group_size: int) -> np.ndarray:
+    """Repeat KV heads so they align with query heads.
+
+    ``(h_kv, s, d_h) -> (h_kv * group_size, s, d_h)`` with each KV head
+    repeated ``group_size`` times consecutively.
+    """
+    if group_size <= 0:
+        raise DimensionError("group_size must be positive")
+    return np.repeat(tensor, group_size, axis=0)
+
+
+def causal_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    return_scores: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Full causal self-attention.
+
+    Args:
+        queries: ``(h, s, d_h)`` query vectors.
+        keys: ``(h_kv, s, d_h)`` key vectors.
+        values: ``(h_kv, s, d_h)`` value vectors.
+        return_scores: also return the post-softmax attention scores
+            ``(h, s, s)`` (needed by baselines such as H2O and SnapKV).
+
+    Returns:
+        ``(h, s, d_h)`` attention output, optionally with the score tensor.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    h, s, d_h = queries.shape
+    h_kv = keys.shape[0]
+    if h % h_kv != 0:
+        raise DimensionError("query heads must be a multiple of kv heads")
+    group = h // h_kv
+    k_exp = expand_kv_heads(keys, group)
+    v_exp = expand_kv_heads(values, group)
+
+    logits = np.einsum("hqd,hkd->hqk", queries, k_exp) / np.sqrt(d_h)
+    mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+    logits = np.where(mask[None, :, :], -np.inf, logits)
+    scores = softmax(logits, axis=-1)
+    output = np.einsum("hqk,hkd->hqd", scores, v_exp)
+    if return_scores:
+        return output, scores
+    return output
+
+
+def attention_scores_single_query(
+    query: np.ndarray,
+    keys: np.ndarray,
+    group_size: int,
+) -> np.ndarray:
+    """Pre-softmax logits of one decode query against all keys.
+
+    Args:
+        query: ``(h, d_h)`` query of the last token.
+        keys: ``(h_kv, s, d_h)`` cached keys.
+        group_size: query heads per key/value head.
+
+    Returns:
+        ``(h, s)`` scaled logits.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    h, d_h = query.shape
+    k_exp = expand_kv_heads(keys, group_size)
+    if k_exp.shape[0] != h:
+        raise DimensionError(
+            f"expanded kv heads {k_exp.shape[0]} do not match query heads {h}"
+        )
+    return np.einsum("hd,hsd->hs", query, k_exp) / np.sqrt(d_h)
+
+
+def decode_attention(
+    query: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    selected: np.ndarray | list[np.ndarray] | None = None,
+) -> np.ndarray:
+    """Attention output of one decode step, optionally over a token subset.
+
+    Args:
+        query: ``(h, d_h)`` query of the last token.
+        keys: ``(h_kv, s, d_h)`` cached keys.
+        values: ``(h_kv, s, d_h)`` cached values.
+        selected: token indices to attend to.  Either ``None`` (all tokens),
+            a single 1-D index array shared by all KV heads, or a list of
+            per-KV-head index arrays (PQCache retrieves per head).
+
+    Returns:
+        ``(h, d_h)`` attention output.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    h, d_h = query.shape
+    h_kv, s, _ = keys.shape
+    group = h // h_kv
+
+    if selected is None:
+        per_head_indices = [np.arange(s, dtype=np.int64)] * h_kv
+    elif isinstance(selected, (list, tuple)):
+        if len(selected) != h_kv:
+            raise DimensionError(
+                f"need {h_kv} per-head index arrays, got {len(selected)}"
+            )
+        per_head_indices = [np.asarray(idx, dtype=np.int64) for idx in selected]
+    else:
+        shared = np.asarray(selected, dtype=np.int64)
+        per_head_indices = [shared] * h_kv
+
+    output = np.zeros((h, d_h), dtype=np.float64)
+    for kv_head, indices in enumerate(per_head_indices):
+        if indices.size == 0:
+            continue
+        k = keys[kv_head, indices, :]       # (t, d_h)
+        v = values[kv_head, indices, :]     # (t, d_h)
+        for g in range(group):
+            q_head = kv_head * group + g
+            logits = (k @ query[q_head]) / np.sqrt(d_h)
+            weights = softmax(logits)
+            output[q_head] = weights @ v
+    return output

@@ -1,0 +1,174 @@
+"""Model geometry configuration for the transformer inference substrate.
+
+The reproduction cannot load Llama-3.1-8B or Mistral-7B weights, but the
+paper's complexity analysis, memory accounting, and latency models only need
+the architectural *geometry* (hidden size, head counts, layer count, GQA
+grouping).  :class:`ModelConfig` captures that geometry; the named
+constructors mirror the models used in the paper plus small variants used by
+the functional tests and table benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ModelConfig"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer geometry.
+
+    Attributes:
+        num_layers: number of transformer layers (``L``).
+        hidden_dim: model width (``d``).
+        num_heads: query heads (``h``).
+        num_kv_heads: key/value heads (``h_kv``), GQA when < ``num_heads``.
+        ffn_dim: intermediate size of the SwiGLU feed-forward network.
+        vocab_size: vocabulary size for the embedding / classifier.
+        max_context: maximum supported context length.
+        dtype_bytes: bytes per parameter / activation element (2 = fp16).
+        name: human-readable label used in reports.
+    """
+
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_dim: int
+    vocab_size: int = 32000
+    max_context: int = 131072
+    dtype_bytes: int = 2
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ConfigurationError("num_layers must be positive")
+        if self.hidden_dim <= 0:
+            raise ConfigurationError("hidden_dim must be positive")
+        if self.num_heads <= 0 or self.num_kv_heads <= 0:
+            raise ConfigurationError("head counts must be positive")
+        if self.hidden_dim % self.num_heads != 0:
+            raise ConfigurationError("hidden_dim must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError(
+                "num_heads must be divisible by num_kv_heads (GQA grouping)"
+            )
+        if self.ffn_dim <= 0 or self.vocab_size <= 0:
+            raise ConfigurationError("ffn_dim and vocab_size must be positive")
+        if self.dtype_bytes not in (1, 2, 4, 8):
+            raise ConfigurationError("dtype_bytes must be one of 1, 2, 4, 8")
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality (``d_h``)."""
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def gqa_group_size(self) -> int:
+        """Number of query heads sharing one key/value head."""
+        return self.num_heads // self.num_kv_heads
+
+    # ---------------------------------------------------------- accounting
+
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """KVCache bytes for one token in one layer (keys + values)."""
+        return 2 * self.num_kv_heads * self.head_dim * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KVCache bytes for one token across all layers."""
+        return self.num_layers * self.kv_bytes_per_token_per_layer()
+
+    def kvcache_bytes(self, seq_len: int, batch_size: int = 1) -> int:
+        """Total KVCache size for a batch of ``seq_len``-token sequences."""
+        return batch_size * seq_len * self.kv_bytes_per_token()
+
+    def attention_flops_prefill(self, seq_len: int) -> float:
+        """Approximate FLOPs of one layer's attention during prefilling."""
+        d_h = self.head_dim
+        qk = 2.0 * self.num_heads * seq_len * seq_len * d_h
+        av = 2.0 * self.num_heads * seq_len * seq_len * d_h
+        proj = 2.0 * 4 * seq_len * self.hidden_dim * self.hidden_dim
+        return qk + av + proj
+
+    def ffn_flops_prefill(self, seq_len: int) -> float:
+        """Approximate FLOPs of one layer's SwiGLU FFN during prefilling."""
+        return 2.0 * 3 * seq_len * self.hidden_dim * self.ffn_dim
+
+    def layer_flops_prefill(self, seq_len: int) -> float:
+        """Total FLOPs of a single layer during prefilling."""
+        return self.attention_flops_prefill(seq_len) + self.ffn_flops_prefill(seq_len)
+
+    def layer_flops_decode(self, seq_len: int, attended_tokens: int | None = None) -> float:
+        """FLOPs of a single layer for one decode step.
+
+        ``attended_tokens`` restricts the attention term to the selective
+        attention budget (``k`` + init + local tokens); ``None`` means full
+        attention over ``seq_len`` tokens.
+        """
+        attended = seq_len if attended_tokens is None else attended_tokens
+        d_h = self.head_dim
+        qk = 2.0 * self.num_heads * attended * d_h
+        av = 2.0 * self.num_heads * attended * d_h
+        proj = 2.0 * 4 * self.hidden_dim * self.hidden_dim
+        ffn = 2.0 * 3 * self.hidden_dim * self.ffn_dim
+        return qk + av + proj + ffn
+
+    # ------------------------------------------------------ named variants
+
+    @classmethod
+    def llama3_8b(cls) -> "ModelConfig":
+        """Geometry of Llama-3.1-8B (128K context) as used in Tables 2-4."""
+        return cls(
+            num_layers=32, hidden_dim=4096, num_heads=32, num_kv_heads=8,
+            ffn_dim=14336, vocab_size=128256, max_context=131072,
+            name="llama-3.1-8b",
+        )
+
+    @classmethod
+    def mistral_7b(cls) -> "ModelConfig":
+        """Geometry of Mistral-7B-Instruct-v0.2 (32K context)."""
+        return cls(
+            num_layers=32, hidden_dim=4096, num_heads=32, num_kv_heads=8,
+            ffn_dim=14336, vocab_size=32000, max_context=32768,
+            name="mistral-7b-inst-v0.2",
+        )
+
+    @classmethod
+    def llama2_13b(cls) -> "ModelConfig":
+        """13B geometry used in the Figure 1 memory study."""
+        return cls(
+            num_layers=40, hidden_dim=5120, num_heads=40, num_kv_heads=40,
+            ffn_dim=13824, vocab_size=32000, max_context=4096,
+            name="llama-2-13b",
+        )
+
+    @classmethod
+    def llama3_70b(cls) -> "ModelConfig":
+        """Geometry of Llama-3.1-70B used in Table 6."""
+        return cls(
+            num_layers=80, hidden_dim=8192, num_heads=64, num_kv_heads=8,
+            ffn_dim=28672, vocab_size=128256, max_context=131072,
+            name="llama-3.1-70b",
+        )
+
+    @classmethod
+    def tiny(cls, seed_name: str = "tiny") -> "ModelConfig":
+        """Small geometry that runs quickly under NumPy; used by functional
+        tests, examples, and the quality benchmarks."""
+        return cls(
+            num_layers=4, hidden_dim=256, num_heads=8, num_kv_heads=2,
+            ffn_dim=512, vocab_size=512, max_context=65536, name=seed_name,
+        )
+
+    @classmethod
+    def small(cls) -> "ModelConfig":
+        """Mid-sized geometry for integration tests that need more heads."""
+        return cls(
+            num_layers=6, hidden_dim=512, num_heads=8, num_kv_heads=4,
+            ffn_dim=1024, vocab_size=1024, max_context=65536, name="small",
+        )

@@ -1,0 +1,109 @@
+"""Autoregressive generation loop with pluggable KVCache policies.
+
+The loop mirrors the paper's serving flow: one prefill, then repeated decode
+steps.  A :class:`~repro.baselines.base.KVCachePolicy` is consulted at every
+layer of every decode step to pick which middle tokens participate in
+attention; the policy also reports the CPU-GPU communication it incurred so
+the latency models in :mod:`repro.memory` can be driven by the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .model import PrefillResult, TransformerLM
+
+__all__ = ["GenerationResult", "greedy_generate"]
+
+
+@dataclass
+class GenerationResult:
+    """Output of :func:`greedy_generate`.
+
+    Attributes:
+        token_ids: generated token ids (prompt not included).
+        logits: per-step next-token logits, shape ``(steps, vocab)``.
+        selections: per-step, per-layer list of per-KV-head selected token
+            index arrays (``None`` when the policy attends to everything).
+        prefill: the prefill result used to seed generation.
+    """
+
+    token_ids: list[int]
+    logits: np.ndarray
+    selections: list[list[object]]
+    prefill: PrefillResult
+
+
+def greedy_generate(
+    model: TransformerLM,
+    prompt_ids: Sequence[int],
+    max_new_tokens: int,
+    policy=None,
+    forbidden_ids: Sequence[int] = (),
+    observation_window: int = 32,
+) -> GenerationResult:
+    """Greedy decoding with an optional selective-attention policy.
+
+    Args:
+        model: the transformer substrate.
+        prompt_ids: prompt token ids.
+        max_new_tokens: number of decode steps to run.
+        policy: a :class:`~repro.baselines.base.KVCachePolicy` or ``None``
+            for full attention.
+        forbidden_ids: token ids never emitted (e.g. padding / separators),
+            useful for keeping synthetic tasks on their answer vocabulary.
+        observation_window: trailing-query window for prefill aggregates.
+
+    Returns:
+        A :class:`GenerationResult`.
+    """
+    if max_new_tokens <= 0:
+        raise ConfigurationError("max_new_tokens must be positive")
+
+    prefill = model.prefill(list(prompt_ids), observation_window=observation_window)
+    if policy is not None:
+        policy.on_prefill(model.config, prefill)
+
+    forbidden = np.asarray(list(forbidden_ids), dtype=np.int64)
+    generated: list[int] = []
+    all_logits = []
+    all_selections: list[list[object]] = []
+
+    logits = prefill.logits.copy()
+    if forbidden.size:
+        logits[forbidden] = -np.inf
+    next_token = int(np.argmax(logits))
+
+    for _ in range(max_new_tokens):
+        generated.append(next_token)
+        step_selections: list[object] = []
+
+        if policy is None:
+            selector = None
+        else:
+            def selector(layer_index, query, cache, _policy=policy, _log=step_selections):
+                chosen = _policy.select(layer_index, query, cache)
+                _log.append(chosen)
+                return chosen
+
+        logits = model.decode_step(next_token, prefill.kvcache, selector)
+        if policy is not None:
+            policy.on_decode_step(prefill.kvcache)
+        all_selections.append(step_selections)
+        all_logits.append(logits)
+
+        masked = logits.copy()
+        if forbidden.size:
+            masked[forbidden] = -np.inf
+        next_token = int(np.argmax(masked))
+
+    return GenerationResult(
+        token_ids=generated,
+        logits=np.stack(all_logits, axis=0) if all_logits else np.zeros((0, model.config.vocab_size)),
+        selections=all_selections,
+        prefill=prefill,
+    )

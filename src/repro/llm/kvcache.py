@@ -1,0 +1,185 @@
+"""Key-Value cache data structures.
+
+The KVCache is the central object that PQCache manages.  This module keeps
+the modelling simple and explicit: one :class:`LayerKVCache` per transformer
+layer holding ``(h_kv, s, d_h)`` arrays of keys and values, with append
+semantics for autoregressive decoding, plus the three-way segmentation the
+paper uses (initial tokens, middle tokens, local tokens — §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+
+__all__ = ["TokenSegments", "LayerKVCache", "KVCache"]
+
+
+@dataclass(frozen=True)
+class TokenSegments:
+    """Partition of the token axis into initial / middle / local segments.
+
+    ``initial`` covers ``[0, num_initial)``, ``local`` covers the most recent
+    ``num_local`` tokens, and ``middle`` is everything in between.  Initial
+    and local tokens stay GPU-resident and always participate in attention;
+    middle tokens are the retrieval candidates.
+    """
+
+    seq_len: int
+    num_initial: int
+    num_local: int
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 0:
+            raise ConfigurationError("seq_len must be >= 0")
+        if self.num_initial < 0 or self.num_local < 0:
+            raise ConfigurationError("segment sizes must be >= 0")
+
+    @property
+    def initial_indices(self) -> np.ndarray:
+        end = min(self.num_initial, self.seq_len)
+        return np.arange(0, end, dtype=np.int64)
+
+    @property
+    def local_indices(self) -> np.ndarray:
+        start = max(self.seq_len - self.num_local, min(self.num_initial, self.seq_len))
+        return np.arange(start, self.seq_len, dtype=np.int64)
+
+    @property
+    def middle_indices(self) -> np.ndarray:
+        start = min(self.num_initial, self.seq_len)
+        end = max(self.seq_len - self.num_local, start)
+        return np.arange(start, end, dtype=np.int64)
+
+    @property
+    def num_middle(self) -> int:
+        return int(self.middle_indices.size)
+
+    def describe(self) -> dict:
+        return {
+            "seq_len": self.seq_len,
+            "initial": int(self.initial_indices.size),
+            "middle": self.num_middle,
+            "local": int(self.local_indices.size),
+        }
+
+
+class LayerKVCache:
+    """Keys and values of one layer: ``(num_kv_heads, seq, head_dim)``.
+
+    Storage grows by chunked re-allocation, which keeps the append path cheap
+    enough for NumPy-based decoding loops.
+    """
+
+    _GROWTH = 256
+
+    def __init__(self, num_kv_heads: int, head_dim: int) -> None:
+        if num_kv_heads <= 0 or head_dim <= 0:
+            raise ConfigurationError("num_kv_heads and head_dim must be positive")
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self._keys = np.zeros((num_kv_heads, 0, head_dim), dtype=np.float64)
+        self._values = np.zeros((num_kv_heads, 0, head_dim), dtype=np.float64)
+        self._length = 0
+
+    # ------------------------------------------------------------ capacity
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the stored keys, shape ``(h_kv, len(self), d_h)``."""
+        return self._keys[:, : self._length, :]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the stored values, shape ``(h_kv, len(self), d_h)``."""
+        return self._values[:, : self._length, :]
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._length + extra
+        capacity = self._keys.shape[1]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity + self._GROWTH, capacity * 2)
+        grow = new_capacity - capacity
+        pad = np.zeros((self.num_kv_heads, grow, self.head_dim), dtype=np.float64)
+        self._keys = np.concatenate([self._keys, pad], axis=1)
+        self._values = np.concatenate([self._values, pad.copy()], axis=1)
+
+    # -------------------------------------------------------------- append
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append one or more tokens' keys and values.
+
+        Accepts ``(h_kv, t, d_h)`` or ``(h_kv, d_h)`` (single token).
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.ndim == 2:
+            keys = keys[:, None, :]
+        if values.ndim == 2:
+            values = values[:, None, :]
+        if keys.shape != values.shape:
+            raise DimensionError("keys and values must have identical shapes")
+        if keys.shape[0] != self.num_kv_heads or keys.shape[2] != self.head_dim:
+            raise DimensionError(
+                f"expected (h_kv={self.num_kv_heads}, t, d_h={self.head_dim}), "
+                f"got {keys.shape}"
+            )
+        t = keys.shape[1]
+        self._ensure_capacity(t)
+        self._keys[:, self._length: self._length + t, :] = keys
+        self._values[:, self._length: self._length + t, :] = values
+        self._length += t
+
+    def gather(self, token_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Keys and values of the given token indices: ``(h_kv, k, d_h)``."""
+        token_indices = np.asarray(token_indices, dtype=np.int64)
+        if token_indices.size and (
+            token_indices.min() < 0 or token_indices.max() >= self._length
+        ):
+            raise DimensionError("token index out of range")
+        return (
+            self.keys[:, token_indices, :],
+            self.values[:, token_indices, :],
+        )
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        """Modelled storage cost at the given element width (fp16 default)."""
+        return 2 * self.num_kv_heads * self._length * self.head_dim * dtype_bytes
+
+
+class KVCache:
+    """Per-layer collection of :class:`LayerKVCache` objects."""
+
+    def __init__(self, num_layers: int, num_kv_heads: int, head_dim: int) -> None:
+        if num_layers <= 0:
+            raise ConfigurationError("num_layers must be positive")
+        self.num_layers = num_layers
+        self.layers = [
+            LayerKVCache(num_kv_heads, head_dim) for _ in range(num_layers)
+        ]
+
+    def __getitem__(self, layer: int) -> LayerKVCache:
+        return self.layers[layer]
+
+    def __len__(self) -> int:
+        return len(self.layers[0]) if self.layers else 0
+
+    @property
+    def seq_len(self) -> int:
+        return len(self)
+
+    def segments(self, num_initial: int, num_local: int) -> TokenSegments:
+        """Current initial/middle/local partition of the token axis."""
+        return TokenSegments(
+            seq_len=self.seq_len, num_initial=num_initial, num_local=num_local
+        )
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        return sum(layer.nbytes(dtype_bytes) for layer in self.layers)

@@ -1,0 +1,360 @@
+"""Decoder-only transformer with GQA, RoPE, RMSNorm and SwiGLU.
+
+This is the inference substrate the rest of the reproduction plugs into.  It
+implements exactly the two phases the paper describes (§2.1):
+
+* :meth:`TransformerLM.prefill` — runs all prompt tokens through every layer,
+  fills the :class:`~repro.llm.kvcache.KVCache`, and collects the per-layer
+  aggregate attention statistics that the dropping baselines (H2O, SnapKV,
+  PyramidKV) need.  Aggregates are computed in query blocks so memory stays
+  ``O(s)`` — the NumPy analogue of the paper's FlashAttention assumption.
+* :meth:`TransformerLM.decode_step` — processes the last generated token only,
+  reading keys/values from the cache, with an optional per-layer *selector*
+  callback that restricts attention to a subset of tokens.  That callback is
+  how every KVCache policy (PQCache and the baselines) is injected.
+
+The model is random-initialised: no pretrained weights exist offline.  Its
+purpose is to exercise the true code paths (per-head keys with RoPE, GQA
+grouping, caches, latency accounting) and to provide logit-fidelity
+comparisons between attention policies, not to produce fluent text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from ..utils import as_rng, softmax
+from .attention import causal_attention, expand_kv_heads
+from .config import ModelConfig
+from .kvcache import KVCache
+from .layers import Linear, RMSNorm, SwiGLU
+from .rope import apply_rope
+
+__all__ = ["LayerWeights", "PrefillAggregates", "PrefillResult", "TransformerLM"]
+
+
+@dataclass
+class LayerWeights:
+    """Parameters of one transformer layer."""
+
+    attn_norm: RMSNorm
+    q_proj: Linear
+    k_proj: Linear
+    v_proj: Linear
+    o_proj: Linear
+    ffn_norm: RMSNorm
+    ffn: SwiGLU
+
+    @classmethod
+    def init(cls, config: ModelConfig, rng: np.random.Generator) -> "LayerWeights":
+        d = config.hidden_dim
+        kv_dim = config.num_kv_heads * config.head_dim
+        return cls(
+            attn_norm=RMSNorm.init(d, rng),
+            q_proj=Linear.init(d, d, rng),
+            k_proj=Linear.init(d, kv_dim, rng),
+            v_proj=Linear.init(d, kv_dim, rng),
+            o_proj=Linear.init(d, d, rng),
+            ffn_norm=RMSNorm.init(d, rng),
+            ffn=SwiGLU.init(d, config.ffn_dim, rng),
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(
+            module.num_parameters
+            for module in (
+                self.attn_norm, self.q_proj, self.k_proj, self.v_proj,
+                self.o_proj, self.ffn_norm, self.ffn,
+            )
+        )
+
+
+@dataclass
+class PrefillAggregates:
+    """Per-layer attention statistics collected during prefilling.
+
+    Attributes:
+        accumulated_scores: ``(h_kv, s)`` attention mass each key received,
+            summed over all prompt queries and averaged over the query heads
+            in each GQA group (used by H2O-style policies).
+        window_scores: ``(h_kv, s)`` attention mass each key received from
+            the last ``observation_window`` prompt queries (used by
+            SnapKV / PyramidKV).
+        observation_window: how many trailing queries contributed to
+            ``window_scores``.
+    """
+
+    accumulated_scores: np.ndarray
+    window_scores: np.ndarray
+    observation_window: int
+
+
+@dataclass
+class PrefillResult:
+    """Everything the decoding phase needs after prefilling."""
+
+    kvcache: KVCache
+    last_hidden: np.ndarray                       # (d,)
+    logits: np.ndarray                            # (vocab,)
+    aggregates: list[PrefillAggregates]           # one per layer
+    prompt_queries: list[np.ndarray] | None       # per layer (h, s, d_h) or None
+    seq_len: int
+
+
+# A selector receives (layer_index, query (h, d_h), layer cache) and returns
+# either None (attend to everything) or a per-KV-head list of token indices.
+Selector = Callable[[int, np.ndarray, "KVCache"], Sequence[np.ndarray] | np.ndarray | None]
+
+
+class TransformerLM:
+    """Random-initialised decoder-only language model.
+
+    Args:
+        config: model geometry.
+        seed: seed for weight initialisation.
+        embedding_overrides: optional mapping ``token_id -> (d,) vector``
+            allowing workloads to plant structured embeddings (e.g. giving a
+            "needle" token an embedding correlated with the question token)
+            while keeping the rest of the vocabulary random.
+        qk_coupling: in ``[0, 1]``; interpolates each layer's key projection
+            towards its query projection.  A trained LLM's retrieval heads
+            align queries with the keys of semantically matching tokens; a
+            random-initialised model has no such alignment, so the synthetic
+            evaluation harness uses a non-zero coupling to recover the
+            "matching tokens attend to each other" behaviour that makes
+            planted evidence retrievable (see DESIGN.md substitutions).
+        rope_base: RoPE theta base; larger values weaken the positional
+            rotation, which the evaluation harness uses so that evidence far
+            from the question is not positionally suppressed.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        embedding_overrides: dict[int, np.ndarray] | None = None,
+        qk_coupling: float = 0.0,
+        rope_base: float = 10000.0,
+    ) -> None:
+        if not 0.0 <= qk_coupling <= 1.0:
+            raise ConfigurationError("qk_coupling must be in [0, 1]")
+        self.config = config
+        self.qk_coupling = qk_coupling
+        self.rope_base = rope_base
+        rng = as_rng(seed)
+        d = config.hidden_dim
+        scale = 1.0 / np.sqrt(d)
+        self.embedding = rng.normal(0.0, scale, size=(config.vocab_size, d))
+        if embedding_overrides:
+            for token_id, vector in embedding_overrides.items():
+                vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+                if vector.shape[0] != d:
+                    raise DimensionError(
+                        f"embedding override for token {token_id} must have dim {d}"
+                    )
+                self.embedding[int(token_id)] = vector
+        self.layers = [LayerWeights.init(config, rng) for _ in range(config.num_layers)]
+        if qk_coupling > 0.0:
+            self._couple_query_key(qk_coupling)
+        self.final_norm = RMSNorm.init(d, rng)
+        # Weight tying keeps the classifier consistent with planted embeddings,
+        # which is what makes retrieval tasks decodable by argmax.
+        self.lm_head = self.embedding
+
+    # ------------------------------------------------------------- helpers
+
+    def _couple_query_key(self, coupling: float) -> None:
+        """Blend each KV head's key projection towards the query projection
+        of the first query head in its GQA group, preserving the weight scale."""
+        cfg = self.config
+        mix = np.sqrt(max(1.0 - coupling ** 2, 0.0))
+        for layer in self.layers:
+            q_w = layer.q_proj.weight.reshape(cfg.num_heads, cfg.head_dim, cfg.hidden_dim)
+            k_w = layer.k_proj.weight.reshape(cfg.num_kv_heads, cfg.head_dim, cfg.hidden_dim)
+            for kv_head in range(cfg.num_kv_heads):
+                q_head = kv_head * cfg.gqa_group_size
+                k_w[kv_head] = coupling * q_w[q_head] + mix * k_w[kv_head]
+            layer.k_proj.weight = k_w.reshape(cfg.num_kv_heads * cfg.head_dim, cfg.hidden_dim)
+
+    @property
+    def num_parameters(self) -> int:
+        total = int(self.embedding.size) + self.final_norm.num_parameters
+        total += sum(layer.num_parameters for layer in self.layers)
+        return total
+
+    def _project_qkv(
+        self, layer: LayerWeights, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project normed hidden states into per-head Q, K, V with RoPE."""
+        cfg = self.config
+        s = hidden.shape[0]
+        normed = layer.attn_norm(hidden)
+        q = layer.q_proj(normed).reshape(s, cfg.num_heads, cfg.head_dim)
+        k = layer.k_proj(normed).reshape(s, cfg.num_kv_heads, cfg.head_dim)
+        v = layer.v_proj(normed).reshape(s, cfg.num_kv_heads, cfg.head_dim)
+        q = q.transpose(1, 0, 2)  # (h, s, d_h)
+        k = k.transpose(1, 0, 2)  # (h_kv, s, d_h)
+        v = v.transpose(1, 0, 2)
+        q = apply_rope(q, positions, base=self.rope_base)
+        k = apply_rope(k, positions, base=self.rope_base)
+        return q, k, v
+
+    # ------------------------------------------------------------- prefill
+
+    def prefill(
+        self,
+        token_ids: Sequence[int],
+        observation_window: int = 32,
+        collect_queries: bool = False,
+        query_block: int = 256,
+    ) -> PrefillResult:
+        """Run the prompt through the model and fill the KVCache.
+
+        Args:
+            token_ids: prompt token ids.
+            observation_window: trailing query count used for the SnapKV-style
+                window aggregate.
+            collect_queries: also return per-layer prompt queries (needed by
+                the Oracle policy's offline analysis and by tests).
+            query_block: block size for the streaming attention aggregation.
+
+        Returns:
+            A :class:`PrefillResult`.
+        """
+        token_ids = np.asarray(list(token_ids), dtype=np.int64)
+        if token_ids.size == 0:
+            raise ConfigurationError("prompt must contain at least one token")
+        cfg = self.config
+        s = int(token_ids.size)
+        positions = np.arange(s)
+        hidden = self.embedding[token_ids]
+        cache = KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim)
+        aggregates: list[PrefillAggregates] = []
+        all_queries: list[np.ndarray] | None = [] if collect_queries else None
+        group = cfg.gqa_group_size
+        window = min(observation_window, s)
+
+        for layer_index, layer in enumerate(self.layers):
+            q, k, v = self._project_qkv(layer, hidden, positions)
+            cache[layer_index].append(k, v)
+            if all_queries is not None:
+                all_queries.append(q)
+
+            # Streaming causal attention with O(s * block) memory, while
+            # accumulating the column-sum statistics the baselines need.
+            k_exp = expand_kv_heads(k, group)
+            v_exp = expand_kv_heads(v, group)
+            acc = np.zeros((cfg.num_heads, s), dtype=np.float64)
+            win = np.zeros((cfg.num_heads, s), dtype=np.float64)
+            outputs = np.empty((cfg.num_heads, s, cfg.head_dim), dtype=np.float64)
+            for start in range(0, s, query_block):
+                stop = min(start + query_block, s)
+                q_blk = q[:, start:stop, :]
+                logits = np.einsum("hqd,hkd->hqk", q_blk, k_exp) / np.sqrt(cfg.head_dim)
+                cols = np.arange(s)[None, :]
+                rows = np.arange(start, stop)[:, None]
+                logits = np.where(cols > rows, -np.inf, logits)
+                scores = softmax(logits, axis=-1)
+                outputs[:, start:stop, :] = np.einsum("hqk,hkd->hqd", scores, v_exp)
+                acc += scores.sum(axis=1)
+                overlap_start = max(start, s - window)
+                if overlap_start < stop:
+                    win += scores[:, overlap_start - start: stop - start, :].sum(axis=1)
+
+            # Reduce query-head statistics to KV heads (mean over the group),
+            # since selection happens at KV-head granularity.
+            acc_kv = acc.reshape(cfg.num_kv_heads, group, s).mean(axis=1)
+            win_kv = win.reshape(cfg.num_kv_heads, group, s).mean(axis=1)
+            aggregates.append(
+                PrefillAggregates(
+                    accumulated_scores=acc_kv,
+                    window_scores=win_kv,
+                    observation_window=window,
+                )
+            )
+
+            attn_out = outputs.transpose(1, 0, 2).reshape(s, cfg.hidden_dim)
+            hidden = hidden + layer.o_proj(attn_out)
+            hidden = hidden + layer.ffn(layer.ffn_norm(hidden))
+
+        final = self.final_norm(hidden[-1])
+        logits = self.lm_head @ final
+        return PrefillResult(
+            kvcache=cache,
+            last_hidden=hidden[-1],
+            logits=logits,
+            aggregates=aggregates,
+            prompt_queries=all_queries,
+            seq_len=s,
+        )
+
+    # -------------------------------------------------------------- decode
+
+    def decode_step(
+        self,
+        token_id: int,
+        cache: KVCache,
+        selector: Selector | None = None,
+    ) -> np.ndarray:
+        """Process one generated token and return next-token logits.
+
+        The token's key/value are appended to the cache *before* attention so
+        the new token can always attend to itself, matching standard
+        implementations.
+
+        Args:
+            token_id: id of the last generated token.
+            cache: KVCache filled by :meth:`prefill` (and previous steps).
+            selector: optional per-layer token selector implementing
+                selective attention.  ``None`` reproduces full attention.
+
+        Returns:
+            ``(vocab,)`` next-token logits.
+        """
+        cfg = self.config
+        position = np.asarray([cache.seq_len])
+        hidden = self.embedding[int(token_id)][None, :]  # (1, d)
+        group = cfg.gqa_group_size
+
+        for layer_index, layer in enumerate(self.layers):
+            q, k, v = self._project_qkv(layer, hidden, position)
+            layer_cache = cache[layer_index]
+            layer_cache.append(k[:, 0, :], v[:, 0, :])
+            query = q[:, 0, :]  # (h, d_h)
+
+            selected = None
+            if selector is not None:
+                selected = selector(layer_index, query, cache)
+
+            keys = layer_cache.keys
+            values = layer_cache.values
+            seq = keys.shape[1]
+            if selected is None:
+                per_head = [np.arange(seq, dtype=np.int64)] * cfg.num_kv_heads
+            elif isinstance(selected, (list, tuple)):
+                per_head = [np.asarray(idx, dtype=np.int64) for idx in selected]
+            else:
+                per_head = [np.asarray(selected, dtype=np.int64)] * cfg.num_kv_heads
+
+            attn_out = np.zeros((cfg.num_heads, cfg.head_dim), dtype=np.float64)
+            for kv_head, indices in enumerate(per_head):
+                if indices.size == 0:
+                    continue
+                k_sel = keys[kv_head, indices, :]
+                v_sel = values[kv_head, indices, :]
+                for g in range(group):
+                    q_head = kv_head * group + g
+                    logits = (k_sel @ query[q_head]) / np.sqrt(cfg.head_dim)
+                    weights = softmax(logits)
+                    attn_out[q_head] = weights @ v_sel
+
+            hidden = hidden + layer.o_proj(attn_out.reshape(1, cfg.hidden_dim))
+            hidden = hidden + layer.ffn(layer.ffn_norm(hidden))
+
+        final = self.final_norm(hidden[0])
+        return self.lm_head @ final

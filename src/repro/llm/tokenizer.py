@@ -1,0 +1,84 @@
+"""A small deterministic tokenizer for the synthetic workloads.
+
+Real benchmarks (LongBench, InfiniteBench) ship with model-specific BPE
+tokenizers.  The synthetic workloads in this reproduction only need a stable,
+reversible mapping from words to integer ids within the substrate's
+vocabulary, so we use a word-level tokenizer with a hash-based fallback for
+out-of-vocabulary words.  Special tokens occupy the first ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["SimpleTokenizer"]
+
+
+@dataclass
+class SimpleTokenizer:
+    """Word-level tokenizer with deterministic hashing for unknown words.
+
+    Attributes:
+        vocab_size: total id space; ids below ``num_special`` are reserved.
+        num_special: number of reserved special tokens.
+    """
+
+    vocab_size: int = 512
+    num_special: int = 4
+
+    PAD = 0
+    BOS = 1
+    EOS = 2
+    SEP = 3
+
+    _word_to_id: dict = field(default_factory=dict, repr=False)
+    _id_to_word: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size <= self.num_special:
+            raise ConfigurationError("vocab_size must exceed num_special")
+
+    # -------------------------------------------------------------- encode
+
+    def _hash_word(self, word: str) -> int:
+        digest = hashlib.blake2b(word.encode("utf-8"), digest_size=8).digest()
+        span = self.vocab_size - self.num_special
+        return self.num_special + int.from_bytes(digest, "little") % span
+
+    def token_id(self, word: str) -> int:
+        """Stable id for ``word`` (registers it for decoding)."""
+        if word in self._word_to_id:
+            return self._word_to_id[word]
+        token = self._hash_word(word)
+        self._word_to_id[word] = token
+        # Hash collisions are possible with a small vocab; keep the first
+        # registered word for decoding, which is sufficient for synthetic
+        # scoring because answers are compared as ids.
+        self._id_to_word.setdefault(token, word)
+        return token
+
+    def encode(self, text: str, add_bos: bool = True) -> list[int]:
+        """Tokenize whitespace-separated text into ids."""
+        ids = [self.BOS] if add_bos else []
+        ids.extend(self.token_id(word) for word in text.split())
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Best-effort reverse mapping (unknown ids render as ``<id>``)."""
+        words = []
+        for token in ids:
+            if token == self.BOS:
+                continue
+            if token == self.EOS:
+                break
+            if token == self.SEP:
+                words.append("|")
+                continue
+            words.append(self._id_to_word.get(int(token), f"<{int(token)}>"))
+        return " ".join(words)
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,18 @@
+"""GPU-CPU memory hierarchy simulation: device specs, overlap timelines and
+latency models for prefilling and decoding."""
+
+from .devices import CpuSpec, GpuSpec, HardwareSpec, InterconnectSpec
+from .latency import LatencyModel, MethodLatencyProfile
+from .timeline import Resource, Task, Timeline
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "HardwareSpec",
+    "InterconnectSpec",
+    "LatencyModel",
+    "MethodLatencyProfile",
+    "Resource",
+    "Task",
+    "Timeline",
+]

@@ -1,0 +1,172 @@
+"""Discrete-event timeline for modelling overlap of compute and transfers.
+
+PQCache's system contribution is *scheduling*: KVCache offload, K-Means
+clustering, and PQ-code prefetch all run concurrently with GPU compute so
+that only the top-k key/value fetch sits on the decode critical path
+(Figure 7).  The :class:`Timeline` here is a small resource-constrained
+scheduler: tasks declare which resource they occupy (GPU, CPU, the H2D or
+D2H link) and which tasks they depend on; the timeline assigns start/finish
+times respecting both resource serialisation and dependencies.
+
+This is intentionally simple — single sample, single stream per resource —
+because that is exactly the setting of the paper's latency figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+
+__all__ = ["Resource", "Task", "Timeline"]
+
+
+class Resource:
+    """Named serial resources used by the scheduler."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+    H2D = "h2d"   # host-to-device transfers (CPU -> GPU)
+    D2H = "d2h"   # device-to-host transfers (GPU -> CPU)
+
+    ALL = (GPU, CPU, H2D, D2H)
+
+
+@dataclass
+class Task:
+    """A unit of work occupying one resource for a duration.
+
+    Attributes:
+        name: unique task name.
+        resource: one of :class:`Resource`.
+        duration: seconds of exclusive occupancy.
+        depends_on: names of tasks that must finish before this one starts.
+        start: assigned start time (filled by the timeline).
+        finish: assigned finish time (filled by the timeline).
+    """
+
+    name: str
+    resource: str
+    duration: float
+    depends_on: tuple[str, ...] = ()
+    start: float = field(default=0.0, init=False)
+    finish: float = field(default=0.0, init=False)
+
+
+class Timeline:
+    """Greedy list scheduler over serial resources with dependencies.
+
+    Tasks are scheduled in submission order: each task starts at the maximum
+    of its dependencies' finish times and the time its resource becomes free.
+    Submission order therefore encodes priority on a shared resource, which
+    matches how CUDA streams serialise work that is enqueued in order.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._resource_free: dict[str, float] = {r: 0.0 for r in Resource.ALL}
+
+    # ------------------------------------------------------------- building
+
+    def add(
+        self,
+        name: str,
+        resource: str,
+        duration: float,
+        depends_on: tuple[str, ...] | list[str] = (),
+    ) -> Task:
+        """Add and immediately schedule a task."""
+        if name in self._tasks:
+            raise SchedulingError(f"duplicate task name: {name}")
+        if resource not in Resource.ALL:
+            raise SchedulingError(f"unknown resource: {resource}")
+        if duration < 0:
+            raise SchedulingError("duration must be >= 0")
+        missing = [dep for dep in depends_on if dep not in self._tasks]
+        if missing:
+            raise SchedulingError(f"unknown dependencies for {name}: {missing}")
+
+        task = Task(name=name, resource=resource, duration=float(duration),
+                    depends_on=tuple(depends_on))
+        ready = max(
+            (self._tasks[dep].finish for dep in task.depends_on), default=0.0
+        )
+        start = max(ready, self._resource_free[resource])
+        task.start = start
+        task.finish = start + task.duration
+        self._resource_free[resource] = task.finish
+        self._tasks[name] = task
+        return task
+
+    # ------------------------------------------------------------ queries
+
+    def __getitem__(self, name: str) -> Task:
+        return self._tasks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the latest task."""
+        return max((t.finish for t in self._tasks.values()), default=0.0)
+
+    def resource_busy_time(self, resource: str) -> float:
+        """Total busy time of one resource."""
+        return sum(t.duration for t in self._tasks.values() if t.resource == resource)
+
+    def critical_path(self) -> list[str]:
+        """Names of tasks on a longest dependency/resource chain.
+
+        Follows, from the task that finishes last, whichever predecessor
+        (dependency or same-resource neighbour) determined its start time.
+        """
+        if not self._tasks:
+            return []
+        current = max(self._tasks.values(), key=lambda t: t.finish)
+        path = [current.name]
+        while True:
+            candidates = [self._tasks[d] for d in current.depends_on]
+            same_resource = [
+                t for t in self._tasks.values()
+                if t.resource == current.resource and t.finish <= current.start + 1e-12
+                and t.name != current.name
+            ]
+            blockers = [
+                t for t in candidates + same_resource
+                if abs(t.finish - current.start) < 1e-9
+            ]
+            if not blockers:
+                break
+            current = max(blockers, key=lambda t: t.finish)
+            path.append(current.name)
+        return list(reversed(path))
+
+    def utilisation(self) -> dict[str, float]:
+        """Busy fraction per resource relative to the makespan."""
+        makespan = self.makespan
+        if makespan <= 0:
+            return {r: 0.0 for r in Resource.ALL}
+        return {
+            r: self.resource_busy_time(r) / makespan for r in Resource.ALL
+        }
+
+    def as_records(self) -> list[dict]:
+        """Serialisable task records (name, resource, start, finish)."""
+        return [
+            {
+                "name": t.name,
+                "resource": t.resource,
+                "start": t.start,
+                "finish": t.finish,
+                "duration": t.duration,
+            }
+            for t in self._tasks.values()
+        ]

@@ -1,0 +1,107 @@
+"""Small shared helpers used across the library.
+
+The helpers here deliberately stay free of project-specific concepts: random
+number handling, shape validation, and a couple of numerically careful
+primitives (softmax, log-sum-exp) that several subsystems need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import DimensionError
+
+__all__ = [
+    "as_rng",
+    "check_2d",
+    "check_matrix",
+    "softmax",
+    "log_softmax",
+    "topk_indices",
+    "batched",
+    "sizeof_fmt",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS entropy.  Centralising this makes every stochastic
+    component of the library reproducible from a single integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_2d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Validate that ``array`` is a 2-D float array and return it as float64."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DimensionError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def check_matrix(array: np.ndarray, cols: int, name: str = "array") -> np.ndarray:
+    """Validate a 2-D array with exactly ``cols`` columns."""
+    arr = check_2d(array, name)
+    if arr.shape[1] != cols:
+        raise DimensionError(
+            f"{name} must have {cols} columns, got {arr.shape[1]}"
+        )
+    return arr
+
+
+def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries of a 1-D score vector, sorted
+    by descending score.
+
+    ``k`` larger than the vector length returns all indices.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise DimensionError(f"scores must be 1-D, got shape {scores.shape}")
+    k = min(int(k), scores.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    part = np.argpartition(-scores, k - 1)[:k]
+    order = np.argsort(-scores[part], kind="stable")
+    return part[order].astype(np.int64)
+
+
+def batched(items: Sequence, batch_size: int) -> Iterable[Sequence]:
+    """Yield successive slices of ``items`` of length ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(items), batch_size):
+        yield items[start:start + batch_size]
+
+
+def sizeof_fmt(num_bytes: float) -> str:
+    """Human-readable byte count (e.g. ``"1.5 GiB"``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(size) < 1024.0 or unit == "TiB":
+            return f"{size:.2f} {unit}"
+        size /= 1024.0
+    return f"{size:.2f} TiB"

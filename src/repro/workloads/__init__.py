@@ -1,0 +1,51 @@
+"""Synthetic long-context workloads standing in for the paper's benchmarks."""
+
+from .base import Sample, TaskDataset, VocabLayout
+from .generators import (
+    cot_arithmetic,
+    counting,
+    few_shot_recall,
+    kv_retrieval,
+    multi_hop_qa,
+    passkey_retrieval,
+    single_fact_qa,
+    summarization,
+)
+from .needle import NeedleGrid
+from .suites import (
+    INFINITEBENCH_TASKS,
+    LONGBENCH_TASKS,
+    infinitebench_suite,
+    longbench_qa_suite,
+    longbench_suite,
+)
+from .traces import (
+    AttentionTrace,
+    collect_decode_attention,
+    mass_concentration,
+    power_law_exponent,
+)
+
+__all__ = [
+    "Sample",
+    "TaskDataset",
+    "VocabLayout",
+    "cot_arithmetic",
+    "counting",
+    "few_shot_recall",
+    "kv_retrieval",
+    "multi_hop_qa",
+    "passkey_retrieval",
+    "single_fact_qa",
+    "summarization",
+    "NeedleGrid",
+    "INFINITEBENCH_TASKS",
+    "LONGBENCH_TASKS",
+    "infinitebench_suite",
+    "longbench_qa_suite",
+    "longbench_suite",
+    "AttentionTrace",
+    "collect_decode_attention",
+    "mass_concentration",
+    "power_law_exponent",
+]

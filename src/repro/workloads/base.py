@@ -1,0 +1,146 @@
+"""Data model for synthetic long-context workloads.
+
+The paper evaluates on LongBench, InfiniteBench, Needle-in-a-Haystack, and
+GSM8k-CoT.  Those corpora (and the pretrained models that can read them) are
+not available offline, so each task family is replaced by a synthetic
+generator that plants *evidence tokens* inside long distractor contexts and
+asks a question about them.  A sample records where the evidence lives, so
+scoring can check whether a selective-attention policy still attends to it —
+the exact property the paper's benchmarks measure indirectly through answer
+quality.
+
+Vocabulary layout (for the substrate's small vocab):
+
+* ids ``[0, 4)``      — special tokens (PAD/BOS/EOS/SEP),
+* ids ``[4, TAG_END)``   — "tag" tokens naming facts,
+* ids ``[TAG_END, VALUE_END)`` — "value" tokens holding answers,
+* ids ``[VALUE_END, vocab)``   — filler/distractor tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["VocabLayout", "Sample", "TaskDataset"]
+
+
+@dataclass(frozen=True)
+class VocabLayout:
+    """Partition of the substrate vocabulary into functional ranges."""
+
+    vocab_size: int = 512
+    num_special: int = 4
+    num_tags: int = 96
+    num_values: int = 96
+
+    def __post_init__(self) -> None:
+        if self.num_special + self.num_tags + self.num_values >= self.vocab_size:
+            raise WorkloadError("vocab too small for the requested layout")
+
+    @property
+    def tag_range(self) -> tuple[int, int]:
+        start = self.num_special
+        return start, start + self.num_tags
+
+    @property
+    def value_range(self) -> tuple[int, int]:
+        start = self.num_special + self.num_tags
+        return start, start + self.num_values
+
+    @property
+    def filler_range(self) -> tuple[int, int]:
+        return self.num_special + self.num_tags + self.num_values, self.vocab_size
+
+    def sample_tags(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        lo, hi = self.tag_range
+        if count > hi - lo:
+            raise WorkloadError(f"cannot sample {count} distinct tags")
+        return rng.choice(np.arange(lo, hi), size=count, replace=False)
+
+    def sample_values(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        lo, hi = self.value_range
+        if count > hi - lo:
+            raise WorkloadError(f"cannot sample {count} distinct values")
+        return rng.choice(np.arange(lo, hi), size=count, replace=False)
+
+    def sample_filler(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        lo, hi = self.filler_range
+        return rng.integers(lo, hi, size=count)
+
+
+@dataclass
+class Sample:
+    """One long-context episode.
+
+    Attributes:
+        prompt_ids: token ids of the full prompt (context + question).
+        probe_ids: token ids fed one-by-one during decoding; the probes keep
+            the decode queries "about" the question (teacher forcing).
+        evidence_positions: absolute prompt positions a correct answer must
+            attend to.
+        answer_ids: token ids of the expected answer (informational).
+        metadata: generator-specific extras (needle depth, hop count, ...).
+    """
+
+    prompt_ids: list[int]
+    probe_ids: list[int]
+    evidence_positions: np.ndarray
+    answer_ids: list[int] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.evidence_positions = np.asarray(self.evidence_positions, dtype=np.int64)
+        if len(self.prompt_ids) == 0:
+            raise WorkloadError("prompt must not be empty")
+        if len(self.probe_ids) == 0:
+            raise WorkloadError("each sample needs at least one probe token")
+        if self.evidence_positions.size and (
+            self.evidence_positions.min() < 0
+            or self.evidence_positions.max() >= len(self.prompt_ids)
+        ):
+            raise WorkloadError("evidence positions must index into the prompt")
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+
+@dataclass
+class TaskDataset:
+    """A named collection of samples with a scoring rule.
+
+    Attributes:
+        name: dataset label used in tables.
+        samples: the episodes.
+        metric: one of ``"recovery"`` (graded evidence-attention recovery,
+            QA/summarisation-like), ``"exact"`` (all-or-nothing evidence
+            coverage, retrieval-like), ``"coverage"`` (fraction of evidence
+            covered, counting/aggregation-like).
+        description: one-line description of the paper task it stands in for.
+    """
+
+    name: str
+    samples: list[Sample]
+    metric: str = "recovery"
+    description: str = ""
+
+    _METRICS = ("recovery", "exact", "coverage")
+
+    def __post_init__(self) -> None:
+        if self.metric not in self._METRICS:
+            raise WorkloadError(
+                f"metric must be one of {self._METRICS}, got {self.metric!r}"
+            )
+        if not self.samples:
+            raise WorkloadError(f"dataset {self.name!r} has no samples")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_prompt_len(self) -> float:
+        return float(np.mean([s.prompt_len for s in self.samples]))

@@ -1,0 +1,427 @@
+"""Synthetic long-context task generators.
+
+Each generator stands in for one family of tasks from the paper's benchmark
+suites (LongBench / InfiniteBench §4.1.2):
+
+* :func:`single_fact_qa` — single-document QA (NarrativeQA, Qasper,
+  MultiFieldQA, En.QA): one tag/value fact planted at a random depth, the
+  question names the tag.
+* :func:`multi_hop_qa` — multi-hop QA (HotpotQA, 2WikiMQA, Musique): a chain
+  of facts must all be attended to.
+* :func:`summarization` — summarisation (GovReport, QMSum, MultiNews,
+  En.Sum): many topic-sentence tokens spread across the document; quality is
+  the fraction of them still reachable.
+* :func:`few_shot_recall` — few-shot tasks (TREC, TriviaQA, SAMSum): the
+  answer pattern appears in several in-context examples.
+* :func:`passkey_retrieval` — InfiniteBench Retr.PassKey / Retr.Number and
+  the needle-in-a-haystack test: an exact token span must be retrieved.
+* :func:`kv_retrieval` — InfiniteBench Retr.KV: many key/value pairs, one is
+  queried.
+* :func:`counting` — LongBench Count / Math.Find style aggregation over
+  scattered occurrences.
+* :func:`cot_arithmetic` — GSM8k-style chain-of-thought: the probe must
+  attend to several numbered reasoning steps from the prompt.
+
+Every generator accepts ``question_position`` so the Table 3 experiment
+(questions placed *before* the context) can reuse the same tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..utils import as_rng
+from .base import Sample, TaskDataset, VocabLayout
+
+__all__ = [
+    "single_fact_qa",
+    "multi_hop_qa",
+    "summarization",
+    "few_shot_recall",
+    "passkey_retrieval",
+    "kv_retrieval",
+    "counting",
+    "cot_arithmetic",
+]
+
+
+def _place_question(
+    context: list[int],
+    question: list[int],
+    question_position: str,
+) -> tuple[list[int], int]:
+    """Attach the question to the context; return (prompt, offset).
+
+    ``offset`` is the index shift applied to evidence positions recorded
+    relative to the context (non-zero when the question is prepended).
+    """
+    if question_position == "end":
+        return context + question, 0
+    if question_position == "start":
+        return question + context, len(question)
+    raise WorkloadError(f"question_position must be 'start' or 'end', got {question_position!r}")
+
+
+def _fact_span(tag: int, value: int, tag_repeat: int = 2) -> list[int]:
+    """A planted fact: the tag token(s) followed by the value token.
+
+    The tag occurrences are the *anchor* of the fact — they are what a
+    question about the fact can match through attention — so generators
+    record the tag positions (not the value position) as evidence.
+    """
+    return [int(tag)] * tag_repeat + [int(value)]
+
+
+def single_fact_qa(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    seed: int = 0,
+    vocab: VocabLayout | None = None,
+    question_position: str = "end",
+    name: str = "single-fact-qa",
+) -> TaskDataset:
+    """Single-document QA: one planted fact, question names its tag."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tag, = vocab.sample_tags(rng, 1)
+        value, = vocab.sample_values(rng, 1)
+        fact = _fact_span(tag, value)
+        question = [vocab.num_special - 1, int(tag), int(tag)]
+        filler_len = max(seq_len - len(fact) - len(question), 8)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        depth = int(rng.integers(low=filler_len // 10, high=max(filler_len * 9 // 10, 2)))
+        context[depth:depth] = fact
+        prompt, offset = _place_question(context, question, question_position)
+        # Evidence = the tag anchors of the fact (the retrievable positions).
+        evidence = np.arange(depth, depth + 2) + offset
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(tag)] * 3,
+                evidence_positions=evidence,
+                answer_ids=[int(value)],
+                metadata={"depth_fraction": depth / max(filler_len, 1)},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="recovery",
+                       description="single planted fact QA (NarrativeQA/Qasper-like)")
+
+
+def multi_hop_qa(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    num_hops: int = 3,
+    seed: int = 1,
+    vocab: VocabLayout | None = None,
+    question_position: str = "end",
+    name: str = "multi-hop-qa",
+) -> TaskDataset:
+    """Multi-hop QA: a chain tag_0 -> tag_1 -> ... -> value, scattered."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tags = vocab.sample_tags(rng, num_hops)
+        value, = vocab.sample_values(rng, 1)
+        spans = []
+        for hop in range(num_hops):
+            nxt = int(tags[hop + 1]) if hop + 1 < num_hops else int(value)
+            spans.append([int(tags[hop]), int(tags[hop]), nxt])
+        question = [vocab.num_special - 1] + [int(t) for t in tags]
+        total_span = sum(len(s) for s in spans)
+        filler_len = max(seq_len - total_span - len(question), 16)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        # Insert spans back-to-front so earlier insertions do not shift later
+        # evidence positions.
+        depths = np.sort(
+            rng.choice(np.arange(8, filler_len - 8), size=num_hops, replace=False)
+        )[::-1]
+        evidence = []
+        for span, depth in zip(reversed(spans), depths):
+            context[int(depth):int(depth)] = span
+        # Recompute evidence positions front-to-back after all insertions.
+        sorted_depths = np.sort(depths)[::1]
+        shift = 0
+        for span, depth in zip(spans, sorted_depths):
+            start = int(depth) + shift
+            # Tag anchors only (the first two tokens of each hop's span).
+            evidence.extend(range(start, start + 2))
+            shift += len(span)
+        prompt, offset = _place_question(context, question, question_position)
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(t) for t in tags],
+                evidence_positions=np.asarray(evidence) + offset,
+                answer_ids=[int(value)],
+                metadata={"num_hops": num_hops},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="recovery",
+                       description="multi-hop QA (HotpotQA/2WikiMQA/Musique-like)")
+
+
+def summarization(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    num_topics: int = 12,
+    seed: int = 2,
+    vocab: VocabLayout | None = None,
+    name: str = "summarization",
+) -> TaskDataset:
+    """Summarisation proxy: topic tokens scattered through the document."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        topics = vocab.sample_tags(rng, num_topics)
+        filler_len = max(seq_len - 2 * num_topics - 4, 32)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        positions = np.sort(
+            rng.choice(np.arange(4, filler_len - 4), size=num_topics, replace=False)
+        )[::-1]
+        for topic, pos in zip(reversed(topics.tolist()), positions):
+            context[int(pos):int(pos)] = [int(topic), int(topic)]
+        evidence = []
+        shift = 0
+        for topic, pos in zip(topics.tolist(), np.sort(positions)):
+            start = int(pos) + shift
+            evidence.extend([start, start + 1])
+            shift += 2
+        question = [vocab.num_special - 1] + [int(t) for t in topics[: min(4, num_topics)]]
+        prompt = context + question
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(t) for t in topics[: min(4, num_topics)]],
+                evidence_positions=np.asarray(evidence),
+                answer_ids=[int(t) for t in topics],
+                metadata={"num_topics": num_topics},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="coverage",
+                       description="summarisation proxy (GovReport/QMSum/MultiNews-like)")
+
+
+def few_shot_recall(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    num_examples: int = 6,
+    seed: int = 3,
+    vocab: VocabLayout | None = None,
+    name: str = "few-shot",
+) -> TaskDataset:
+    """Few-shot proxy: the queried pattern also appears in k in-context shots."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tag, = vocab.sample_tags(rng, 1)
+        value, = vocab.sample_values(rng, 1)
+        shots = [_fact_span(tag, value, tag_repeat=1) for _ in range(num_examples)]
+        question = [vocab.num_special - 1, int(tag)]
+        total = sum(len(s) for s in shots)
+        filler_len = max(seq_len - total - len(question), 16)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        positions = np.sort(
+            rng.choice(np.arange(4, filler_len - 4), size=num_examples, replace=False)
+        )[::-1]
+        for shot, pos in zip(reversed(shots), positions):
+            context[int(pos):int(pos)] = shot
+        evidence = []
+        shift = 0
+        for shot, pos in zip(shots, np.sort(positions)):
+            start = int(pos) + shift
+            # The tag anchor of each in-context example is the evidence.
+            evidence.append(start)
+            shift += len(shot)
+        prompt = context + question
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(tag)] * 3,
+                evidence_positions=np.asarray(evidence),
+                answer_ids=[int(value)],
+                metadata={"num_examples": num_examples},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="coverage",
+                       description="few-shot recall (TREC/TriviaQA/SAMSum-like)")
+
+
+def passkey_retrieval(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    passkey_len: int = 4,
+    seed: int = 4,
+    vocab: VocabLayout | None = None,
+    depth_fraction: float | None = None,
+    name: str = "passkey",
+) -> TaskDataset:
+    """Exact retrieval: a multi-token passkey hidden at a (possibly fixed)
+    depth.  Also the building block of the needle-in-a-haystack grid."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tag, = vocab.sample_tags(rng, 1)
+        key_tokens = vocab.sample_values(rng, passkey_len)
+        needle = [int(tag), int(tag), int(tag)] + [int(t) for t in key_tokens]
+        question = [vocab.num_special - 1, int(tag), int(tag)]
+        filler_len = max(seq_len - len(needle) - len(question), 8)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        if depth_fraction is None:
+            depth = int(rng.integers(low=2, high=max(filler_len - 2, 3)))
+        else:
+            depth = int(np.clip(depth_fraction, 0.0, 1.0) * (filler_len - 1))
+        context[depth:depth] = needle
+        prompt = context + question
+        # The three tag anchors are the retrievable part of the needle.
+        evidence = np.arange(depth, depth + 3)
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(tag)] * 3,
+                evidence_positions=evidence,
+                answer_ids=[int(t) for t in key_tokens],
+                metadata={"depth_fraction": depth / max(filler_len, 1)},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="exact",
+                       description="passkey / needle retrieval (Retr.PassKey-like)")
+
+
+def kv_retrieval(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    num_pairs: int = 24,
+    seed: int = 5,
+    vocab: VocabLayout | None = None,
+    name: str = "kv-retrieval",
+) -> TaskDataset:
+    """Key-value retrieval: many pairs in context, one is queried
+    (InfiniteBench Retr.KV), the hardest task for dropping methods."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tags = vocab.sample_tags(rng, num_pairs)
+        values = vocab.sample_values(rng, num_pairs)
+        target = int(rng.integers(num_pairs))
+        pairs = [_fact_span(int(t), int(v), tag_repeat=2) for t, v in zip(tags, values)]
+        question = [vocab.num_special - 1, int(tags[target]), int(tags[target])]
+        total = sum(len(p) for p in pairs)
+        filler_len = max(seq_len - total - len(question), 16)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        positions = np.sort(
+            rng.choice(np.arange(2, filler_len - 2), size=num_pairs, replace=False)
+        )[::-1]
+        evidence_start = None
+        for idx, (pair, pos) in enumerate(zip(reversed(pairs), positions)):
+            context[int(pos):int(pos)] = pair
+        shift = 0
+        for idx, pos in enumerate(np.sort(positions)):
+            start = int(pos) + shift
+            if idx == target:
+                evidence_start = start
+            shift += len(pairs[idx])
+        prompt = context + question
+        # Tag anchors of the queried pair (its first two tokens).
+        evidence = np.arange(evidence_start, evidence_start + 2)
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(tags[target])] * 3,
+                evidence_positions=evidence,
+                answer_ids=[int(values[target])],
+                metadata={"num_pairs": num_pairs, "target": target},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="exact",
+                       description="key-value retrieval (Retr.KV-like)")
+
+
+def counting(
+    num_samples: int = 8,
+    seq_len: int = 1024,
+    num_occurrences: int = 10,
+    seed: int = 6,
+    vocab: VocabLayout | None = None,
+    name: str = "counting",
+) -> TaskDataset:
+    """Counting/aggregation: the same marker token occurs many times and all
+    occurrences matter (LongBench Count / Math.Find-like)."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        tag, = vocab.sample_tags(rng, 1)
+        question = [vocab.num_special - 1, int(tag)]
+        filler_len = max(seq_len - num_occurrences - len(question), 16)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        positions = np.sort(
+            rng.choice(np.arange(2, filler_len - 2), size=num_occurrences, replace=False)
+        )[::-1]
+        for pos in positions:
+            context[int(pos):int(pos)] = [int(tag)]
+        evidence = [int(pos) + i for i, pos in enumerate(np.sort(positions))]
+        prompt = context + question
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(tag)] * 3,
+                evidence_positions=np.asarray(evidence),
+                answer_ids=[num_occurrences],
+                metadata={"num_occurrences": num_occurrences},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="coverage",
+                       description="counting / find-style aggregation")
+
+
+def cot_arithmetic(
+    num_samples: int = 8,
+    seq_len: int = 768,
+    num_steps: int = 8,
+    seed: int = 7,
+    vocab: VocabLayout | None = None,
+    name: str = "gsm8k-cot",
+) -> TaskDataset:
+    """Chain-of-thought proxy: numbered reasoning steps that the final answer
+    must attend back to (GSM8k-CoT-like, §4.2.6)."""
+    vocab = vocab or VocabLayout()
+    rng = as_rng(seed)
+    samples = []
+    for _ in range(num_samples):
+        step_tags = vocab.sample_tags(rng, num_steps)
+        values = vocab.sample_values(rng, num_steps)
+        steps = [_fact_span(int(t), int(v), tag_repeat=1) for t, v in zip(step_tags, values)]
+        question = [vocab.num_special - 1] + [int(t) for t in step_tags[-3:]]
+        total = sum(len(s) for s in steps)
+        filler_len = max(seq_len - total - len(question), 16)
+        context = vocab.sample_filler(rng, filler_len).tolist()
+        # Reasoning steps appear in order, separated by filler "text".
+        segment = max(filler_len // (num_steps + 1), 2)
+        evidence = []
+        assembled: list[int] = []
+        for idx, step in enumerate(steps):
+            assembled.extend(context[idx * segment:(idx + 1) * segment])
+            # The numbered-step anchor (its tag token) is the evidence.
+            evidence.append(len(assembled))
+            assembled.extend(step)
+        assembled.extend(context[(num_steps) * segment:])
+        prompt = assembled + question
+        samples.append(
+            Sample(
+                prompt_ids=prompt,
+                probe_ids=[int(t) for t in step_tags[-3:]],
+                evidence_positions=np.asarray(evidence),
+                answer_ids=[int(values[-1])],
+                metadata={"num_steps": num_steps},
+            )
+        )
+    return TaskDataset(name=name, samples=samples, metric="recovery",
+                       description="chain-of-thought arithmetic (GSM8k-CoT-like)")

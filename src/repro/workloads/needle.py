@@ -1,0 +1,81 @@
+"""Needle-in-a-Haystack grid (paper §4.2.3, Figure 9).
+
+The test sweeps document length and needle depth and measures whether the
+model can still retrieve the planted statement.  Here each grid cell is a
+small :class:`~repro.workloads.base.TaskDataset` built by
+:func:`~repro.workloads.generators.passkey_retrieval` with a fixed depth
+fraction, so the figure benchmark can score every cell with the shared
+evaluation harness and produce the same heat-map layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import TaskDataset, VocabLayout
+from .generators import passkey_retrieval
+
+__all__ = ["NeedleGrid"]
+
+
+@dataclass
+class NeedleGrid:
+    """A (context length x needle depth) grid of retrieval datasets.
+
+    Attributes:
+        context_lengths: prompt lengths of the grid columns.
+        depth_fractions: needle depths (0 = start of document, 1 = end).
+        samples_per_cell: episodes per grid cell.
+        seed: base RNG seed.
+    """
+
+    context_lengths: tuple[int, ...] = (256, 512, 1024, 2048)
+    depth_fractions: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    samples_per_cell: int = 3
+    seed: int = 0
+    vocab: VocabLayout | None = None
+    _cells: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.context_lengths or not self.depth_fractions:
+            raise WorkloadError("grid must have at least one length and depth")
+        if any(length <= 64 for length in self.context_lengths):
+            raise WorkloadError("context lengths must exceed 64 tokens")
+
+    def cell(self, context_length: int, depth_fraction: float) -> TaskDataset:
+        """Dataset of the grid cell (generated lazily and cached)."""
+        key = (int(context_length), float(depth_fraction))
+        if key not in self._cells:
+            cell_seed = self.seed + 7919 * int(context_length) + int(depth_fraction * 100)
+            self._cells[key] = passkey_retrieval(
+                num_samples=self.samples_per_cell,
+                seq_len=int(context_length),
+                seed=cell_seed,
+                vocab=self.vocab,
+                depth_fraction=float(depth_fraction),
+                name=f"needle-s{context_length}-d{depth_fraction:.1f}",
+            )
+        return self._cells[key]
+
+    def cells(self) -> list[tuple[int, float, TaskDataset]]:
+        """All (length, depth, dataset) cells in row-major order."""
+        return [
+            (length, depth, self.cell(length, depth))
+            for depth in self.depth_fractions
+            for length in self.context_lengths
+        ]
+
+    @staticmethod
+    def to_matrix(scores: dict[tuple[int, float], float],
+                  context_lengths: tuple[int, ...],
+                  depth_fractions: tuple[float, ...]) -> np.ndarray:
+        """Arrange per-cell scores into the Figure 9 heat-map layout
+        (rows = depth, columns = context length)."""
+        matrix = np.zeros((len(depth_fractions), len(context_lengths)))
+        for i, depth in enumerate(depth_fractions):
+            for j, length in enumerate(context_lengths):
+                matrix[i, j] = scores[(int(length), float(depth))]
+        return matrix

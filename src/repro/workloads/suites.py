@@ -1,0 +1,153 @@
+"""Benchmark suites mirroring LongBench and InfiniteBench (paper §4.1.2).
+
+Each paper dataset is mapped onto one of the synthetic generators with
+parameters chosen so the suite preserves the *task mix* (QA, summarisation,
+few-shot, retrieval, counting) and the relative context lengths (InfiniteBench
+contexts are several times longer than LongBench's).  Sequence lengths are
+scaled down to what the NumPy substrate evaluates in reasonable time; ratios
+between suites are preserved.
+"""
+
+from __future__ import annotations
+
+from .base import TaskDataset, VocabLayout
+from .generators import (
+    cot_arithmetic,
+    counting,
+    few_shot_recall,
+    kv_retrieval,
+    multi_hop_qa,
+    passkey_retrieval,
+    single_fact_qa,
+    summarization,
+)
+
+__all__ = [
+    "LONGBENCH_TASKS",
+    "INFINITEBENCH_TASKS",
+    "longbench_suite",
+    "longbench_qa_suite",
+    "infinitebench_suite",
+]
+
+#: paper LongBench dataset -> (generator, metric family) mapping
+LONGBENCH_TASKS = {
+    "narrativeqa": "single_fact_qa",
+    "qasper": "single_fact_qa",
+    "multifieldqa": "single_fact_qa",
+    "hotpotqa": "multi_hop_qa",
+    "2wikimqa": "multi_hop_qa",
+    "musique": "multi_hop_qa",
+    "govreport": "summarization",
+    "qmsum": "summarization",
+    "multinews": "summarization",
+    "trec": "few_shot_recall",
+    "triviaqa": "few_shot_recall",
+    "samsum": "few_shot_recall",
+    "count": "counting",
+    "retrieval": "passkey_retrieval",
+}
+
+#: paper InfiniteBench dataset -> generator mapping
+INFINITEBENCH_TASKS = {
+    "en.sum": "summarization",
+    "en.qa": "single_fact_qa",
+    "en.mc": "single_fact_qa",
+    "en.dia": "multi_hop_qa",
+    "zh.qa": "single_fact_qa",
+    "math.find": "counting",
+    "retr.passkey": "passkey_retrieval",
+    "retr.number": "passkey_retrieval",
+    "retr.kv": "kv_retrieval",
+}
+
+
+def _build(kind: str, name: str, seq_len: int, num_samples: int, seed: int,
+           question_position: str, vocab: VocabLayout) -> TaskDataset:
+    """Dispatch a generator by kind with consistent arguments."""
+    common = {"num_samples": num_samples, "seq_len": seq_len, "seed": seed,
+              "vocab": vocab, "name": name}
+    if kind == "single_fact_qa":
+        return single_fact_qa(question_position=question_position, **common)
+    if kind == "multi_hop_qa":
+        return multi_hop_qa(question_position=question_position, **common)
+    if kind == "summarization":
+        return summarization(**common)
+    if kind == "few_shot_recall":
+        return few_shot_recall(**common)
+    if kind == "passkey_retrieval":
+        return passkey_retrieval(**common)
+    if kind == "kv_retrieval":
+        return kv_retrieval(**common)
+    if kind == "counting":
+        return counting(**common)
+    if kind == "cot_arithmetic":
+        return cot_arithmetic(**common)
+    raise KeyError(kind)
+
+
+def longbench_suite(
+    seq_len: int = 768,
+    num_samples: int = 6,
+    seed: int = 0,
+    question_position: str = "end",
+    vocab: VocabLayout | None = None,
+    tasks: tuple[str, ...] | None = None,
+) -> list[TaskDataset]:
+    """The 14-dataset LongBench-like suite (Table 2).
+
+    Args:
+        seq_len: prompt length of every sample (LongBench averages ~10k
+            tokens; scaled down for the NumPy substrate).
+        num_samples: samples per dataset.
+        seed: base RNG seed; each dataset gets a distinct derived seed.
+        question_position: ``"end"`` (standard) or ``"start"`` (Table 3).
+        vocab: vocabulary layout, defaults to the substrate's tiny vocab.
+        tasks: optional subset of dataset names to generate.
+    """
+    vocab = vocab or VocabLayout()
+    selected = tasks or tuple(LONGBENCH_TASKS)
+    datasets = []
+    for index, task_name in enumerate(selected):
+        kind = LONGBENCH_TASKS[task_name]
+        datasets.append(
+            _build(kind, task_name, seq_len, num_samples, seed + 101 * index,
+                   question_position, vocab)
+        )
+    return datasets
+
+
+def longbench_qa_suite(
+    seq_len: int = 768,
+    num_samples: int = 6,
+    seed: int = 0,
+    question_position: str = "start",
+    vocab: VocabLayout | None = None,
+) -> list[TaskDataset]:
+    """The six LongBench QA datasets used in the question-first study (Table 3)."""
+    qa_tasks = ("narrativeqa", "qasper", "multifieldqa", "hotpotqa", "2wikimqa", "musique")
+    return longbench_suite(seq_len=seq_len, num_samples=num_samples, seed=seed,
+                           question_position=question_position, vocab=vocab,
+                           tasks=qa_tasks)
+
+
+def infinitebench_suite(
+    seq_len: int = 1536,
+    num_samples: int = 5,
+    seed: int = 10,
+    question_position: str = "end",
+    vocab: VocabLayout | None = None,
+    tasks: tuple[str, ...] | None = None,
+) -> list[TaskDataset]:
+    """The 9-dataset InfiniteBench-like suite (Table 4), with ~2x longer
+    contexts than the LongBench suite (the paper's are ~10x longer)."""
+    vocab = vocab or VocabLayout()
+    selected = tasks or tuple(INFINITEBENCH_TASKS)
+    datasets = []
+    for index, task_name in enumerate(selected):
+        kind = INFINITEBENCH_TASKS[task_name]
+        datasets.append(
+            _build(kind, task_name, seq_len, num_samples, seed + 131 * index,
+                   question_position, vocab)
+        )
+    return datasets

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the substrate model and a prefilled prompt) are session-scoped
+so the many tests that need "a realistic KVCache" do not each pay for a
+prefill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SelectionBudget
+from repro.llm import ModelConfig, TransformerLM
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ModelConfig:
+    """Small geometry used across unit tests."""
+    return ModelConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def model(tiny_config) -> TransformerLM:
+    """Random-initialised substrate model (no QK coupling)."""
+    return TransformerLM(tiny_config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def coupled_model(tiny_config) -> TransformerLM:
+    """Substrate model with query/key coupling, as used by the eval harness."""
+    return TransformerLM(tiny_config, seed=0, qk_coupling=1.0, rope_base=1e6)
+
+
+@pytest.fixture(scope="session")
+def prompt_ids(tiny_config) -> list[int]:
+    rng = np.random.default_rng(7)
+    return rng.integers(4, tiny_config.vocab_size, size=160).tolist()
+
+
+@pytest.fixture(scope="session")
+def prefill(model, prompt_ids):
+    """A prefilled prompt shared (read-only) by policy tests."""
+    return model.prefill(prompt_ids, observation_window=16)
+
+
+@pytest.fixture()
+def budget() -> SelectionBudget:
+    return SelectionBudget(
+        token_ratio=0.2, comm_ratio=1.0 / 64.0, num_initial=4, num_local=16
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

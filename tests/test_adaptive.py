@@ -1,0 +1,110 @@
+"""Tests for the adaptive K-Means iteration planner (paper Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveIterationPlanner,
+    ClusteringProfile,
+    ComputeProfile,
+)
+from repro.errors import ConfigurationError, NotFittedError
+
+
+def _make_planner(alpha1=0.001, beta1=1e-7, alpha2=0.002, beta2=1e-6, gamma2=1e-9,
+                  min_iterations=1, max_iterations=100):
+    """Planner fitted on synthetic observations generated from known curves."""
+    planner = AdaptiveIterationPlanner(min_iterations=min_iterations,
+                                       max_iterations=max_iterations)
+    clus = [
+        ClusteringProfile(s, t, alpha1 + beta1 * s * t)
+        for s in (1024, 4096, 16384)
+        for t in (1, 10, 30)
+    ]
+    comp = [
+        ComputeProfile(s, alpha2 + beta2 * s + gamma2 * s * s)
+        for s in (512, 1024, 4096, 16384, 65536)
+    ]
+    planner.fit_clustering(clus)
+    planner.fit_compute(comp)
+    return planner
+
+
+class TestFitting:
+    def test_recovers_clustering_coefficients(self):
+        planner = _make_planner()
+        alpha1, beta1 = planner.clustering_coefficients
+        assert alpha1 == pytest.approx(0.001, rel=1e-3, abs=1e-6)
+        assert beta1 == pytest.approx(1e-7, rel=1e-3)
+
+    def test_recovers_compute_coefficients(self):
+        planner = _make_planner()
+        alpha2, beta2, gamma2 = planner.compute_coefficients
+        assert beta2 == pytest.approx(1e-6, rel=1e-2)
+        assert gamma2 == pytest.approx(1e-9, rel=1e-2)
+
+    def test_requires_enough_profiles(self):
+        planner = AdaptiveIterationPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.fit_clustering([ClusteringProfile(1024, 5, 0.1)])
+        with pytest.raises(ConfigurationError):
+            planner.fit_compute([ComputeProfile(1024, 0.1), ComputeProfile(2048, 0.2)])
+
+    def test_unfitted_access_raises(self):
+        planner = AdaptiveIterationPlanner()
+        with pytest.raises(NotFittedError):
+            planner.predict_clustering_time(1024, 5)
+        with pytest.raises(NotFittedError):
+            planner.max_iterations_for(1024)
+
+    def test_invalid_clip_range(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveIterationPlanner(min_iterations=10, max_iterations=5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveIterationPlanner(min_iterations=-1)
+
+
+class TestBudget:
+    def test_budget_satisfies_overlap_constraint(self):
+        planner = _make_planner()
+        for seq_len in (2048, 8192, 32768):
+            t_max = planner.max_iterations_for(seq_len)
+            if t_max < planner.max_iterations:
+                clustering = planner.predict_clustering_time(seq_len, t_max)
+                compute = planner.predict_compute_time(seq_len)
+                assert clustering <= compute * 1.01
+
+    def test_budget_grows_with_sequence_length(self):
+        # Compute grows quadratically while clustering grows linearly, so the
+        # iteration budget must be non-decreasing in s (Figure 8 argument).
+        planner = _make_planner(max_iterations=10_000)
+        budgets = [planner.max_iterations_for(s) for s in (1024, 4096, 16384, 65536)]
+        assert budgets == sorted(budgets)
+
+    def test_clipping_applied(self):
+        planner = _make_planner(min_iterations=5, max_iterations=8)
+        assert 5 <= planner.max_iterations_for(128) <= 8
+        assert 5 <= planner.max_iterations_for(1 << 20) <= 8
+
+    def test_invalid_seq_len(self):
+        planner = _make_planner()
+        with pytest.raises(ConfigurationError):
+            planner.max_iterations_for(0)
+
+
+class TestFromDeviceModel:
+    def test_builds_and_predicts(self):
+        planner = AdaptiveIterationPlanner.from_device_model(
+            compute_seconds_fn=lambda s: 1e-6 * s + 1e-10 * s * s,
+            clustering_seconds_per_point=2e-8,
+        )
+        budget = planner.max_iterations_for(16384)
+        assert planner.min_iterations <= budget <= planner.max_iterations
+
+    def test_short_prompts_get_fewer_iterations(self):
+        planner = AdaptiveIterationPlanner.from_device_model(
+            compute_seconds_fn=lambda s: 1e-7 * s + 5e-11 * s * s,
+            clustering_seconds_per_point=1e-8,
+            max_iterations=1000,
+        )
+        assert planner.max_iterations_for(1024) <= planner.max_iterations_for(65536)

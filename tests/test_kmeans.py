@@ -1,0 +1,109 @@
+"""Tests for the K-Means implementation used by PQ codebook training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import kmeans_assign, kmeans_fit, kmeans_plus_plus_init
+from repro.errors import ConfigurationError
+
+
+def _blobs(rng, centers, points_per_center=30, scale=0.05):
+    data = []
+    for center in centers:
+        data.append(center + scale * rng.normal(size=(points_per_center, len(center))))
+    return np.concatenate(data, axis=0)
+
+
+class TestKMeansFit:
+    def test_recovers_well_separated_clusters(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0], [10.0, -10.0]])
+        points = _blobs(rng, centers)
+        result = kmeans_fit(points, n_clusters=4, max_iter=50, seed=1)
+        # Every true centre should have a learned centroid nearby.
+        for center in centers:
+            dists = np.linalg.norm(result.centroids - center, axis=1)
+            assert dists.min() < 1.0
+
+    def test_labels_match_nearest_centroid(self, rng):
+        points = rng.normal(size=(100, 4))
+        result = kmeans_fit(points, n_clusters=8, max_iter=20, seed=0)
+        reassigned = kmeans_assign(points, result.centroids)
+        assert np.array_equal(reassigned, result.labels)
+
+    def test_inertia_decreases_with_more_iterations(self, rng):
+        points = rng.normal(size=(200, 8))
+        few = kmeans_fit(points, n_clusters=16, max_iter=1, seed=0)
+        many = kmeans_fit(points, n_clusters=16, max_iter=30, seed=0)
+        assert many.inertia <= few.inertia + 1e-9
+
+    def test_zero_iterations_returns_seeding(self, rng):
+        points = rng.normal(size=(50, 3))
+        result = kmeans_fit(points, n_clusters=4, max_iter=0, seed=0)
+        assert result.n_iter == 0
+        assert result.converged
+        assert result.centroids.shape == (4, 3)
+
+    def test_fewer_points_than_clusters(self, rng):
+        points = rng.normal(size=(3, 5))
+        result = kmeans_fit(points, n_clusters=8, max_iter=10, seed=0)
+        assert result.centroids.shape == (8, 5)
+        assert result.labels.shape == (3,)
+        assert result.labels.max() < 8
+
+    def test_deterministic_for_seed(self, rng):
+        points = rng.normal(size=(80, 4))
+        a = kmeans_fit(points, n_clusters=8, max_iter=15, seed=42)
+        b = kmeans_fit(points, n_clusters=8, max_iter=15, seed=42)
+        assert np.allclose(a.centroids, b.centroids)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_identical_points_do_not_crash(self):
+        points = np.ones((40, 4))
+        result = kmeans_fit(points, n_clusters=4, max_iter=10, seed=0)
+        assert np.allclose(result.centroids, 1.0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_arguments(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            kmeans_fit(points, n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            kmeans_fit(points, n_clusters=2, max_iter=-1)
+
+    def test_result_properties(self, rng):
+        points = rng.normal(size=(64, 6))
+        result = kmeans_fit(points, n_clusters=8, max_iter=5, seed=0)
+        assert result.n_clusters == 8
+        assert result.dim == 6
+
+    @given(st.integers(2, 6), st.integers(20, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_every_point_gets_valid_label(self, n_clusters, n_points):
+        rng = np.random.default_rng(n_clusters * 100 + n_points)
+        points = rng.normal(size=(n_points, 3))
+        result = kmeans_fit(points, n_clusters=n_clusters, max_iter=10, seed=0)
+        assert result.labels.shape == (n_points,)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < n_clusters
+
+
+class TestKMeansPlusPlus:
+    def test_centroids_are_input_points(self, rng):
+        points = rng.normal(size=(30, 4))
+        centroids = kmeans_plus_plus_init(points, 5, rng)
+        for centroid in centroids:
+            assert np.any(np.all(np.isclose(points, centroid), axis=1))
+
+    def test_handles_duplicate_points(self, rng):
+        points = np.zeros((10, 2))
+        centroids = kmeans_plus_plus_init(points, 4, rng)
+        assert centroids.shape == (4, 2)
+
+
+class TestKMeansAssign:
+    def test_assigns_to_nearest(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 0.0]])
+        points = np.array([[1.0, 0.0], [9.0, 0.5]])
+        assert list(kmeans_assign(points, centroids)) == [0, 1]

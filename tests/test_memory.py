@@ -1,0 +1,196 @@
+"""Tests for device specs, the overlap timeline, and the latency models."""
+
+import numpy as np
+import pytest
+
+from repro.core import PQCacheConfig
+from repro.errors import ConfigurationError, SchedulingError
+from repro.llm import ModelConfig
+from repro.memory import (
+    CpuSpec,
+    GpuSpec,
+    HardwareSpec,
+    InterconnectSpec,
+    LatencyModel,
+    Resource,
+    Timeline,
+)
+
+
+class TestDeviceSpecs:
+    def test_gpu_compute_time(self):
+        gpu = GpuSpec("test", tflops=10.0, memory_gb=16, memory_bandwidth_gbps=500)
+        assert gpu.compute_seconds(10e12) == pytest.approx(1.0)
+
+    def test_cpu_parallel_workers(self):
+        cpu = CpuSpec("test", cores=8, gflops_per_core=2.0, memory_gb=64)
+        assert cpu.compute_seconds(16e9) == pytest.approx(1.0)
+        assert cpu.compute_seconds(16e9, parallel_workers=4) == pytest.approx(2.0)
+
+    def test_interconnect_latency_term(self):
+        link = InterconnectSpec("test", bandwidth_gbps=1.0, latency_us=100.0)
+        assert link.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-4)
+        assert link.transfer_seconds(1e9, num_transfers=10) == pytest.approx(1.0 + 1e-3)
+
+    def test_named_specs(self):
+        assert GpuSpec.rtx4090().memory_gb == 24.0
+        assert CpuSpec.dual_xeon_6330().cores == 56
+        assert InterconnectSpec.pcie5_x16().bandwidth_gbps > InterconnectSpec.pcie1_x16().bandwidth_gbps
+        hw = HardwareSpec.paper_testbed()
+        assert hw.interconnect.name == "pcie-1.0-x16"
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec("bad", tflops=0, memory_gb=1, memory_bandwidth_gbps=1)
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec("bad", bandwidth_gbps=-1)
+
+
+class TestTimeline:
+    def test_same_resource_serialises(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 1.0)
+        tl.add("b", Resource.GPU, 2.0)
+        assert tl["b"].start == pytest.approx(1.0)
+        assert tl.makespan == pytest.approx(3.0)
+
+    def test_different_resources_overlap(self):
+        tl = Timeline()
+        tl.add("compute", Resource.GPU, 2.0)
+        tl.add("transfer", Resource.D2H, 1.5)
+        assert tl.makespan == pytest.approx(2.0)
+
+    def test_dependencies_respected(self):
+        tl = Timeline()
+        tl.add("compute", Resource.GPU, 1.0)
+        tl.add("offload", Resource.D2H, 0.5, depends_on=("compute",))
+        tl.add("cluster", Resource.CPU, 2.0, depends_on=("offload",))
+        assert tl["cluster"].start == pytest.approx(1.5)
+        assert tl.makespan == pytest.approx(3.5)
+
+    def test_duplicate_and_unknown_names(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 1.0)
+        with pytest.raises(SchedulingError):
+            tl.add("a", Resource.GPU, 1.0)
+        with pytest.raises(SchedulingError):
+            tl.add("b", Resource.GPU, 1.0, depends_on=("missing",))
+        with pytest.raises(SchedulingError):
+            tl.add("c", "tpu", 1.0)
+        with pytest.raises(SchedulingError):
+            tl.add("d", Resource.GPU, -1.0)
+
+    def test_utilisation_and_busy_time(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 2.0)
+        tl.add("b", Resource.CPU, 1.0)
+        util = tl.utilisation()
+        assert util[Resource.GPU] == pytest.approx(1.0)
+        assert util[Resource.CPU] == pytest.approx(0.5)
+        assert tl.resource_busy_time(Resource.GPU) == pytest.approx(2.0)
+
+    def test_critical_path_follows_blockers(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 1.0)
+        tl.add("b", Resource.D2H, 3.0, depends_on=("a",))
+        tl.add("c", Resource.GPU, 0.5, depends_on=("b",))
+        path = tl.critical_path()
+        assert path == ["a", "b", "c"]
+
+    def test_records_serialisable(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 1.0)
+        records = tl.as_records()
+        assert records[0]["name"] == "a"
+        assert set(records[0]) >= {"resource", "start", "finish", "duration"}
+
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.makespan == 0.0
+        assert tl.critical_path() == []
+
+
+@pytest.fixture(scope="module")
+def latency_model():
+    return LatencyModel(
+        HardwareSpec.paper_testbed(),
+        ModelConfig.llama3_8b(),
+        PQCacheConfig(num_partitions=2, num_bits=6),
+        token_ratio=0.2,
+        comm_ratio=1.0 / 128.0,
+    )
+
+
+class TestLatencyModel:
+    def test_prefill_components_scale_as_paper_figure8(self, latency_model):
+        """Compute grows quadratically, offload and clustering linearly, so
+        for long enough prompts compute dominates both (Figure 8)."""
+        short = latency_model.prefill_decomposition(2048)
+        long = latency_model.prefill_decomposition(65536)
+        assert long["compute"] / short["compute"] > 20
+        assert long["offload"] / short["offload"] == pytest.approx(32, rel=0.05)
+        assert long["compute"] > long["offload"]
+        assert long["compute"] > long["clustering"]
+
+    def test_prefill_timeline_overlaps(self, latency_model):
+        timeline = latency_model.prefill_timeline(32768, method="pqcache")
+        gpu_only = latency_model.layer_prefill_compute_seconds(32768) * \
+            latency_model.model.num_layers
+        # Overlap means total makespan stays close to pure GPU time.
+        assert timeline.makespan < 1.5 * gpu_only
+
+    def test_h2o_prefill_slower_than_pqcache(self, latency_model):
+        h2o = latency_model.prefill_timeline(32768, method="h2o").makespan
+        pqc = latency_model.prefill_timeline(32768, method="pqcache").makespan
+        assert h2o > pqc
+
+    def test_tt2t_ordering_matches_figure11a(self, latency_model):
+        """Figure 11a: H2O (no FlashAttention) has by far the worst TT2T,
+        while PQCache is within a few percent of the best method thanks to
+        overlapped clustering."""
+        seq = 32768
+        tt2t = {m: latency_model.tt2t(seq, m) for m in ("pqcache", "sparq", "h2o",
+                                                        "snapkv")}
+        assert tt2t["pqcache"] < tt2t["h2o"]
+        assert tt2t["pqcache"] <= 1.10 * min(tt2t.values())
+
+    def test_tpot_sparq_grows_with_sequence_pqcache_stays_flat(self, latency_model):
+        """Figure 11b: SPARQ's per-token latency scales with sequence length,
+        PQCache's stays nearly flat once the retrieval set saturates."""
+        sparq_growth = latency_model.tpot(131072, "sparq") / latency_model.tpot(32768, "sparq")
+        pqc_growth = latency_model.tpot(131072, "pqcache") / latency_model.tpot(32768, "pqcache")
+        assert sparq_growth > 1.5
+        assert pqc_growth < 1.3
+        assert sparq_growth > pqc_growth
+
+    def test_gpu_cache_hit_rate_reduces_tpot(self, latency_model):
+        """Figure 11c: a warmer GPU cache lowers the per-token latency."""
+        cold = latency_model.tpot(32768, "pqcache", cache_hit_rate=0.0)
+        warm = latency_model.tpot(32768, "pqcache", cache_hit_rate=0.6)
+        assert warm < cold
+
+    def test_decode_decomposition_components(self, latency_model):
+        parts = latency_model.decode_decomposition(32768, "pqcache")
+        assert set(parts) == {"llm_compute", "pq_compute", "overlappable_comm",
+                              "blocking_comm"}
+        assert all(v >= 0 for v in parts.values())
+        # PQ search is cheap relative to the LLM compute (§3.2).
+        assert parts["pq_compute"] < parts["llm_compute"]
+
+    def test_h2o_dense_scores_can_exceed_gpu_memory(self, latency_model):
+        """H2O cannot use FlashAttention; at 128K context the materialised
+        score matrix alone exceeds a 24 GB GPU (the paper reports OOM)."""
+        needed = latency_model.gpu_memory_required_prefill(128 * 1024, "h2o")
+        assert needed > 24 * 1024 ** 3
+        pqc = latency_model.gpu_memory_required_prefill(128 * 1024, "pqcache")
+        assert needed > pqc
+
+    def test_unknown_method_rejected(self, latency_model):
+        with pytest.raises(ConfigurationError):
+            latency_model.tpot(1024, "magic")
+        with pytest.raises(ConfigurationError):
+            LatencyModel(HardwareSpec.paper_testbed(), ModelConfig.tiny(),
+                         token_ratio=0.0)
+
+    def test_methods_listed(self, latency_model):
+        assert "pqcache" in latency_model.methods()

@@ -1,0 +1,148 @@
+"""Tests for PQCacheManager: per-layer/head PQ over the KVCache."""
+
+import numpy as np
+import pytest
+
+from repro.core import PQCacheConfig, PQCacheManager
+from repro.errors import ConfigurationError, NotFittedError
+from repro.llm import KVCache, ModelConfig
+
+
+@pytest.fixture()
+def kvcache(tiny_config, rng):
+    cache = KVCache(tiny_config.num_layers, tiny_config.num_kv_heads,
+                    tiny_config.head_dim)
+    for layer in range(tiny_config.num_layers):
+        keys = rng.normal(size=(tiny_config.num_kv_heads, 200, tiny_config.head_dim))
+        values = rng.normal(size=(tiny_config.num_kv_heads, 200, tiny_config.head_dim))
+        cache[layer].append(keys, values)
+    return cache
+
+
+@pytest.fixture()
+def manager(tiny_config, kvcache):
+    mgr = PQCacheManager(tiny_config, PQCacheConfig(num_partitions=2, num_bits=4,
+                                                    max_kmeans_iters=8,
+                                                    gpu_cache_tokens=512))
+    mgr.build(kvcache)
+    return mgr
+
+
+class TestConfig:
+    def test_communication_ratio_matches_paper(self):
+        cfg = PQCacheConfig(num_partitions=2, num_bits=6)
+        assert cfg.communication_ratio(head_dim=128) <= 1 / 128
+        cfg64 = PQCacheConfig(num_partitions=4, num_bits=8)
+        assert cfg64.communication_ratio(head_dim=128) == pytest.approx(1 / 64)
+
+    def test_incompatible_partitions_rejected(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            PQCacheManager(tiny_config, PQCacheConfig(num_partitions=5))
+
+
+class TestBuild:
+    def test_requires_build_before_use(self, tiny_config):
+        mgr = PQCacheManager(tiny_config)
+        assert not mgr.is_built
+        with pytest.raises(NotFittedError):
+            mgr.approximate_scores(0, np.zeros((tiny_config.num_kv_heads,
+                                                tiny_config.head_dim)))
+
+    def test_build_creates_codes_for_every_layer_head(self, manager, tiny_config):
+        assert manager.is_built
+        for layer in range(tiny_config.num_layers):
+            for head in range(tiny_config.num_kv_heads):
+                assert manager.codes(layer, head).shape == (200, 2)
+
+    def test_iteration_budget_respected(self, tiny_config, kvcache):
+        mgr = PQCacheManager(tiny_config, PQCacheConfig(num_partitions=2, num_bits=4))
+        mgr.build(kvcache, max_iters=1)
+        limited = mgr.total_kmeans_iterations
+        mgr.build(kvcache, max_iters=20)
+        assert limited <= mgr.total_kmeans_iterations
+
+
+class TestScoresAndTopK:
+    def test_scores_shape(self, manager, tiny_config, rng):
+        queries = rng.normal(size=(tiny_config.num_kv_heads, tiny_config.head_dim))
+        scores = manager.approximate_scores(1, queries)
+        assert scores.shape == (tiny_config.num_kv_heads, 200)
+
+    def test_topk_respects_middle_segment(self, manager, tiny_config, rng, kvcache):
+        segments = kvcache.segments(num_initial=4, num_local=16)
+        queries = rng.normal(size=(tiny_config.num_kv_heads, tiny_config.head_dim))
+        selected = manager.topk_middle(0, queries, segments, k=10)
+        middle = set(segments.middle_indices.tolist())
+        for per_head in selected:
+            assert len(per_head) == 10
+            assert set(per_head.tolist()) <= middle
+
+    def test_topk_matches_exact_on_easy_case(self, tiny_config, rng):
+        # With a high-resolution codebook and few distinct key directions the
+        # approximate top-k must recover most of the exact top-k.
+        cache = KVCache(tiny_config.num_layers, tiny_config.num_kv_heads,
+                        tiny_config.head_dim)
+        base = rng.normal(size=(8, tiny_config.head_dim))
+        keys = base[rng.integers(0, 8, size=160)]
+        keys = np.broadcast_to(keys, (tiny_config.num_kv_heads, 160,
+                                      tiny_config.head_dim)).copy()
+        for layer in range(tiny_config.num_layers):
+            cache[layer].append(keys, keys)
+        mgr = PQCacheManager(tiny_config, PQCacheConfig(num_partitions=2, num_bits=6,
+                                                        max_kmeans_iters=20))
+        mgr.build(cache)
+        segments = cache.segments(num_initial=0, num_local=0)
+        queries = np.broadcast_to(base[0], (tiny_config.num_kv_heads,
+                                            tiny_config.head_dim)).copy()
+        selected = mgr.topk_middle(0, queries, segments, k=20)
+        exact = np.argsort(-(keys[0] @ base[0]))[:20]
+        overlap = len(set(selected[0].tolist()) & set(exact.tolist()))
+        assert overlap >= 12
+
+    def test_topk_empty_middle(self, manager, tiny_config, rng, kvcache):
+        segments = kvcache.segments(num_initial=150, num_local=100)
+        queries = rng.normal(size=(tiny_config.num_kv_heads, tiny_config.head_dim))
+        selected = manager.topk_middle(0, queries, segments, k=5)
+        assert all(s.size == 0 for s in selected)
+
+
+class TestAppendToken:
+    def test_append_extends_codes(self, manager, tiny_config, rng):
+        before = manager.num_codes(0)
+        manager.append_token(0, rng.normal(size=(tiny_config.num_kv_heads,
+                                                 tiny_config.head_dim)))
+        assert manager.num_codes(0) == before + 1
+
+    def test_appended_token_is_searchable(self, manager, tiny_config, kvcache, rng):
+        # Append an exact copy of token 0's keys: the new token must receive
+        # the same codes, hence the same approximate score, as token 0.
+        key = kvcache[0].keys[:, 0, :]
+        manager.append_token(0, key)
+        queries = rng.normal(size=(tiny_config.num_kv_heads, tiny_config.head_dim))
+        scores = manager.approximate_scores(0, queries)
+        assert scores.shape[1] == 201
+        assert np.allclose(scores[:, 200], scores[:, 0])
+
+
+class TestAccountingAndCache:
+    def test_memory_footprint_compresses(self, manager):
+        footprint = manager.memory_footprint()
+        assert footprint["codes_bytes"] + footprint["centroid_bytes"] < footprint["raw_kv_bytes"]
+        assert footprint["compression_ratio"] > 1.0
+
+    def test_step_communication_split(self, manager):
+        comm = manager.step_communication_bytes(seq_len=200, k=20)
+        assert comm["overlappable"] > 0
+        assert comm["blocking"] > 0
+
+    def test_record_fetch_updates_cache(self, manager):
+        result = manager.record_fetch(np.arange(32))
+        assert result is not None
+        manager.record_fetch(np.arange(32))
+        assert manager.gpu_cache.stats.hit_rate > 0
+
+    def test_gpu_cache_disabled(self, tiny_config, kvcache):
+        mgr = PQCacheManager(tiny_config, PQCacheConfig(gpu_cache_tokens=0))
+        mgr.build(kvcache, max_iters=1)
+        assert mgr.gpu_cache is None
+        assert mgr.record_fetch(np.arange(4)) is None

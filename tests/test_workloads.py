@@ -1,0 +1,224 @@
+"""Tests for the synthetic workload generators, suites, needle grid, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.llm import ModelConfig, TransformerLM
+from repro.workloads import (
+    INFINITEBENCH_TASKS,
+    LONGBENCH_TASKS,
+    NeedleGrid,
+    Sample,
+    TaskDataset,
+    VocabLayout,
+    collect_decode_attention,
+    cot_arithmetic,
+    counting,
+    few_shot_recall,
+    infinitebench_suite,
+    kv_retrieval,
+    longbench_qa_suite,
+    longbench_suite,
+    mass_concentration,
+    multi_hop_qa,
+    passkey_retrieval,
+    power_law_exponent,
+    single_fact_qa,
+    summarization,
+)
+
+ALL_GENERATORS = [single_fact_qa, multi_hop_qa, summarization, few_shot_recall,
+                  passkey_retrieval, kv_retrieval, counting, cot_arithmetic]
+
+
+class TestVocabLayout:
+    def test_ranges_disjoint(self):
+        layout = VocabLayout()
+        tags = set(range(*layout.tag_range))
+        values = set(range(*layout.value_range))
+        filler = set(range(*layout.filler_range))
+        assert not tags & values
+        assert not values & filler
+        assert max(filler) == layout.vocab_size - 1
+
+    def test_too_small_vocab(self):
+        with pytest.raises(WorkloadError):
+            VocabLayout(vocab_size=50, num_tags=40, num_values=40)
+
+    def test_sampling_within_ranges(self, rng):
+        layout = VocabLayout()
+        tags = layout.sample_tags(rng, 10)
+        lo, hi = layout.tag_range
+        assert ((tags >= lo) & (tags < hi)).all()
+        assert len(set(tags.tolist())) == 10
+
+
+class TestSampleAndDataset:
+    def test_sample_validation(self):
+        with pytest.raises(WorkloadError):
+            Sample(prompt_ids=[1, 2], probe_ids=[1], evidence_positions=[5])
+        with pytest.raises(WorkloadError):
+            Sample(prompt_ids=[1, 2], probe_ids=[], evidence_positions=[0])
+        with pytest.raises(WorkloadError):
+            Sample(prompt_ids=[], probe_ids=[1], evidence_positions=[])
+
+    def test_dataset_validation(self):
+        sample = Sample(prompt_ids=[1, 2, 3], probe_ids=[1], evidence_positions=[0])
+        with pytest.raises(WorkloadError):
+            TaskDataset(name="x", samples=[sample], metric="bleu")
+        with pytest.raises(WorkloadError):
+            TaskDataset(name="x", samples=[], metric="recovery")
+        ds = TaskDataset(name="x", samples=[sample])
+        assert len(ds) == 1
+        assert ds.mean_prompt_len == 3.0
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", ALL_GENERATORS)
+    def test_basic_invariants(self, generator):
+        dataset = generator(num_samples=3, seq_len=256, seed=5)
+        assert len(dataset) == 3
+        layout = VocabLayout()
+        for sample in dataset.samples:
+            assert sample.prompt_len >= 200
+            assert sample.evidence_positions.size > 0
+            assert sample.evidence_positions.max() < sample.prompt_len
+            assert all(0 <= t < layout.vocab_size for t in sample.prompt_ids)
+
+    @pytest.mark.parametrize("generator", ALL_GENERATORS)
+    def test_deterministic_by_seed(self, generator):
+        a = generator(num_samples=2, seq_len=256, seed=3)
+        b = generator(num_samples=2, seq_len=256, seed=3)
+        assert a.samples[0].prompt_ids == b.samples[0].prompt_ids
+        assert np.array_equal(a.samples[0].evidence_positions,
+                              b.samples[0].evidence_positions)
+
+    def test_evidence_tokens_match_probe(self):
+        """The planted anchors must be occurrences of the probe token, which
+        is what makes them retrievable through matching attention."""
+        for generator in (single_fact_qa, passkey_retrieval, counting, few_shot_recall):
+            dataset = generator(num_samples=3, seq_len=256, seed=1)
+            for sample in dataset.samples:
+                probe = sample.probe_ids[0]
+                anchored = [sample.prompt_ids[p] for p in sample.evidence_positions]
+                assert probe in anchored
+
+    def test_kv_retrieval_evidence_matches_queried_tag(self):
+        dataset = kv_retrieval(num_samples=4, seq_len=256, seed=2)
+        for sample in dataset.samples:
+            probe = sample.probe_ids[0]
+            tokens = [sample.prompt_ids[p] for p in sample.evidence_positions]
+            assert all(t == probe for t in tokens)
+
+    def test_multi_hop_has_evidence_per_hop(self):
+        dataset = multi_hop_qa(num_samples=3, seq_len=400, num_hops=3, seed=0)
+        for sample in dataset.samples:
+            assert sample.evidence_positions.size == 2 * 3
+            assert sample.metadata["num_hops"] == 3
+
+    def test_question_position_start_shifts_evidence(self):
+        end = single_fact_qa(num_samples=2, seq_len=256, seed=9,
+                             question_position="end")
+        start = single_fact_qa(num_samples=2, seq_len=256, seed=9,
+                               question_position="start")
+        for s_end, s_start in zip(end.samples, start.samples):
+            probe = s_end.probe_ids[0]
+            assert s_start.prompt_ids[1] == probe  # question up front
+            anchored = [s_start.prompt_ids[p] for p in s_start.evidence_positions]
+            assert probe in anchored
+
+    def test_invalid_question_position(self):
+        with pytest.raises(WorkloadError):
+            single_fact_qa(num_samples=1, seq_len=256, question_position="middle")
+
+    def test_passkey_fixed_depth(self):
+        shallow = passkey_retrieval(num_samples=3, seq_len=256, depth_fraction=0.1,
+                                    seed=0)
+        deep = passkey_retrieval(num_samples=3, seq_len=256, depth_fraction=0.9,
+                                 seed=0)
+        assert (np.mean([s.evidence_positions.mean() for s in shallow.samples])
+                < np.mean([s.evidence_positions.mean() for s in deep.samples]))
+
+    def test_counting_occurrence_count(self):
+        dataset = counting(num_samples=2, seq_len=256, num_occurrences=7, seed=0)
+        for sample in dataset.samples:
+            assert sample.evidence_positions.size == 7
+            probe = sample.probe_ids[0]
+            assert all(sample.prompt_ids[p] == probe for p in sample.evidence_positions)
+
+    @given(st.integers(200, 600))
+    @settings(max_examples=10, deadline=None)
+    def test_prompt_length_close_to_target(self, seq_len):
+        dataset = single_fact_qa(num_samples=1, seq_len=seq_len, seed=seq_len)
+        assert abs(dataset.samples[0].prompt_len - seq_len) <= 16
+
+
+class TestSuites:
+    def test_longbench_has_all_datasets(self):
+        suite = longbench_suite(seq_len=256, num_samples=1)
+        assert len(suite) == len(LONGBENCH_TASKS)
+        assert {ds.name for ds in suite} == set(LONGBENCH_TASKS)
+
+    def test_infinitebench_has_all_datasets(self):
+        suite = infinitebench_suite(seq_len=256, num_samples=1)
+        assert len(suite) == len(INFINITEBENCH_TASKS)
+        assert {ds.name for ds in suite} == set(INFINITEBENCH_TASKS)
+
+    def test_infinitebench_longer_than_longbench(self):
+        lb = longbench_suite(seq_len=256, num_samples=1, tasks=("narrativeqa",))
+        ib = infinitebench_suite(seq_len=512, num_samples=1, tasks=("en.qa",))
+        assert ib[0].mean_prompt_len > lb[0].mean_prompt_len
+
+    def test_qa_suite_question_first(self):
+        suite = longbench_qa_suite(seq_len=256, num_samples=1)
+        assert len(suite) == 6
+
+    def test_subset_selection(self):
+        suite = longbench_suite(seq_len=256, num_samples=1, tasks=("count", "retrieval"))
+        assert [ds.name for ds in suite] == ["count", "retrieval"]
+
+
+class TestNeedleGrid:
+    def test_cells_cover_grid(self):
+        grid = NeedleGrid(context_lengths=(128, 256), depth_fractions=(0.2, 0.8),
+                          samples_per_cell=1)
+        cells = grid.cells()
+        assert len(cells) == 4
+        lengths = {length for length, _, _ in cells}
+        assert lengths == {128, 256}
+
+    def test_cell_caching(self):
+        grid = NeedleGrid(context_lengths=(128,), depth_fractions=(0.5,),
+                          samples_per_cell=1)
+        assert grid.cell(128, 0.5) is grid.cell(128, 0.5)
+
+    def test_matrix_layout(self):
+        scores = {(128, 0.2): 1.0, (128, 0.8): 0.5, (256, 0.2): 0.25, (256, 0.8): 0.0}
+        matrix = NeedleGrid.to_matrix(scores, (128, 256), (0.2, 0.8))
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 1.0
+        assert matrix[1, 1] == 0.0
+
+    def test_invalid_grid(self):
+        with pytest.raises(WorkloadError):
+            NeedleGrid(context_lengths=())
+        with pytest.raises(WorkloadError):
+            NeedleGrid(context_lengths=(32,))
+
+
+class TestTraces:
+    def test_collect_and_statistics(self, tiny_config):
+        model = TransformerLM(tiny_config, seed=0)
+        rng = np.random.default_rng(0)
+        prompt = rng.integers(4, tiny_config.vocab_size, size=96).tolist()
+        traces = collect_decode_attention(model, prompt, layers=(0, 1))
+        assert len(traces) == 2 * tiny_config.num_kv_heads
+        for trace in traces:
+            assert trace.scores.shape == (96,)
+            assert trace.scores.sum() == pytest.approx(1.0)
+            top_mass = mass_concentration(trace, fraction=0.1)
+            assert top_mass > 0.1  # top 10% of tokens hold more than 10% of mass
+            assert power_law_exponent(trace) < 0.0  # decreasing rank-score curve
