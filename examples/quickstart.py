@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Quickstart: PQCache-managed generation on a long synthetic prompt.
+"""Quickstart: PQCache-managed generation through the serving engine.
 
 This example runs the full pipeline on a small model:
 
-1. build the NumPy transformer substrate,
-2. generate tokens with full attention and with PQCache selective attention,
-3. compare what fraction of the KVCache each decode step actually touched and
-   how much memory the PQ structures use compared to the raw key/value pairs.
+1. build the NumPy transformer substrate and an ``InferenceEngine`` over it,
+2. serve one request with full attention and one with PQCache selective
+   attention, streaming tokens as they are generated,
+3. compare what fraction of the KVCache each decode step actually touched,
+   how much memory the PQ structures use compared to the raw key/value
+   pairs, and what the request's serving metrics (TTFT / TPOT on the
+   simulated paper-testbed clock) look like.
 
 Run with::
 
@@ -19,54 +22,72 @@ import numpy as np
 
 from repro.baselines import PQCachePolicy, SelectionBudget
 from repro.core import PQCacheConfig
-from repro.llm import ModelConfig, TransformerLM, greedy_generate
+from repro.llm import ModelConfig, TransformerLM
+from repro.serve import InferenceEngine, PolicySpec, Request, SamplingParams
 from repro.utils import sizeof_fmt
 
 
 def main() -> None:
     config = ModelConfig.tiny()
     model = TransformerLM(config, seed=0)
+    engine = InferenceEngine(model)
 
     rng = np.random.default_rng(0)
     prompt = rng.integers(4, config.vocab_size, size=1024).tolist()
     print(f"model: {config.name} ({config.num_layers} layers, "
           f"{config.num_kv_heads} KV heads), prompt length {len(prompt)}")
 
-    # Full attention reference.
-    full = greedy_generate(model, prompt, max_new_tokens=8)
-    print(f"full attention generated:    {full.token_ids}")
+    # Full attention reference (no policy spec).
+    full = Request(prompt_ids=prompt, sampling=SamplingParams(max_new_tokens=8))
 
     # PQCache: keep 1/5 of the tokens, PQ with m=2 partitions and 6-bit codes.
+    # Built as an instance (instead of PolicySpec.named) so we can inspect
+    # the exact PQ structures that served the request afterwards.
     budget = SelectionBudget(token_ratio=0.2, comm_ratio=1 / 128,
                              num_initial=4, num_local=32)
-    policy = PQCachePolicy(budget, pq_config=PQCacheConfig(num_partitions=2,
-                                                           num_bits=6,
-                                                           max_kmeans_iters=15))
-    pqcache = greedy_generate(model, prompt, max_new_tokens=8, policy=policy)
-    print(f"PQCache (1/5 tokens) output: {pqcache.token_ids}")
+    pq_config = PQCacheConfig(num_partitions=2, num_bits=6, max_kmeans_iters=15)
+    policy = PQCachePolicy(budget, pq_config=pq_config)
+    pqcache = Request(
+        prompt_ids=prompt,
+        sampling=SamplingParams(max_new_tokens=8),
+        policy_spec=PolicySpec.from_instance(policy),
+    )
+
+    engine.submit(full)
+    engine.submit(pqcache)
+    print("streaming tokens as the engine steps:")
+    for output in engine.stream():
+        if output.new_token_ids:
+            print(f"  {output.request_id}: +{output.new_token_ids}")
+
+    full_out = engine.final_output(full.request_id)
+    pqc_out = engine.final_output(pqcache.request_id)
+    print(f"full attention generated:    {full_out.token_ids}")
+    print(f"PQCache (1/5 tokens) output: {pqc_out.token_ids}")
 
     # How many tokens did each decode step attend to?
-    step = pqcache.selections[0]
-    attended = np.mean([
-        np.mean([len(per_head) for per_head in layer_selection])
-        for layer_selection in step
-    ])
+    attended = pqc_out.metrics.mean_attended_tokens
     print(f"tokens attended per decode step: {attended:.0f} / {len(prompt)} "
           f"({100 * attended / len(prompt):.1f}%)")
 
-    # Memory accounting: PQ codes + centroids vs the raw KVCache.
+    # Serving metrics on the simulated paper-testbed clock.
+    metrics = pqc_out.metrics
+    print(f"simulated TTFT: {1e3 * metrics.ttft:.1f} ms, "
+          f"TPOT: {1e3 * metrics.tpot:.2f} ms/token")
+    print(f"per-step communication: "
+          f"{sizeof_fmt(metrics.comm_overlappable_bytes / metrics.decode_steps)} "
+          f"overlappable (PQ codes, prefetched) + "
+          f"{sizeof_fmt(metrics.comm_blocking_bytes / metrics.decode_steps)} "
+          f"blocking (top-k key/values)")
+
+    # Memory accounting: the PQ structures that actually served the request
+    # vs the raw key/value pairs.
     footprint = policy.manager.memory_footprint(len(prompt))
     print("PQ structures on GPU/CPU:")
     print(f"  PQ codes:      {sizeof_fmt(footprint['codes_bytes'])}")
     print(f"  PQ centroids:  {sizeof_fmt(footprint['centroid_bytes'])}")
     print(f"  raw KVCache:   {sizeof_fmt(footprint['raw_kv_bytes'])}")
     print(f"  compression:   {footprint['compression_ratio']:.1f}x")
-
-    # Communication per decode step (what would cross PCIe in a deployment).
-    comm = policy.step_communication_bytes(len(prompt))
-    print(f"per-step communication: {sizeof_fmt(comm['overlappable'])} overlappable "
-          f"(PQ codes, prefetched) + {sizeof_fmt(comm['blocking'])} blocking "
-          f"(top-k key/values)")
 
 
 if __name__ == "__main__":

@@ -3,17 +3,29 @@ long-context LLM inference (SIGMOD 2025).
 
 Public API highlights
 ---------------------
+* :class:`repro.serve.InferenceEngine` — the request-centric serving engine:
+  submit :class:`repro.serve.Request` objects (prompt + per-request
+  :class:`repro.serve.SamplingParams` + :class:`repro.serve.PolicySpec`), get
+  continuous-batched decoding with incrementally streamed
+  :class:`repro.serve.RequestOutput` tokens and per-request serving metrics
+  (TTFT, TPOT, tokens attended, communication bytes) on a simulated clock.
 * :class:`repro.core.PQCacheManager` / :class:`repro.core.PQCacheConfig` —
   the PQ-based KVCache index.
 * :class:`repro.baselines.PQCachePolicy` and the baseline policies —
-  selective-attention strategies pluggable into the generation loop.
-* :class:`repro.llm.TransformerLM` — the NumPy decoder-only substrate.
+  selective-attention strategies; build them per request through
+  :func:`repro.baselines.build_policy` / :class:`repro.serve.PolicySpec`.
+* :class:`repro.llm.TransformerLM` — the NumPy decoder-only substrate
+  (stateless across requests; one KVCache per request).
+  :func:`repro.llm.greedy_generate` remains as a thin single-request
+  compatibility wrapper over the engine.
 * :mod:`repro.workloads` — synthetic long-context task generators.
-* :mod:`repro.eval` — quality evaluation harness.
-* :mod:`repro.memory` / :mod:`repro.analysis` — latency and memory models.
+* :mod:`repro.eval` — quality evaluation harness (drives the engine in
+  teacher-forcing mode).
+* :mod:`repro.memory` / :mod:`repro.analysis` — latency and memory models,
+  also powering the engine's simulated wall-clock accounting.
 """
 
-from . import analysis, baselines, core, eval, llm, memory, retrieval, workloads
+from . import analysis, baselines, core, eval, llm, memory, retrieval, serve, workloads
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -24,7 +36,7 @@ from .errors import (
     WorkloadError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -34,6 +46,7 @@ __all__ = [
     "llm",
     "memory",
     "retrieval",
+    "serve",
     "workloads",
     "ReproError",
     "ConfigurationError",

@@ -83,6 +83,44 @@ class PQCacheConfig:
         return self.code_bytes_per_token_per_head() / (dtype_bytes * head_dim)
 
 
+class _CodeBuffer:
+    """Amortised-growth store of one (layer, head)'s PQ codes.
+
+    Decoding appends one code row per generated token; growing the backing
+    array by concatenation would re-copy every existing code each time
+    (quadratic in the number of generated tokens).  The buffer instead
+    doubles its capacity on overflow, making appends amortised O(1), and
+    :meth:`view` exposes the live rows without copying.
+    """
+
+    def __init__(self, codes: np.ndarray) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.uint16)
+        if codes.ndim != 2:
+            raise ConfigurationError("codes must have shape (n, num_partitions)")
+        self._buffer = codes
+        self._length = codes.shape[0]
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, code_row: np.ndarray) -> None:
+        """Append one token's code row, shape ``(num_partitions,)``."""
+        code_row = np.asarray(code_row, dtype=np.uint16).reshape(-1)
+        capacity = self._buffer.shape[0]
+        if self._length >= capacity:
+            new_capacity = max(2 * capacity, self._length + 1, 64)
+            grown = np.empty((new_capacity, self._buffer.shape[1]), dtype=np.uint16)
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length] = code_row
+        self._length += 1
+
+    def view(self) -> np.ndarray:
+        """Live rows, shape ``(len(self), num_partitions)`` — a view, not a
+        copy; callers must not mutate or hold it across appends."""
+        return self._buffer[: self._length]
+
+
 class PQCacheManager:
     """Per-layer, per-head PQ index over the prefilled keys."""
 
@@ -96,7 +134,7 @@ class PQCacheManager:
                 f"{self.config.num_partitions}"
             )
         self._quantizers: list[list[ProductQuantizer]] = []
-        self._codes: list[list[np.ndarray]] = []
+        self._codes: list[list[_CodeBuffer]] = []
         self._built = False
         self.total_kmeans_iterations = 0
         self.gpu_cache: BlockGpuCache | None = None
@@ -136,13 +174,13 @@ class PQCacheManager:
         for layer_index in range(model.num_layers):
             layer_cache = kvcache[layer_index]
             layer_q: list[ProductQuantizer] = []
-            layer_codes: list[np.ndarray] = []
+            layer_codes: list[_CodeBuffer] = []
             for head in range(model.num_kv_heads):
                 pq = ProductQuantizer(cfg.pq_config(model.head_dim))
                 codes = pq.fit(layer_cache.keys[head], max_iters=iters)
                 self.total_kmeans_iterations += pq.last_fit_iterations
                 layer_q.append(pq)
-                layer_codes.append(codes)
+                layer_codes.append(_CodeBuffer(codes))
             self._quantizers.append(layer_q)
             self._codes.append(layer_codes)
         self._built = True
@@ -165,14 +203,12 @@ class PQCacheManager:
         for head in range(self.model_config.num_kv_heads):
             pq = self._quantizers[layer_index][head]
             code = pq.encode(keys[head][None, :])
-            self._codes[layer_index][head] = np.concatenate(
-                [self._codes[layer_index][head], code.astype(np.uint16)], axis=0
-            )
+            self._codes[layer_index][head].append(code[0])
 
     def num_codes(self, layer_index: int, head: int = 0) -> int:
         """Number of tokens currently encoded for (layer, head)."""
         self._require_built()
-        return int(self._codes[layer_index][head].shape[0])
+        return len(self._codes[layer_index][head])
 
     # --------------------------------------------------------------- query
 
@@ -181,8 +217,13 @@ class PQCacheManager:
         return self._quantizers[layer_index][head]
 
     def codes(self, layer_index: int, head: int) -> np.ndarray:
+        """Current PQ codes of (layer, head): ``(n_codes, m)`` uint16.
+
+        Returns a *view* into the amortised-growth buffer — cheap to take,
+        but do not mutate it or hold it across :meth:`append_token` calls.
+        """
         self._require_built()
-        return self._codes[layer_index][head]
+        return self._codes[layer_index][head].view()
 
     def approximate_scores(
         self, layer_index: int, kv_queries: np.ndarray
@@ -198,7 +239,7 @@ class PQCacheManager:
         scores = []
         for head in range(model.num_kv_heads):
             pq = self._quantizers[layer_index][head]
-            codes = self._codes[layer_index][head]
+            codes = self._codes[layer_index][head].view()
             scores.append(pq.score(kv_queries[head], codes))
         return np.stack(scores, axis=0)
 
@@ -223,7 +264,7 @@ class PQCacheManager:
         selected = []
         for head in range(model.num_kv_heads):
             pq = self._quantizers[layer_index][head]
-            codes = self._codes[layer_index][head]
+            codes = self._codes[layer_index][head].view()
             # Only score codes that correspond to middle tokens; codes are
             # aligned with absolute token positions by construction.
             valid = middle[middle < codes.shape[0]]

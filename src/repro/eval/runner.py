@@ -6,14 +6,17 @@ The harness reproduces the paper's quality-evaluation loop:
 2. prefill each sample's prompt once,
 3. for every policy, clone the prefilled KVCache, let the policy build its
    state (PQ codebooks, retained sets, block representatives, ...),
-4. feed the sample's probe tokens as decode steps, recording every per-layer
-   selection decision,
+4. feed the sample's probe tokens as teacher-forced decode steps through the
+   serving engine (:class:`repro.serve.InferenceEngine` in
+   ``forced_decode_ids`` mode), recording every per-layer selection decision
+   via the engine's selection hook,
 5. score the recorded selections against the sample's evidence positions
    with the dataset's metric, and average into a 0-100 score per dataset —
    the same shape as the LongBench / InfiniteBench score tables.
 
-Prefill results are cached per sample so evaluating eight policies costs one
-prefill, not eight.
+Driving the engine (rather than a private decode loop) keeps the quality
+harness and the serving path on one code path.  Prefill results are cached
+per sample so evaluating eight policies costs one prefill, not eight.
 """
 
 from __future__ import annotations
@@ -27,6 +30,11 @@ from ..baselines.base import KVCachePolicy, SelectionBudget
 from ..llm.config import ModelConfig
 from ..llm.kvcache import KVCache
 from ..llm.model import PrefillResult, TransformerLM
+from ..memory.devices import HardwareSpec
+from ..memory.latency import LatencyModel
+from ..serve.engine import InferenceEngine
+from ..serve.request import PolicySpec, Request
+from ..serve.scheduler import SchedulerConfig
 from ..workloads.base import Sample, TaskDataset
 from .metrics import StepObservation, attention_recall_at_k, score_step
 
@@ -98,6 +106,11 @@ class EvaluationHarness:
         self.prefill_fn = prefill_fn
         self._prefill_cache: dict[int, PrefillResult] = {}
         self._max_cached_prefills = 256
+        #: shared latency model for the per-sample engines (cheap to build,
+        #: but sharing keeps the simulated-clock assumptions identical).
+        self._latency_model = LatencyModel(
+            HardwareSpec.paper_testbed(), self.model_config
+        )
 
     # -------------------------------------------------------------- prefill
 
@@ -126,40 +139,49 @@ class EvaluationHarness:
     def run_sample(
         self, policy: KVCachePolicy, sample: Sample
     ) -> list[StepObservation]:
-        """Run one sample under one policy and return every selection made."""
+        """Run one sample under one policy and return every selection made.
+
+        The sample's probe tokens are fed as teacher-forced decode steps
+        through a single-slot :class:`~repro.serve.InferenceEngine`; the
+        engine's selection hook records one :class:`StepObservation` per
+        layer per step.
+        """
         config = self.model_config
         shared = self._prefill(sample)
         prefill = clone_prefill(shared, config)
-        policy.on_prefill(config, prefill)
 
         observations: list[StepObservation] = []
 
-        def selector(layer_index: int, query: np.ndarray, cache: KVCache):
-            chosen = policy.select(layer_index, query, cache)
+        def record(layer_index: int, query: np.ndarray, cache: KVCache, selected) -> None:
+            # ``selected`` arrives already normalised by the engine's
+            # selector: per-KV-head int64 index arrays, or None.
             layer_cache = cache[layer_index]
             kv_queries = query.reshape(
                 config.num_kv_heads, config.gqa_group_size, config.head_dim
             ).mean(axis=1)
-            if chosen is None:
-                normalised = None
-            elif isinstance(chosen, (list, tuple)):
-                normalised = [np.asarray(c, dtype=np.int64) for c in chosen]
-            else:
-                normalised = [np.asarray(chosen, dtype=np.int64)] * config.num_kv_heads
             observations.append(
                 StepObservation(
                     layer=layer_index,
                     kv_queries=kv_queries,
                     keys=layer_cache.keys.copy(),
-                    selected=normalised,
+                    selected=selected,
                     segments=policy.budget.segments(len(layer_cache)),
                 )
             )
-            return chosen
 
-        for probe in sample.probe_ids:
-            self.model.decode_step(int(probe), prefill.kvcache, selector)
-            policy.on_decode_step(prefill.kvcache)
+        request = Request(
+            prompt_ids=list(sample.prompt_ids),
+            policy_spec=PolicySpec.from_instance(policy),
+            forced_decode_ids=[int(p) for p in sample.probe_ids],
+            prefill=prefill,
+            selection_hook=record,
+        )
+        engine = InferenceEngine(
+            self.model,
+            scheduler_config=SchedulerConfig(max_batch_size=1),
+            latency_model=self._latency_model,
+        )
+        engine.run([request])
         return observations
 
     def evaluate(

@@ -3,9 +3,9 @@ generation loop and tokenizer."""
 
 from .attention import causal_attention, decode_attention, expand_kv_heads
 from .config import ModelConfig
-from .generation import GenerationResult, greedy_generate
+from .generation import GenerationResult, StepSelections, greedy_generate
 from .kvcache import KVCache, LayerKVCache, TokenSegments
-from .model import PrefillAggregates, PrefillResult, TransformerLM
+from .model import PrefillAggregates, PrefillResult, Selector, TransformerLM
 from .rope import apply_rope, rope_frequencies
 from .tokenizer import SimpleTokenizer
 
@@ -15,12 +15,14 @@ __all__ = [
     "expand_kv_heads",
     "ModelConfig",
     "GenerationResult",
+    "StepSelections",
     "greedy_generate",
     "KVCache",
     "LayerKVCache",
     "TokenSegments",
     "PrefillAggregates",
     "PrefillResult",
+    "Selector",
     "TransformerLM",
     "apply_rope",
     "rope_frequencies",

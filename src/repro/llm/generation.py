@@ -1,23 +1,31 @@
-"""Autoregressive generation loop with pluggable KVCache policies.
+"""Legacy single-sequence generation API.
 
-The loop mirrors the paper's serving flow: one prefill, then repeated decode
-steps.  A :class:`~repro.baselines.base.KVCachePolicy` is consulted at every
-layer of every decode step to pick which middle tokens participate in
-attention; the policy also reports the CPU-GPU communication it incurred so
-the latency models in :mod:`repro.memory` can be driven by the same runs.
+Since the serving redesign, the canonical way to generate is the
+request-centric :class:`repro.serve.InferenceEngine`; this module keeps the
+original one-shot :func:`greedy_generate` signature alive as a thin
+compatibility wrapper over a one-request engine, so existing tests,
+benchmarks and examples keep working unchanged while sharing the engine's
+code path.
+
+It also defines the :data:`StepSelections` type that both APIs use to report
+per-layer selection decisions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
 from .model import PrefillResult, TransformerLM
 
-__all__ = ["GenerationResult", "greedy_generate"]
+__all__ = ["GenerationResult", "StepSelections", "greedy_generate"]
+
+#: Selection record of ONE decode step: one entry per transformer layer,
+#: each either ``None`` (the policy attended to everything) or the list of
+#: per-KV-head selected token index arrays.
+StepSelections = list[list[np.ndarray] | None]
 
 
 @dataclass
@@ -27,14 +35,13 @@ class GenerationResult:
     Attributes:
         token_ids: generated token ids (prompt not included).
         logits: per-step next-token logits, shape ``(steps, vocab)``.
-        selections: per-step, per-layer list of per-KV-head selected token
-            index arrays (``None`` when the policy attends to everything).
+        selections: one :data:`StepSelections` per decode step.
         prefill: the prefill result used to seed generation.
     """
 
     token_ids: list[int]
     logits: np.ndarray
-    selections: list[list[object]]
+    selections: list[StepSelections]
     prefill: PrefillResult
 
 
@@ -47,6 +54,11 @@ def greedy_generate(
     observation_window: int = 32,
 ) -> GenerationResult:
     """Greedy decoding with an optional selective-attention policy.
+
+    This is a compatibility wrapper: it submits one request to a
+    single-slot :class:`repro.serve.InferenceEngine` and repackages the
+    final :class:`repro.serve.RequestOutput` — output-identical to the
+    pre-engine implementation.
 
     Args:
         model: the transformer substrate.
@@ -61,49 +73,32 @@ def greedy_generate(
     Returns:
         A :class:`GenerationResult`.
     """
-    if max_new_tokens <= 0:
-        raise ConfigurationError("max_new_tokens must be positive")
+    # Imported lazily: repro.serve depends on this module for StepSelections.
+    from ..serve import (
+        InferenceEngine,
+        PolicySpec,
+        Request,
+        SamplingParams,
+        SchedulerConfig,
+    )
 
-    prefill = model.prefill(list(prompt_ids), observation_window=observation_window)
-    if policy is not None:
-        policy.on_prefill(model.config, prefill)
-
-    forbidden = np.asarray(list(forbidden_ids), dtype=np.int64)
-    generated: list[int] = []
-    all_logits = []
-    all_selections: list[list[object]] = []
-
-    logits = prefill.logits.copy()
-    if forbidden.size:
-        logits[forbidden] = -np.inf
-    next_token = int(np.argmax(logits))
-
-    for _ in range(max_new_tokens):
-        generated.append(next_token)
-        step_selections: list[object] = []
-
-        if policy is None:
-            selector = None
-        else:
-            def selector(layer_index, query, cache, _policy=policy, _log=step_selections):
-                chosen = _policy.select(layer_index, query, cache)
-                _log.append(chosen)
-                return chosen
-
-        logits = model.decode_step(next_token, prefill.kvcache, selector)
-        if policy is not None:
-            policy.on_decode_step(prefill.kvcache)
-        all_selections.append(step_selections)
-        all_logits.append(logits)
-
-        masked = logits.copy()
-        if forbidden.size:
-            masked[forbidden] = -np.inf
-        next_token = int(np.argmax(masked))
-
+    sampling = SamplingParams(
+        max_new_tokens=max_new_tokens,
+        forbidden_ids=tuple(int(t) for t in forbidden_ids),
+        observation_window=observation_window,
+    )
+    request = Request(
+        prompt_ids=list(prompt_ids),
+        sampling=sampling,
+        policy_spec=PolicySpec.from_instance(policy) if policy is not None else None,
+    )
+    engine = InferenceEngine(model, scheduler_config=SchedulerConfig(max_batch_size=1))
+    output = engine.run([request])[request.request_id]
+    assert output.logits is not None and output.selections is not None
+    assert output.prefill is not None
     return GenerationResult(
-        token_ids=generated,
-        logits=np.stack(all_logits, axis=0) if all_logits else np.zeros((0, model.config.vocab_size)),
-        selections=all_selections,
-        prefill=prefill,
+        token_ids=output.token_ids,
+        logits=output.logits,
+        selections=output.selections,
+        prefill=output.prefill,
     )

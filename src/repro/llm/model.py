@@ -13,6 +13,11 @@ implements exactly the two phases the paper describes (§2.1):
   callback that restricts attention to a subset of tokens.  That callback is
   how every KVCache policy (PQCache and the baselines) is injected.
 
+The model itself is stateless across sequences — all per-sequence state
+lives in the :class:`~repro.llm.kvcache.KVCache` each caller owns — which is
+what lets the serving engine (:mod:`repro.serve`) interleave decode steps of
+many concurrent requests over one shared ``TransformerLM``.
+
 The model is random-initialised: no pretrained weights exist offline.  Its
 purpose is to exercise the true code paths (per-head keys with RoPE, GQA
 grouping, caches, latency accounting) and to provide logit-fidelity
@@ -34,7 +39,13 @@ from .kvcache import KVCache
 from .layers import Linear, RMSNorm, SwiGLU
 from .rope import apply_rope
 
-__all__ = ["LayerWeights", "PrefillAggregates", "PrefillResult", "TransformerLM"]
+__all__ = [
+    "LayerWeights",
+    "PrefillAggregates",
+    "PrefillResult",
+    "Selector",
+    "TransformerLM",
+]
 
 
 @dataclass

@@ -2,7 +2,7 @@
 latency models for prefilling and decoding."""
 
 from .devices import CpuSpec, GpuSpec, HardwareSpec, InterconnectSpec
-from .latency import LatencyModel, MethodLatencyProfile
+from .latency import LatencyModel, MethodLatencyProfile, resolve_method
 from .timeline import Resource, Task, Timeline
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "InterconnectSpec",
     "LatencyModel",
     "MethodLatencyProfile",
+    "resolve_method",
     "Resource",
     "Task",
     "Timeline",

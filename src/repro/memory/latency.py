@@ -27,7 +27,7 @@ from ..llm.config import ModelConfig
 from .devices import HardwareSpec
 from .timeline import Resource, Timeline
 
-__all__ = ["MethodLatencyProfile", "LatencyModel"]
+__all__ = ["MethodLatencyProfile", "LatencyModel", "resolve_method"]
 
 #: methods understood by the latency model
 _METHODS = (
@@ -67,6 +67,25 @@ _PROFILES = {
     "pqcache": MethodLatencyProfile("pqcache", decode_blocking_fetch=True,
                                     uses_pq=True),
 }
+
+
+def resolve_method(policy_name: str | None, is_dropping: bool = False) -> str:
+    """Map a policy name onto the latency model's method vocabulary.
+
+    The serving engine uses this to pick the latency profile of a request's
+    policy: compensated-variant suffixes (``"h2o(c)"``) are stripped,
+    ``None`` means full attention, StreamingLLM shares the dropping methods'
+    no-communication profile, and unknown policies fall back to the dropping
+    profile (no traffic) or the blocking-fetch offloading profile.
+    """
+    if policy_name is None:
+        return "full"
+    base = policy_name.split("(")[0].strip().lower()
+    if base in _METHODS:
+        return base
+    if base == "streaming-llm" or is_dropping:
+        return "snapkv"
+    return "sparq"
 
 
 class LatencyModel:

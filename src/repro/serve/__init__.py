@@ -1,0 +1,48 @@
+"""Request-centric serving engine with continuous batching.
+
+This package is the serving front-end of the reproduction: it turns the
+single-sequence policy stack (model substrate + KVCache policies) into an
+engine that admits concurrent :class:`Request` objects, interleaves their
+decode rounds, streams tokens incrementally, and accounts simulated
+wall-clock through the analytical latency models.
+
+Typical use::
+
+    from repro.serve import InferenceEngine, PolicySpec, Request, SamplingParams
+
+    engine = InferenceEngine(model)
+    engine.submit(Request(prompt_ids=prompt,
+                          sampling=SamplingParams(max_new_tokens=16),
+                          policy_spec=PolicySpec.named("pqcache", budget)))
+    for output in engine.stream():
+        ...  # output.new_token_ids arrive as they are generated
+"""
+
+from ..llm.generation import StepSelections
+from .engine import InferenceEngine
+from .metrics import EngineMetrics, RequestMetrics
+from .request import (
+    PolicySpec,
+    Request,
+    RequestOutput,
+    RequestStatus,
+    SamplingParams,
+    SelectionHook,
+)
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig, SchedulingDecision
+
+__all__ = [
+    "InferenceEngine",
+    "EngineMetrics",
+    "RequestMetrics",
+    "PolicySpec",
+    "Request",
+    "RequestOutput",
+    "RequestStatus",
+    "SamplingParams",
+    "SelectionHook",
+    "ContinuousBatchingScheduler",
+    "SchedulerConfig",
+    "SchedulingDecision",
+    "StepSelections",
+]

@@ -1,0 +1,389 @@
+"""The request-centric inference engine.
+
+:class:`InferenceEngine` is the serving front-end of the reproduction: it
+accepts :class:`~repro.serve.Request` objects, runs a continuous-batching
+loop (admit → prefill → interleaved decode rounds → finish/evict) over the
+shared :class:`~repro.llm.TransformerLM`, instantiates one KVCache policy per
+request from its :class:`~repro.serve.PolicySpec`, and emits
+:class:`~repro.serve.RequestOutput` objects with incrementally streamed
+tokens plus per-request serving metrics.
+
+Decode math is *identical* to the legacy single-sequence loop: each request
+owns its prefill/KVCache, every decode round calls
+:meth:`TransformerLM.decode_step` with the request's own policy selector, and
+tokens are picked by masked argmax — so a batched run produces byte-identical
+tokens to sequential :func:`repro.llm.greedy_generate` calls (which is itself
+a thin wrapper over a one-request engine).
+
+Wall-clock is *simulated*: the engine advances a clock using the analytical
+:class:`~repro.memory.LatencyModel` (prefill makespans and per-step TPOT for
+the request's method profile), so TTFT/TPOT/throughput come out in the
+paper's hardware terms even though the substrate runs in NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..baselines.base import KVCachePolicy
+from ..errors import ConfigurationError
+from ..llm.generation import StepSelections
+from ..llm.kvcache import KVCache
+from ..llm.model import PrefillResult, TransformerLM
+from ..memory.devices import HardwareSpec
+from ..memory.latency import LatencyModel, resolve_method
+from .metrics import EngineMetrics, RequestMetrics
+from .request import Request, RequestOutput, RequestStatus
+from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+
+__all__ = ["InferenceEngine"]
+
+
+class _RequestState:
+    """Engine-internal mutable state of one request."""
+
+    def __init__(self, request: Request, arrival_time: float) -> None:
+        self.request = request
+        self.status = RequestStatus.WAITING
+        self.policy: KVCachePolicy | None = None
+        self.prefill: PrefillResult | None = None
+        self.method: str = "full"
+        self.generated: list[int] = []
+        self.step_logits: list[np.ndarray] = []
+        self.selections: list[StepSelections] = []
+        self.num_decoded = 0
+        self.finish_reason: str | None = None
+        self.metrics = RequestMetrics(
+            arrival_time=arrival_time,
+            num_prompt_tokens=len(request.prompt_ids),
+        )
+        forbidden = np.asarray(request.sampling.forbidden_ids, dtype=np.int64)
+        self._forbidden = forbidden
+        self._stop_ids = frozenset(request.sampling.stop_token_ids)
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def forced(self) -> list[int] | None:
+        return self.request.forced_decode_ids
+
+    @property
+    def finished(self) -> bool:
+        return self.status == RequestStatus.FINISHED
+
+    def pick_token(self, logits: np.ndarray) -> int:
+        """Masked greedy argmax — the same rule the legacy loop used."""
+        if self._forbidden.size:
+            logits = logits.copy()
+            logits[self._forbidden] = -np.inf
+        return int(np.argmax(logits))
+
+    def is_stop(self, token: int) -> bool:
+        return token in self._stop_ids
+
+    def next_input_token(self) -> int:
+        """Token the next decode round must process."""
+        if self.forced is not None:
+            return self.forced[self.num_decoded]
+        return self.generated[self.num_decoded]
+
+    def stacked_logits(self, vocab_size: int) -> np.ndarray:
+        if not self.step_logits:
+            return np.zeros((0, vocab_size))
+        return np.stack(self.step_logits, axis=0)
+
+
+class InferenceEngine:
+    """Continuous-batching serving engine over the PQCache policy stack.
+
+    Args:
+        model: shared transformer substrate (stateless across requests —
+            every request owns its KVCache through its prefill result).
+        scheduler_config: batching knobs; defaults to an 8-slot batch.
+        latency_model: analytical model driving the simulated clock; when
+            ``None`` one is built from ``hardware`` (default: the paper's
+            RTX 4090 + PCIe 1.0 testbed) and the substrate's geometry.
+        hardware: hardware spec for the default latency model.
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        scheduler_config: SchedulerConfig | None = None,
+        latency_model: LatencyModel | None = None,
+        hardware: HardwareSpec | None = None,
+        max_retained_outputs: int | None = None,
+    ) -> None:
+        self.model = model
+        self.scheduler: ContinuousBatchingScheduler[_RequestState] = (
+            ContinuousBatchingScheduler(scheduler_config)
+        )
+        self.latency = latency_model or LatencyModel(
+            hardware or HardwareSpec.paper_testbed(), model.config
+        )
+        self.metrics = EngineMetrics()
+        #: oldest finished outputs (which pin their request's KVCache and
+        #: per-step logits) are evicted beyond this count; ``None`` retains
+        #: everything — fine for batch jobs, set a bound for long-lived
+        #: serving loops or call :meth:`release` per request.
+        self.max_retained_outputs = max_retained_outputs
+        self._states: dict[str, _RequestState] = {}
+        self._seen_ids: set[str] = set()
+        self._final_outputs: dict[str, RequestOutput] = {}
+
+    # ------------------------------------------------------------- intake
+
+    def submit(self, request: Request) -> str:
+        """Queue a request for admission; returns its id."""
+        if request.request_id in self._seen_ids:
+            raise ConfigurationError(
+                f"duplicate request id {request.request_id!r}"
+            )
+        state = _RequestState(request, arrival_time=self.metrics.clock)
+        self._seen_ids.add(request.request_id)
+        self._states[request.request_id] = state
+        self.scheduler.submit(state)
+        self.metrics.requests_submitted += 1
+        return request.request_id
+
+    #: alias matching the common serving-engine vocabulary
+    add_request = submit
+
+    @property
+    def has_unfinished(self) -> bool:
+        return self.scheduler.has_work
+
+    @property
+    def num_waiting(self) -> int:
+        return self.scheduler.num_waiting
+
+    @property
+    def num_running(self) -> int:
+        return self.scheduler.num_running
+
+    # --------------------------------------------------------------- step
+
+    def step(self) -> list[RequestOutput]:
+        """Run one engine step: admissions + one decode round for the batch.
+
+        Returns one :class:`RequestOutput` per touched request, carrying the
+        tokens that became available during this step (streaming deltas).
+        """
+        decision = self.scheduler.schedule()
+        if not decision.decodes and not decision.admitted:
+            return []
+        self.metrics.steps += 1
+        new_tokens: dict[str, list[int]] = {}
+
+        for state in decision.admitted:
+            self._run_prefill(state, new_tokens)
+
+        for state in decision.decodes:
+            if not state.finished:
+                self._run_decode_round(state, new_tokens)
+
+        outputs: list[RequestOutput] = []
+        for state in decision.admitted + [
+            s for s in decision.decodes if s not in decision.admitted
+        ]:
+            output = self._make_output(state, new_tokens.get(state.request.request_id, []))
+            outputs.append(output)
+            if state.finished:
+                self.scheduler.finish(state)
+                # The heavyweight per-request state (KVCache, logits) now
+                # lives only in the final output, subject to the retention
+                # bound below.
+                del self._states[state.request.request_id]
+                self._final_outputs[state.request.request_id] = output
+                self.metrics.requests_finished += 1
+        if self.max_retained_outputs is not None:
+            while len(self._final_outputs) > self.max_retained_outputs:
+                self._final_outputs.pop(next(iter(self._final_outputs)))
+        return outputs
+
+    def stream(self) -> Iterator[RequestOutput]:
+        """Drive the engine to completion, yielding every streamed output."""
+        while self.has_unfinished:
+            yield from self.step()
+
+    def run(
+        self, requests: Iterable[Request] | None = None
+    ) -> dict[str, RequestOutput]:
+        """Submit ``requests`` (if given), drain the engine, return finals.
+
+        Returns a mapping ``request_id -> final RequestOutput`` for every
+        request that finished during this call (independently of the
+        ``max_retained_outputs`` bound, which only governs what the engine
+        keeps pinned afterwards).
+        """
+        if requests is not None:
+            for request in requests:
+                self.submit(request)
+        finals: dict[str, RequestOutput] = {}
+        while self.has_unfinished:
+            for output in self.step():
+                if output.finished:
+                    finals[output.request_id] = output
+        return finals
+
+    def final_output(self, request_id: str) -> RequestOutput:
+        """Final output of a finished request."""
+        try:
+            return self._final_outputs[request_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"request {request_id!r} has not finished (or does not exist)"
+            ) from None
+
+    def release(self, request_id: str) -> None:
+        """Drop a finished request's retained output (frees its KVCache)."""
+        self._final_outputs.pop(request_id, None)
+
+    # ------------------------------------------------------------ prefill
+
+    def _run_prefill(self, state: _RequestState, new_tokens: dict[str, list[int]]) -> None:
+        request = state.request
+        state.status = RequestStatus.RUNNING
+        state.metrics.prefill_start = self.metrics.clock
+
+        if request.prefill is not None:
+            prefill = request.prefill
+        else:
+            prefill = self.model.prefill(
+                request.prompt_ids,
+                observation_window=request.sampling.observation_window,
+            )
+        state.prefill = prefill
+
+        if request.policy_spec is not None:
+            state.policy = request.policy_spec.build()
+            state.policy.on_prefill(self.model.config, prefill)
+        state.method = resolve_method(
+            state.policy.name if state.policy is not None else None,
+            is_dropping=state.policy.is_dropping if state.policy is not None else False,
+        )
+
+        seconds = self.latency.prefill_timeline(prefill.seq_len, state.method).makespan
+        self.metrics.clock += seconds
+        state.metrics.prefill_seconds = seconds
+        self.metrics.prefills += 1
+
+        if state.forced is None:
+            first = state.pick_token(prefill.logits)
+            state.generated.append(first)
+            state.metrics.num_generated_tokens += 1
+            state.metrics.first_token_time = self.metrics.clock
+            self.metrics.generated_tokens += 1
+            new_tokens.setdefault(request.request_id, []).append(first)
+            if state.is_stop(first):
+                # The stop token is emitted but never decoded.
+                self._finish(state, "stop")
+
+    # ------------------------------------------------------------- decode
+
+    def _run_decode_round(self, state: _RequestState, new_tokens: dict[str, list[int]]) -> None:
+        assert state.prefill is not None
+        request = state.request
+        policy = state.policy
+        cache = state.prefill.kvcache
+        token = state.next_input_token()
+
+        step_selections: StepSelections = []
+        attended: list[float] = []
+        num_kv_heads = self.model.config.num_kv_heads
+        hook = request.selection_hook
+
+        selector = None
+        if policy is not None or hook is not None:
+
+            def selector(layer_index: int, query: np.ndarray, kvcache: KVCache):
+                chosen = (
+                    policy.select(layer_index, query, kvcache)
+                    if policy is not None
+                    else None
+                )
+                if chosen is None:
+                    normalised = None
+                    attended.append(float(len(kvcache[layer_index])))
+                elif isinstance(chosen, (list, tuple)):
+                    normalised = [np.asarray(c, dtype=np.int64) for c in chosen]
+                    attended.append(float(np.mean([c.size for c in normalised])))
+                else:
+                    arr = np.asarray(chosen, dtype=np.int64)
+                    normalised = [arr] * num_kv_heads
+                    attended.append(float(arr.size))
+                if hook is not None:
+                    hook(layer_index, query, kvcache, normalised)
+                step_selections.append(normalised)
+                return chosen
+
+        logits = self.model.decode_step(token, cache, selector)
+        if policy is not None:
+            policy.on_decode_step(cache)
+        state.num_decoded += 1
+        state.step_logits.append(logits)
+        state.selections.append(step_selections)
+        self.metrics.decode_rounds += 1
+        state.metrics.decode_steps += 1
+        if selector is None:
+            # Full attention without a policy: every cached token participates.
+            attended = [float(cache.seq_len)] * self.model.config.num_layers
+        state.metrics.attended_tokens += float(np.mean(attended)) if attended else 0.0
+
+        seq_len = cache.seq_len
+        hit_rate = self._gpu_cache_hit_rate(policy)
+        if policy is not None:
+            comm = policy.step_communication_bytes(seq_len)
+            state.metrics.comm_overlappable_bytes += comm.get("overlappable", 0.0)
+            state.metrics.comm_blocking_bytes += comm.get("blocking", 0.0)
+        seconds = self.latency.tpot(seq_len, state.method, cache_hit_rate=hit_rate)
+        self.metrics.clock += seconds
+        state.metrics.decode_seconds += seconds
+
+        if state.forced is not None:
+            if state.num_decoded >= len(state.forced):
+                self._finish(state, "length")
+            return
+
+        next_token = state.pick_token(logits)
+        if state.num_decoded >= request.sampling.max_new_tokens:
+            self._finish(state, "length")
+            return
+        state.generated.append(next_token)
+        state.metrics.num_generated_tokens += 1
+        self.metrics.generated_tokens += 1
+        new_tokens.setdefault(request.request_id, []).append(next_token)
+        if state.is_stop(next_token):
+            self._finish(state, "stop")
+
+    # ------------------------------------------------------------- finish
+
+    def _finish(self, state: _RequestState, reason: str) -> None:
+        state.status = RequestStatus.FINISHED
+        state.finish_reason = reason
+        state.metrics.finish_time = self.metrics.clock
+
+    @staticmethod
+    def _gpu_cache_hit_rate(policy: KVCachePolicy | None) -> float:
+        """Observed GPU block-cache hit rate, when the policy keeps one."""
+        manager = getattr(policy, "manager", None)
+        gpu_cache = getattr(manager, "gpu_cache", None)
+        if gpu_cache is None or not gpu_cache.stats.lookups:
+            return 0.0
+        return float(gpu_cache.stats.hit_rate)
+
+    def _make_output(self, state: _RequestState, fresh: list[int]) -> RequestOutput:
+        final = state.finished
+        return RequestOutput(
+            request_id=state.request.request_id,
+            new_token_ids=list(fresh),
+            token_ids=list(state.generated),
+            finished=final,
+            finish_reason=state.finish_reason,
+            metrics=state.metrics,
+            logits=state.stacked_logits(self.model.config.vocab_size) if final else None,
+            selections=list(state.selections) if final else None,
+            prefill=state.prefill if final else None,
+        )

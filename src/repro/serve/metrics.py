@@ -1,0 +1,137 @@
+"""Per-request and engine-level serving metrics.
+
+All timestamps live on the engine's *simulated* clock, which is advanced by
+the analytical latency model (:class:`repro.memory.LatencyModel`) as requests
+are prefilled and decoded: the NumPy substrate cannot measure realistic GPU
+wall-clock itself, but the same runs can still be accounted in the paper's
+hardware terms (TTFT, TPOT, PCIe bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RequestMetrics", "EngineMetrics"]
+
+
+@dataclass
+class RequestMetrics:
+    """Serving metrics of one request (simulated seconds, modelled bytes).
+
+    Attributes:
+        arrival_time: simulated clock when the request was submitted.
+        prefill_start: clock when prefill began (admission).
+        first_token_time: clock when the first token became available.
+        finish_time: clock when the request finished.
+        prefill_seconds: simulated prefill makespan (the policy's method
+            profile decides whether PQ clustering / offload overlap it).
+        decode_seconds: simulated decode service time accumulated so far.
+        num_prompt_tokens: prompt length.
+        num_generated_tokens: tokens emitted (0 in teacher-forcing mode).
+        decode_steps: decode rounds executed.
+        attended_tokens: sum over decode steps of the mean number of cache
+            tokens attended per layer/head — divide by ``decode_steps`` for
+            the per-step average.
+        comm_overlappable_bytes: modelled CPU→GPU traffic that can hide
+            behind compute (PQ-code prefetch, block representatives).
+        comm_blocking_bytes: modelled traffic on the critical path (top-k
+            key/value fetches), accumulated over decode steps.
+    """
+
+    arrival_time: float = 0.0
+    prefill_start: float | None = None
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    prefill_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    num_prompt_tokens: int = 0
+    num_generated_tokens: int = 0
+    decode_steps: int = 0
+    attended_tokens: float = 0.0
+    comm_overlappable_bytes: float = 0.0
+    comm_blocking_bytes: float = 0.0
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def ttft(self) -> float | None:
+        """Time-to-first-token: arrival → first token (queueing included)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float | None:
+        """Time-per-output-token: mean simulated decode service time."""
+        if self.decode_steps == 0:
+            return None
+        return self.decode_seconds / self.decode_steps
+
+    @property
+    def e2e_seconds(self) -> float | None:
+        """End-to-end latency: arrival → finish (simulated)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def mean_attended_tokens(self) -> float:
+        """Average cache tokens attended per decode step (per layer/head)."""
+        if self.decode_steps == 0:
+            return 0.0
+        return self.attended_tokens / self.decode_steps
+
+    def as_dict(self) -> dict:
+        return {
+            "ttft": self.ttft,
+            "tpot": self.tpot,
+            "e2e_seconds": self.e2e_seconds,
+            "prefill_seconds": self.prefill_seconds,
+            "decode_seconds": self.decode_seconds,
+            "num_prompt_tokens": self.num_prompt_tokens,
+            "num_generated_tokens": self.num_generated_tokens,
+            "decode_steps": self.decode_steps,
+            "mean_attended_tokens": self.mean_attended_tokens,
+            "comm_overlappable_bytes": self.comm_overlappable_bytes,
+            "comm_blocking_bytes": self.comm_blocking_bytes,
+        }
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate counters of one :class:`~repro.serve.InferenceEngine`."""
+
+    clock: float = 0.0
+    steps: int = 0
+    requests_submitted: int = 0
+    requests_finished: int = 0
+    prefills: int = 0
+    decode_rounds: int = 0
+    generated_tokens: int = 0
+
+    @property
+    def requests_per_second(self) -> float:
+        """Finished requests per simulated second."""
+        if self.clock <= 0.0:
+            return 0.0
+        return self.requests_finished / self.clock
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Emitted tokens per simulated second."""
+        if self.clock <= 0.0:
+            return 0.0
+        return self.generated_tokens / self.clock
+
+    def as_dict(self) -> dict:
+        return {
+            "clock": self.clock,
+            "steps": self.steps,
+            "requests_submitted": self.requests_submitted,
+            "requests_finished": self.requests_finished,
+            "prefills": self.prefills,
+            "decode_rounds": self.decode_rounds,
+            "generated_tokens": self.generated_tokens,
+            "requests_per_second": self.requests_per_second,
+            "tokens_per_second": self.tokens_per_second,
+        }

@@ -1,0 +1,224 @@
+"""Request-centric data model of the serving engine.
+
+A :class:`Request` bundles everything one sequence needs to travel through
+the engine: the prompt, the sampling parameters, and a :class:`PolicySpec`
+describing which KVCache policy to instantiate for it.  The engine answers
+with :class:`RequestOutput` objects — one per engine step that touched the
+request — carrying the newly streamed tokens and, once the request finishes,
+the full per-step logits/selections payload that the legacy
+:func:`repro.llm.greedy_generate` wrapper repackages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.base import KVCachePolicy, SelectionBudget
+from ..baselines.registry import POLICY_NAMES, build_policy
+from ..errors import ConfigurationError
+from ..llm.generation import StepSelections
+from ..llm.model import PrefillResult
+from .metrics import RequestMetrics
+
+__all__ = [
+    "SamplingParams",
+    "PolicySpec",
+    "Request",
+    "RequestStatus",
+    "RequestOutput",
+    "SelectionHook",
+]
+
+#: called from inside the per-layer selector with
+#: ``(layer_index, query, cache, selected)`` where ``selected`` is already
+#: normalised to per-KV-head index arrays (or ``None`` for full attention) —
+#: the eval harness uses this to record
+#: :class:`~repro.eval.metrics.StepObservation` objects.
+SelectionHook = Callable[[int, np.ndarray, object, object], None]
+
+_REQUEST_COUNTER = itertools.count()
+
+
+def _next_request_id() -> str:
+    return f"req-{next(_REQUEST_COUNTER)}"
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request decoding parameters (greedy decoding throughout).
+
+    Attributes:
+        max_new_tokens: number of tokens to generate.
+        forbidden_ids: token ids never emitted (masked to ``-inf``).
+        stop_token_ids: ids that terminate the request early; the stop token
+            is included in the output but not decoded further.
+        observation_window: trailing-query window for prefill aggregates.
+    """
+
+    max_new_tokens: int = 16
+    forbidden_ids: tuple[int, ...] = ()
+    stop_token_ids: tuple[int, ...] = ()
+    observation_window: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens <= 0:
+            raise ConfigurationError("max_new_tokens must be positive")
+        if self.observation_window <= 0:
+            raise ConfigurationError("observation_window must be positive")
+
+
+class PolicySpec:
+    """Recipe for building one fresh :class:`KVCachePolicy` per request.
+
+    Policies are stateful (PQ codebooks, retained sets, GPU-cache stats), so
+    requests must never share an instance; the engine calls :meth:`build`
+    exactly once per request.  Three construction styles are supported:
+
+    * :meth:`named` — canonical registry name + budget + options (the normal
+      serving path, e.g. ``PolicySpec.named("pqcache", budget)``),
+    * :meth:`from_factory` — an arbitrary zero-arg callable,
+    * :meth:`from_instance` — wrap an already-built policy (single use; this
+      is what the legacy ``greedy_generate(policy=...)`` signature needs).
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        budget: SelectionBudget | None = None,
+        options: dict | None = None,
+        factory: Callable[[], KVCachePolicy] | None = None,
+    ) -> None:
+        if name is not None and factory is not None:
+            raise ConfigurationError("PolicySpec takes a name or a factory, not both")
+        if name is not None and budget is None:
+            raise ConfigurationError("a named PolicySpec requires a budget")
+        # Fail at request-creation time, not mid-serving after the request
+        # was already admitted into a batch slot.
+        if name is not None and name not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown policy {name!r}; valid names: {', '.join(POLICY_NAMES)}"
+            )
+        self.name = name
+        self.budget = budget
+        self.options = dict(options or {})
+        self._factory = factory
+        self._instance: KVCachePolicy | None = None
+        self._instance_used = False
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def named(cls, name: str, budget: SelectionBudget, **options) -> "PolicySpec":
+        """Spec resolved through :func:`repro.baselines.build_policy`."""
+        return cls(name=name, budget=budget, options=options)
+
+    @classmethod
+    def from_factory(cls, factory: Callable[[], KVCachePolicy]) -> "PolicySpec":
+        """Spec around an arbitrary policy factory."""
+        return cls(factory=factory)
+
+    @classmethod
+    def from_instance(cls, policy: KVCachePolicy) -> "PolicySpec":
+        """Single-use spec wrapping an existing policy instance."""
+        spec = cls()
+        spec._instance = policy
+        return spec
+
+    def build(self) -> KVCachePolicy:
+        """Construct (or hand over) the policy for one request."""
+        if self._instance is not None:
+            if self._instance_used:
+                raise ConfigurationError(
+                    "PolicySpec.from_instance is single-use: policies are "
+                    "stateful and cannot serve two requests"
+                )
+            self._instance_used = True
+            return self._instance
+        if self._factory is not None:
+            return self._factory()
+        if self.name is not None:
+            assert self.budget is not None
+            return build_policy(self.name, self.budget, **self.options)
+        raise ConfigurationError("empty PolicySpec cannot build a policy")
+
+    def describe(self) -> dict:
+        return {"name": self.name, "options": dict(self.options)}
+
+
+class RequestStatus(Enum):
+    """Lifecycle of a request inside the engine."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request submitted to the :class:`InferenceEngine`.
+
+    Attributes:
+        prompt_ids: prompt token ids (non-empty).
+        sampling: greedy-decoding parameters.
+        policy_spec: KVCache policy recipe, or ``None`` for full attention.
+        request_id: unique id; auto-assigned when omitted.
+        forced_decode_ids: teacher-forcing mode — decode exactly these tokens
+            instead of sampling (the evaluation harness feeds probe tokens
+            this way); no tokens are *generated* in this mode.
+        prefill: optional precomputed prefill result (e.g. a clone of a
+            shared prefill); the engine skips its own prefill when set.
+        selection_hook: optional observer called at every per-layer selection.
+    """
+
+    prompt_ids: list[int]
+    sampling: SamplingParams = field(default_factory=SamplingParams)
+    policy_spec: PolicySpec | None = None
+    request_id: str = field(default_factory=_next_request_id)
+    forced_decode_ids: list[int] | None = None
+    prefill: PrefillResult | None = None
+    selection_hook: SelectionHook | None = None
+
+    def __post_init__(self) -> None:
+        self.prompt_ids = [int(t) for t in self.prompt_ids]
+        if not self.prompt_ids:
+            raise ConfigurationError("prompt_ids must be non-empty")
+        if self.forced_decode_ids is not None:
+            self.forced_decode_ids = [int(t) for t in self.forced_decode_ids]
+            if not self.forced_decode_ids:
+                raise ConfigurationError("forced_decode_ids must be non-empty")
+
+
+@dataclass
+class RequestOutput:
+    """Streamed (and final) output of one request.
+
+    The engine emits one output per step that touched the request; only the
+    final output (``finished=True``) carries the heavyweight ``logits`` /
+    ``selections`` / ``prefill`` payload.
+
+    Attributes:
+        request_id: id of the originating request.
+        new_token_ids: tokens first emitted during this engine step.
+        token_ids: all tokens emitted so far (prompt excluded).
+        finished: whether the request completed this step.
+        finish_reason: ``"length"``, ``"stop"`` or ``None`` while running.
+        metrics: per-request serving metrics (TTFT, TPOT, bytes moved, ...).
+        logits: ``(steps, vocab)`` per-decode-step logits (final output only).
+        selections: per-step :data:`~repro.llm.StepSelections` (final only).
+        prefill: the request's prefill result (final output only).
+    """
+
+    request_id: str
+    new_token_ids: list[int]
+    token_ids: list[int]
+    finished: bool
+    finish_reason: str | None
+    metrics: RequestMetrics
+    logits: np.ndarray | None = None
+    selections: list[StepSelections] | None = None
+    prefill: PrefillResult | None = None

@@ -1,0 +1,103 @@
+"""Continuous-batching scheduler.
+
+The scheduler owns the waiting queue and the running batch.  Each engine step
+asks it for a :class:`SchedulingDecision`: which waiting requests to admit
+(prefill) this step and which running requests get a decode round.  Admission
+is FCFS and a request holds its batch slot until it finishes — the classic
+continuous-batching discipline (Orca/vLLM style): slots freed by finished
+requests are refilled on the very next step instead of waiting for the whole
+batch to drain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["SchedulerConfig", "SchedulingDecision", "ContinuousBatchingScheduler"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the continuous-batching scheduler.
+
+    Attributes:
+        max_batch_size: maximum concurrently running (decode) requests.
+        max_prefills_per_step: admission cap per engine step; prefills are
+            long, so bounding them keeps decode rounds of already-running
+            requests from starving (vLLM's ``max_num_seqs`` analogue).
+    """
+
+    max_batch_size: int = 8
+    max_prefills_per_step: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        if self.max_prefills_per_step <= 0:
+            raise ConfigurationError("max_prefills_per_step must be positive")
+
+
+@dataclass
+class SchedulingDecision(Generic[T]):
+    """What one engine step should do.
+
+    Attributes:
+        admitted: requests moving waiting → running this step (to prefill).
+        decodes: running requests (including just-admitted ones) that get a
+            decode round this step.
+    """
+
+    admitted: List[T]
+    decodes: List[T]
+
+
+class ContinuousBatchingScheduler(Generic[T]):
+    """FCFS admission + run-to-completion batch slots."""
+
+    def __init__(self, config: SchedulerConfig | None = None) -> None:
+        self.config = config or SchedulerConfig()
+        self._waiting: Deque[T] = deque()
+        self._running: List[T] = []
+
+    # ------------------------------------------------------------- queues
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    def submit(self, item: T) -> None:
+        """Enqueue a request for admission."""
+        self._waiting.append(item)
+
+    def finish(self, item: T) -> None:
+        """Release the batch slot of a finished request."""
+        self._running.remove(item)
+
+    # ----------------------------------------------------------- schedule
+
+    def schedule(self) -> SchedulingDecision[T]:
+        """Admit waiting requests into free slots, then decode the batch."""
+        admitted: List[T] = []
+        while (
+            self._waiting
+            and len(self._running) < self.config.max_batch_size
+            and len(admitted) < self.config.max_prefills_per_step
+        ):
+            item = self._waiting.popleft()
+            self._running.append(item)
+            admitted.append(item)
+        return SchedulingDecision(admitted=admitted, decodes=list(self._running))

@@ -123,6 +123,28 @@ class TestAppendToken:
         assert scores.shape[1] == 201
         assert np.allclose(scores[:, 200], scores[:, 0])
 
+    def test_many_appends_preserve_codes(self, manager, tiny_config, kvcache, rng):
+        """Appends go through the amortised-growth buffer: earlier codes
+        survive capacity doublings byte-for-byte."""
+        before = manager.codes(0, 0).copy()
+        reference_key = kvcache[0].keys[:, 0, :]
+        for _ in range(70):  # force at least one capacity doubling
+            manager.append_token(0, reference_key)
+        after = manager.codes(0, 0)
+        assert after.shape[0] == before.shape[0] + 70
+        assert np.array_equal(after[: before.shape[0]], before)
+        # Every appended row equals token 0's codes (identical key vector).
+        assert np.array_equal(
+            after[before.shape[0]:],
+            np.broadcast_to(before[0], (70, before.shape[1])),
+        )
+
+    def test_codes_returns_live_view(self, manager, tiny_config, rng):
+        """codes() is a cheap view over the growth buffer, not a copy."""
+        codes = manager.codes(0, 0)
+        assert codes.base is not None
+        assert codes.dtype == np.uint16
+
 
 class TestAccountingAndCache:
     def test_memory_footprint_compresses(self, manager):
