@@ -55,9 +55,11 @@ class PQCachePolicy(KVCachePolicy):
     def on_decode_step(self, cache: KVCache) -> None:
         """Assign PQ codes to tokens that have left the local window.
 
-        After a decode step the sequence grew by one; any token whose index
-        now falls inside the middle segment but has no code yet is encoded
-        with the existing centroids (Algorithm 2 lines 3-5).
+        After a decode step the sequence grew by one; any tokens whose
+        indices now fall inside the middle segment but have no codes yet are
+        encoded with the existing centroids (Algorithm 2 lines 3-5) — all
+        pending tokens and all KV heads of a layer in one
+        :meth:`~repro.core.pqcache.PQCacheManager.append_tokens` call.
         """
         if self.manager is None:
             return
@@ -66,12 +68,13 @@ class PQCachePolicy(KVCachePolicy):
         middle_end = (
             int(segments.middle_indices[-1]) + 1 if segments.middle_indices.size else 0
         )
-        while self._encoded_until < middle_end:
-            token = self._encoded_until
-            for layer_index in range(config.num_layers):
-                keys = cache[layer_index].keys[:, token, :]
-                self.manager.append_token(layer_index, keys)
-            self._encoded_until += 1
+        start = self._encoded_until
+        if start >= middle_end:
+            return
+        for layer_index in range(config.num_layers):
+            keys = cache[layer_index].keys[:, start:middle_end, :]
+            self.manager.append_tokens(layer_index, keys)
+        self._encoded_until = middle_end
 
     # ----------------------------------------------------------- selection
 
@@ -87,8 +90,12 @@ class PQCachePolicy(KVCachePolicy):
         selected = self.manager.topk_middle(layer_index, kv_queries, segments, k)
 
         # Register the union of per-head fetches with the GPU block cache so
-        # hit-rate statistics reflect real traffic.
+        # hit-rate statistics reflect real traffic.  Layer 0 opens a new
+        # decode step: the per-step hit rate aggregates every layer's access
+        # of the current step (see CacheStats.step_hit_rate).
         if self.manager.gpu_cache is not None and selected:
+            if layer_index == 0:
+                self.manager.gpu_cache.begin_step()
             union = (
                 np.unique(np.concatenate([s for s in selected if s.size]))
                 if any(s.size for s in selected)
@@ -100,13 +107,23 @@ class PQCachePolicy(KVCachePolicy):
     # -------------------------------------------------------- communication
 
     def step_communication_bytes(self, seq_len: int) -> dict:
+        """Per-step CPU→GPU traffic estimate.
+
+        Blocking bytes (the top-k key/value fetch) are scaled by the GPU
+        block cache's *per-step* hit rate — the aggregated hit/miss split of
+        the current decode step's retrievals across all layers — not the
+        cumulative lifetime rate, which would let early cold misses (or a
+        long warm streak) distort the estimate of the current step.  The
+        cumulative rate remains available via
+        ``manager.gpu_cache.stats.hit_rate`` for reporting.
+        """
         config = self._require_config()
         assert self.manager is not None
         k = self.budget.middle_budget(self.prompt_len)
         comm = self.manager.step_communication_bytes(seq_len, k)
         cache = self.manager.gpu_cache
         if cache is not None and cache.stats.lookups:
-            comm["blocking"] *= 1.0 - cache.stats.hit_rate
+            comm["blocking"] *= 1.0 - cache.stats.step_hit_rate
         return comm
 
     # ----------------------------------------------------------- reporting

@@ -26,19 +26,41 @@ __all__ = ["CacheStats", "BlockGpuCache"]
 
 @dataclass
 class CacheStats:
-    """Running counters of cache behaviour."""
+    """Running counters of cache behaviour.
+
+    Two hit-rate views are kept deliberately separate:
+
+    * :attr:`hit_rate` — *cumulative* over the cache's lifetime; use it for
+      reporting (figures, summaries).
+    * :attr:`step_hit_rate` — the hit/miss split of the current decode step
+      only: every :meth:`BlockGpuCache.access` since the owner last called
+      :meth:`BlockGpuCache.begin_step` (one decode step spans several
+      accesses — one per transformer layer).  Use it when estimating *this*
+      step's blocking PCIe traffic; scaling per-step byte counts by the
+      cumulative rate lets early cold misses (or a long warm streak) leak
+      into unrelated steps' estimates.  Without ``begin_step`` calls the
+      step counters simply track the cumulative ones.
+    """
 
     lookups: int = 0
     token_hits: int = 0
     token_misses: int = 0
     block_evictions: int = 0
     block_insertions: int = 0
+    step_hits: int = 0
+    step_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of requested tokens that were already GPU-resident."""
+        """Cumulative fraction of requested tokens that were GPU-resident."""
         total = self.token_hits + self.token_misses
         return self.token_hits / total if total else 0.0
+
+    @property
+    def step_hit_rate(self) -> float:
+        """Hit fraction of the current step (since ``begin_step``)."""
+        total = self.step_hits + self.step_misses
+        return self.step_hits / total if total else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -48,6 +70,7 @@ class CacheStats:
             "block_evictions": self.block_evictions,
             "block_insertions": self.block_insertions,
             "hit_rate": self.hit_rate,
+            "step_hit_rate": self.step_hit_rate,
         }
 
 
@@ -150,8 +173,12 @@ class BlockGpuCache:
         self._clock += 1
         self.stats.lookups += 1
         result = self.lookup(token_indices)
-        self.stats.token_hits += int(result["hit_tokens"].size)
-        self.stats.token_misses += int(result["miss_tokens"].size)
+        hits = int(result["hit_tokens"].size)
+        misses = int(result["miss_tokens"].size)
+        self.stats.token_hits += hits
+        self.stats.token_misses += misses
+        self.stats.step_hits += hits
+        self.stats.step_misses += misses
 
         token_indices = np.asarray(token_indices, dtype=np.int64)
         if token_indices.size == 0 or self.capacity_blocks == 0:
@@ -168,6 +195,17 @@ class BlockGpuCache:
         for block_id in update_blocks:
             self._touch(int(block_id))
         return result
+
+    def begin_step(self) -> None:
+        """Mark the start of a new decode step.
+
+        Resets the per-step hit/miss counters so that
+        :attr:`CacheStats.step_hit_rate` covers exactly the accesses of the
+        step in progress (one per transformer layer), not just the most
+        recent one and not the whole lifetime.
+        """
+        self.stats.step_hits = 0
+        self.stats.step_misses = 0
 
     # -------------------------------------------------------------- updates
 

@@ -11,7 +11,11 @@ model.  This module provides the clustering primitive with an explicit
 Implementation notes
 --------------------
 * k-means++ seeding, Lloyd iterations, empty-cluster re-seeding from the
-  points furthest from their centroid.
+  points furthest from their centroid (distances taken against the *updated*
+  centroids of the same iteration, not the stale pre-update ones).
+* Convergence is declared only on stable labels or a *non-negative* inertia
+  improvement below ``tol`` — a transient inertia increase (possible right
+  after reseeding) keeps iterating instead of freezing a worse solution.
 * Deterministic for a given ``seed``.
 * Handles ``n_points < n_clusters`` gracefully (duplicates centroids), which
   happens for very short prompts or tiny sub-spaces.
@@ -27,6 +31,34 @@ from ..errors import ConfigurationError
 from ..utils import as_rng, check_2d
 
 __all__ = ["KMeansResult", "kmeans_fit", "kmeans_assign", "kmeans_plus_plus_init"]
+
+
+def _converged(labels_stable: bool, improved: float, inertia: float, tol: float) -> bool:
+    """Lloyd stopping rule.
+
+    Convergence requires either stable labels or a *non-negative* inertia
+    improvement below the tolerance.  A negative ``improved`` (inertia went
+    up, which empty-cluster reseeding can cause transiently) must keep
+    iterating — treating it as converged would freeze a worse solution.
+    """
+    if labels_stable:
+        return True
+    return 0.0 <= improved <= tol * max(inertia, 1e-12)
+
+
+def _reseed_targets(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    num_empty: int,
+) -> np.ndarray:
+    """Points that should seed empty clusters: the ones farthest from their
+    assigned centroid, with distances measured against the *updated*
+    centroids (stale pre-update distances can nominate points that the mean
+    update has already pulled close, wasting the reseed)."""
+    diffs = points - centroids[labels]
+    dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+    return np.argsort(-dist_sq, kind="stable")[:num_empty]
 
 
 @dataclass
@@ -166,7 +198,7 @@ def kmeans_fit(
 
         empty = np.flatnonzero(~nonempty)
         if empty.size:
-            worst = np.argsort(-dists[np.arange(n_points), labels])[: empty.size]
+            worst = _reseed_targets(points, centroids, labels, empty.size)
             centroids[empty] = points[worst]
 
         dists = _pairwise_sq_dists(points, centroids)
@@ -177,7 +209,7 @@ def kmeans_fit(
         labels = new_labels
         improved = inertia - new_inertia
         inertia = new_inertia
-        if labels_stable or improved <= tol * max(inertia, 1e-12):
+        if _converged(labels_stable, improved, inertia, tol):
             converged = True
             break
 

@@ -7,15 +7,31 @@ against the *middle* tokens during decoding (paper §3.1 steps ❷-❺):
 
 * :meth:`PQCacheManager.build` — PQ construction after prefilling, honouring
   an (optionally adaptive) K-Means iteration budget.
-* :meth:`PQCacheManager.append_token` — assign codes to a token evicted from
-  the local window using its nearest centroids (no re-clustering).
+* :meth:`PQCacheManager.append_token` / :meth:`append_tokens` — assign codes
+  to tokens evicted from the local window using their nearest centroids (no
+  re-clustering).
 * :meth:`PQCacheManager.approximate_scores` / :meth:`topk_middle` — ADC
   scoring of a decode query against the PQ codes and selection of the top-k
   candidate tokens per head.
 
+Batched decode-path layout
+--------------------------
+The decode hot path is fully vectorized across KV heads (paper §3.2's
+``(h, m, 1, d_m) x (h, m, d_m, 2**b)`` formulation): :meth:`build` stacks the
+per-head codebooks of each layer into one ``(h_kv, m, 2**b, sub_dim)`` tensor
+and stores all heads' codes in one shared amortised-growth
+``(capacity, h_kv, m)`` buffer, so :meth:`approximate_scores`,
+:meth:`topk_middle` and :meth:`append_tokens` each issue a single
+einsum/gather (:meth:`ProductQuantizer.score_batch` /
+:meth:`ProductQuantizer.encode_batch`) instead of ``h_kv`` Python-level PQ
+calls.  Top-k ties are broken deterministically by lowest token index (the
+same ``(-score, index)`` order as :func:`repro.utils.topk_indices`).
+
 It also tracks the communication/bookkeeping quantities the system section
 cares about: PQ code bytes, centroid bytes, and the GPU block cache that
-absorbs part of the top-k key/value fetch traffic.
+absorbs part of the top-k key/value fetch traffic.  Per-step blocking-byte
+estimates use the cache's *per-step* hit rate; the cumulative rate is kept
+for reporting only.
 """
 
 from __future__ import annotations
@@ -29,7 +45,7 @@ from ..llm.config import ModelConfig
 from ..llm.kvcache import KVCache, TokenSegments
 from ..utils import topk_indices
 from .gpu_cache import BlockGpuCache
-from .pq import PQConfig, ProductQuantizer
+from .pq import PQConfig, ProductQuantizer, stack_codebooks
 
 __all__ = ["PQCacheConfig", "PQCacheManager"]
 
@@ -83,41 +99,55 @@ class PQCacheConfig:
         return self.code_bytes_per_token_per_head() / (dtype_bytes * head_dim)
 
 
-class _CodeBuffer:
-    """Amortised-growth store of one (layer, head)'s PQ codes.
+class _LayerCodeBuffer:
+    """Amortised-growth store of one layer's PQ codes for *all* KV heads.
 
-    Decoding appends one code row per generated token; growing the backing
-    array by concatenation would re-copy every existing code each time
-    (quadratic in the number of generated tokens).  The buffer instead
-    doubles its capacity on overflow, making appends amortised O(1), and
-    :meth:`view` exposes the live rows without copying.
+    Backing array has shape ``(capacity, h_kv, m)`` so every head's code for
+    a token lives in one contiguous row — a decode step appends one row for
+    all heads at once, and the batched ADC kernels gather straight out of the
+    shared buffer.  Growing by concatenation would re-copy every existing
+    code each time (quadratic in the number of generated tokens); the buffer
+    instead doubles its capacity on overflow, making appends amortised O(1),
+    and :meth:`view` exposes the live rows without copying.
     """
 
     def __init__(self, codes: np.ndarray) -> None:
         codes = np.ascontiguousarray(codes, dtype=np.uint16)
-        if codes.ndim != 2:
-            raise ConfigurationError("codes must have shape (n, num_partitions)")
+        if codes.ndim != 3:
+            raise ConfigurationError(
+                "codes must have shape (n, num_kv_heads, num_partitions)"
+            )
         self._buffer = codes
         self._length = codes.shape[0]
 
     def __len__(self) -> int:
         return self._length
 
-    def append(self, code_row: np.ndarray) -> None:
-        """Append one token's code row, shape ``(num_partitions,)``."""
-        code_row = np.asarray(code_row, dtype=np.uint16).reshape(-1)
+    def extend(self, rows: np.ndarray) -> None:
+        """Append token rows, shape ``(n_new, h_kv, m)``."""
+        rows = np.asarray(rows, dtype=np.uint16)
+        if rows.ndim != 3 or rows.shape[1:] != self._buffer.shape[1:]:
+            raise ConfigurationError(
+                f"rows must have shape (n, {self._buffer.shape[1]}, "
+                f"{self._buffer.shape[2]}), got {rows.shape}"
+            )
+        n_new = rows.shape[0]
+        if n_new == 0:
+            return
         capacity = self._buffer.shape[0]
-        if self._length >= capacity:
-            new_capacity = max(2 * capacity, self._length + 1, 64)
-            grown = np.empty((new_capacity, self._buffer.shape[1]), dtype=np.uint16)
+        if self._length + n_new > capacity:
+            new_capacity = max(2 * capacity, self._length + n_new, 64)
+            grown = np.empty(
+                (new_capacity,) + self._buffer.shape[1:], dtype=np.uint16
+            )
             grown[: self._length] = self._buffer[: self._length]
             self._buffer = grown
-        self._buffer[self._length] = code_row
-        self._length += 1
+        self._buffer[self._length : self._length + n_new] = rows
+        self._length += n_new
 
     def view(self) -> np.ndarray:
-        """Live rows, shape ``(len(self), num_partitions)`` — a view, not a
-        copy; callers must not mutate or hold it across appends."""
+        """Live rows, shape ``(len(self), h_kv, m)`` — a view, not a copy;
+        callers must not mutate or hold it across appends."""
         return self._buffer[: self._length]
 
 
@@ -134,7 +164,10 @@ class PQCacheManager:
                 f"{self.config.num_partitions}"
             )
         self._quantizers: list[list[ProductQuantizer]] = []
-        self._codes: list[list[_CodeBuffer]] = []
+        #: per-layer stacked codebooks, each ``(h_kv, m, 2**b, sub_dim)``
+        self._codebooks: list[np.ndarray] = []
+        #: per-layer shared code buffers, each backing ``(capacity, h_kv, m)``
+        self._codes: list[_LayerCodeBuffer] = []
         self._built = False
         self.total_kmeans_iterations = 0
         self.gpu_cache: BlockGpuCache | None = None
@@ -167,6 +200,7 @@ class PQCacheManager:
         cfg = self.config
         model = self.model_config
         self._quantizers = []
+        self._codebooks = []
         self._codes = []
         self.total_kmeans_iterations = 0
         iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
@@ -174,41 +208,67 @@ class PQCacheManager:
         for layer_index in range(model.num_layers):
             layer_cache = kvcache[layer_index]
             layer_q: list[ProductQuantizer] = []
-            layer_codes: list[_CodeBuffer] = []
+            head_codes: list[np.ndarray] = []
             for head in range(model.num_kv_heads):
                 pq = ProductQuantizer(cfg.pq_config(model.head_dim))
                 codes = pq.fit(layer_cache.keys[head], max_iters=iters)
                 self.total_kmeans_iterations += pq.last_fit_iterations
                 layer_q.append(pq)
-                layer_codes.append(_CodeBuffer(codes))
+                head_codes.append(codes)
             self._quantizers.append(layer_q)
-            self._codes.append(layer_codes)
+            # Stack per-head state into the batched decode layout: one
+            # (h_kv, m, 2**b, sub_dim) codebook tensor and one shared
+            # (capacity, h_kv, m) code buffer per layer.
+            self._codebooks.append(stack_codebooks(layer_q))
+            self._codes.append(_LayerCodeBuffer(np.stack(head_codes, axis=1)))
         self._built = True
 
     # -------------------------------------------------------------- update
 
+    def append_tokens(self, layer_index: int, keys: np.ndarray) -> None:
+        """Assign PQ codes to new tokens' keys for every head of a layer.
+
+        Called when generated tokens leave the local window (paper §3.4
+        lines 3-5 of Algorithm 2): the tokens' keys are encoded with the
+        existing centroids — one :meth:`ProductQuantizer.encode_batch` call
+        across all KV heads — no re-clustering happens.
+
+        Args:
+            layer_index: transformer layer.
+            keys: ``(num_kv_heads, n_new, head_dim)`` key vectors of the
+                tokens, in ascending token order.
+        """
+        self._require_built()
+        keys = np.asarray(keys, dtype=np.float64)
+        h_kv = self.model_config.num_kv_heads
+        if keys.ndim != 3 or keys.shape[0] != h_kv:
+            raise ConfigurationError(
+                f"keys must have shape ({h_kv}, n_new, "
+                f"{self.model_config.head_dim}), got {keys.shape}"
+            )
+        if keys.shape[1] == 0:
+            return
+        codes = ProductQuantizer.encode_batch(
+            self._codebooks[layer_index], keys
+        )  # (h_kv, n_new, m)
+        self._codes[layer_index].extend(codes.transpose(1, 0, 2))
+
     def append_token(self, layer_index: int, keys: np.ndarray) -> None:
         """Assign PQ codes to one new token's keys for every head of a layer.
 
-        Called when a generated token leaves the local window (paper §3.4
-        lines 3-5 of Algorithm 2): the token's key is encoded with the
-        existing centroids; no re-clustering happens.
+        Thin wrapper over :meth:`append_tokens`.
 
         Args:
             layer_index: transformer layer.
             keys: ``(num_kv_heads, head_dim)`` key vectors of the token.
         """
-        self._require_built()
         keys = np.asarray(keys, dtype=np.float64)
-        for head in range(self.model_config.num_kv_heads):
-            pq = self._quantizers[layer_index][head]
-            code = pq.encode(keys[head][None, :])
-            self._codes[layer_index][head].append(code[0])
+        self.append_tokens(layer_index, keys[:, None, :])
 
     def num_codes(self, layer_index: int, head: int = 0) -> int:
         """Number of tokens currently encoded for (layer, head)."""
         self._require_built()
-        return len(self._codes[layer_index][head])
+        return len(self._codes[layer_index])
 
     # --------------------------------------------------------------- query
 
@@ -216,32 +276,45 @@ class PQCacheManager:
         self._require_built()
         return self._quantizers[layer_index][head]
 
+    def codebooks(self, layer_index: int) -> np.ndarray:
+        """Stacked codebooks of a layer: ``(h_kv, m, 2**b, sub_dim)``."""
+        self._require_built()
+        return self._codebooks[layer_index]
+
+    def layer_codes(self, layer_index: int) -> np.ndarray:
+        """All heads' current PQ codes: ``(n_codes, h_kv, m)`` uint16.
+
+        Returns a *view* into the shared amortised-growth buffer — cheap to
+        take, but do not mutate it or hold it across :meth:`append_tokens`
+        calls.
+        """
+        self._require_built()
+        return self._codes[layer_index].view()
+
     def codes(self, layer_index: int, head: int) -> np.ndarray:
         """Current PQ codes of (layer, head): ``(n_codes, m)`` uint16.
 
-        Returns a *view* into the amortised-growth buffer — cheap to take,
-        but do not mutate it or hold it across :meth:`append_token` calls.
+        A per-head *view* into the shared layer buffer (see
+        :meth:`layer_codes`) — do not mutate it or hold it across appends.
         """
-        self._require_built()
-        return self._codes[layer_index][head].view()
+        return self.layer_codes(layer_index)[:, head, :]
 
     def approximate_scores(
         self, layer_index: int, kv_queries: np.ndarray
     ) -> np.ndarray:
         """ADC scores of every encoded token, shape ``(h_kv, n_codes)``.
 
+        One :meth:`ProductQuantizer.score_batch` call over all KV heads.
+
         Args:
             kv_queries: ``(num_kv_heads, head_dim)`` group-mean queries.
         """
         self._require_built()
-        model = self.model_config
         kv_queries = np.asarray(kv_queries, dtype=np.float64)
-        scores = []
-        for head in range(model.num_kv_heads):
-            pq = self._quantizers[layer_index][head]
-            codes = self._codes[layer_index][head].view()
-            scores.append(pq.score(kv_queries[head], codes))
-        return np.stack(scores, axis=0)
+        codes = self._codes[layer_index].view()  # (n, h_kv, m)
+        return ProductQuantizer.score_batch(
+            self._codebooks[layer_index], kv_queries, codes.transpose(1, 0, 2)
+        )
 
     def topk_middle(
         self,
@@ -254,6 +327,9 @@ class PQCacheManager:
 
         Tokens outside the middle segment (initial and local tokens) are
         excluded — they are always attended to anyway and never retrieved.
+        All heads are scored with one batched ADC gather; ties at the k-th
+        score are broken by lowest token index (matching
+        :func:`repro.utils.topk_indices`).
         """
         self._require_built()
         middle = segments.middle_indices
@@ -261,20 +337,34 @@ class PQCacheManager:
         if middle.size == 0 or k <= 0:
             return [np.empty(0, dtype=np.int64) for _ in range(model.num_kv_heads)]
 
-        selected = []
-        for head in range(model.num_kv_heads):
-            pq = self._quantizers[layer_index][head]
-            codes = self._codes[layer_index][head].view()
-            # Only score codes that correspond to middle tokens; codes are
-            # aligned with absolute token positions by construction.
-            valid = middle[middle < codes.shape[0]]
-            if valid.size == 0:
-                selected.append(np.empty(0, dtype=np.int64))
-                continue
-            scores = pq.score(kv_queries[head], codes[valid])
-            order = topk_indices(scores, min(k, valid.size))
-            selected.append(valid[order])
-        return selected
+        codes = self._codes[layer_index].view()  # (n, h_kv, m)
+        # Only score codes that correspond to middle tokens; codes are
+        # aligned with absolute token positions by construction.
+        valid = middle[middle < codes.shape[0]]
+        if valid.size == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(model.num_kv_heads)]
+
+        kv_queries = np.asarray(kv_queries, dtype=np.float64)
+        # The middle segment is a contiguous token range by construction, so
+        # the common case is a zero-copy slice of the shared buffer; the
+        # fancy-indexed gather only runs for non-contiguous index sets.
+        if int(valid[-1]) - int(valid[0]) + 1 == valid.size:
+            middle_codes = codes[int(valid[0]) : int(valid[-1]) + 1]
+        else:
+            middle_codes = codes[valid]
+        scores = ProductQuantizer.score_batch(
+            self._codebooks[layer_index],
+            kv_queries,
+            middle_codes.transpose(1, 0, 2),
+        )  # (h_kv, n_valid)
+        k_eff = min(int(k), valid.size)
+        # topk_indices is O(n + k log k) per head (argpartition + stable sort
+        # of the boundary candidates) and breaks ties by lowest candidate
+        # position, i.e. lowest token index.
+        return [
+            valid[topk_indices(scores[head], k_eff)]
+            for head in range(model.num_kv_heads)
+        ]
 
     def record_fetch(self, token_indices: np.ndarray) -> dict | None:
         """Register a top-k key/value fetch with the GPU block cache.

@@ -9,7 +9,16 @@ Two code paths mirror the paper's two phases:
   this is the "selective attention" kernel every KVCache policy feeds.
 
 Grouped-Query Attention is handled by mapping each query head to its
-key/value head (``kv_head = q_head // group_size``).
+key/value head (``kv_head = q_head // group_size``); query-head counts that
+are not a multiple of the KV-head count raise :class:`DimensionError` instead
+of silently mis-grouping.
+
+:func:`decode_attention` is vectorized across KV heads: per-head selections
+are gathered into dense ``(heads, tokens, d_h)`` tensors (heads with equal
+selection lengths are batched together, so no padding enters any softmax
+reduction and results stay bitwise identical to a per-head einsum loop) and
+scored with one einsum + softmax per length group instead of a Python loop
+over every ``kv_head x group`` pair.
 """
 
 from __future__ import annotations
@@ -95,6 +104,11 @@ def attention_scores_single_query(
     query = np.asarray(query, dtype=np.float64)
     keys = np.asarray(keys, dtype=np.float64)
     h, d_h = query.shape
+    h_kv = keys.shape[0]
+    if h % h_kv != 0:
+        raise DimensionError(
+            f"query heads ({h}) must be a multiple of kv heads ({h_kv})"
+        )
     k_exp = expand_kv_heads(keys, group_size)
     if k_exp.shape[0] != h:
         raise DimensionError(
@@ -127,6 +141,10 @@ def decode_attention(
     values = np.asarray(values, dtype=np.float64)
     h, d_h = query.shape
     h_kv, s, _ = keys.shape
+    if h % h_kv != 0:
+        raise DimensionError(
+            f"query heads ({h}) must be a multiple of kv heads ({h_kv})"
+        )
     group = h // h_kv
 
     if selected is None:
@@ -141,15 +159,25 @@ def decode_attention(
         shared = np.asarray(selected, dtype=np.int64)
         per_head_indices = [shared] * h_kv
 
+    # Vectorized across KV heads: heads whose selections have the same
+    # length are gathered and scored together with one einsum + softmax.
+    # Grouping by exact length (instead of padding to the max and masking)
+    # keeps every softmax reduction at its true length, so the result is
+    # bitwise identical to scoring each head separately.
     output = np.zeros((h, d_h), dtype=np.float64)
-    for kv_head, indices in enumerate(per_head_indices):
-        if indices.size == 0:
-            continue
-        k = keys[kv_head, indices, :]       # (t, d_h)
-        v = values[kv_head, indices, :]     # (t, d_h)
-        for g in range(group):
-            q_head = kv_head * group + g
-            logits = (k @ query[q_head]) / np.sqrt(d_h)
-            weights = softmax(logits)
-            output[q_head] = weights @ v
+    lengths = np.array([idx.size for idx in per_head_indices], dtype=np.int64)
+    q_grouped = query.reshape(h_kv, group, d_h)
+    scale = np.sqrt(d_h)
+    for t in np.unique(lengths):
+        if t == 0:
+            continue  # empty selection: the head's output stays zero
+        heads = np.flatnonzero(lengths == t)
+        indices = np.stack([per_head_indices[kv] for kv in heads])  # (n, t)
+        k_sel = keys[heads[:, None], indices]    # (n, t, d_h)
+        v_sel = values[heads[:, None], indices]  # (n, t, d_h)
+        logits = np.einsum("ngd,ntd->ngt", q_grouped[heads], k_sel) / scale
+        weights = softmax(logits, axis=-1)
+        out = np.einsum("ngt,ntd->ngd", weights, v_sel)  # (n, group, d_h)
+        q_heads = (heads[:, None] * group + np.arange(group)[None, :]).ravel()
+        output[q_heads] = out.reshape(-1, d_h)
     return output

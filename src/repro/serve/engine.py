@@ -15,6 +15,14 @@ tokens are picked by masked argmax — so a batched run produces byte-identical
 tokens to sequential :func:`repro.llm.greedy_generate` calls (which is itself
 a thin wrapper over a one-request engine).
 
+The decode hot path underneath is fully batched across KV heads: policy
+selection rides the vectorized ADC kernels
+(:meth:`~repro.core.pq.ProductQuantizer.score_batch` /
+:meth:`~repro.core.pq.ProductQuantizer.encode_batch` via
+:class:`~repro.core.pqcache.PQCacheManager`) and the vectorized
+:func:`~repro.llm.attention.decode_attention`, so a decode round costs one
+einsum/gather per layer instead of a Python loop over every KV head.
+
 Wall-clock is *simulated*: the engine advances a clock using the analytical
 :class:`~repro.memory.LatencyModel` (prefill makespans and per-step TPOT for
 the request's method profile), so TTFT/TPOT/throughput come out in the
@@ -367,12 +375,19 @@ class InferenceEngine:
 
     @staticmethod
     def _gpu_cache_hit_rate(policy: KVCachePolicy | None) -> float:
-        """Observed GPU block-cache hit rate, when the policy keeps one."""
+        """GPU block-cache hit rate of the *current* decode step.
+
+        Uses the per-step hit/miss split aggregated over this step's
+        retrievals across all layers (not the cumulative lifetime rate) so
+        the simulated TPOT reflects the PCIe traffic this step actually
+        incurs; the cumulative rate stays available on ``stats.hit_rate``
+        for reporting.
+        """
         manager = getattr(policy, "manager", None)
         gpu_cache = getattr(manager, "gpu_cache", None)
         if gpu_cache is None or not gpu_cache.stats.lookups:
             return 0.0
-        return float(gpu_cache.stats.hit_rate)
+        return float(gpu_cache.stats.step_hit_rate)
 
     def _make_output(self, state: _RequestState, fresh: list[int]) -> RequestOutput:
         final = state.finished

@@ -76,6 +76,11 @@ def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` largest entries of a 1-D score vector, sorted
     by descending score.
 
+    Ties are broken deterministically by the lowest index: the result is the
+    first ``k`` entries of a stable sort on ``(-score, index)``, so equal
+    scores at the ``k``-th boundary always resolve the same way on every
+    platform (``argpartition`` alone leaves that order unspecified).
+
     ``k`` larger than the vector length returns all indices.
     """
     scores = np.asarray(scores)
@@ -84,9 +89,24 @@ def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
     k = min(int(k), scores.shape[0])
     if k <= 0:
         return np.empty(0, dtype=np.int64)
-    part = np.argpartition(-scores, k - 1)[:k]
-    order = np.argsort(-scores[part], kind="stable")
-    return part[order].astype(np.int64)
+    neg = -scores
+    # Partition once to find the k-th largest value.  Entries strictly above
+    # it (always fewer than k) are stable-sorted; the tie group *at* the
+    # boundary value is taken in ascending index order to fill the remaining
+    # slots.  This keeps the whole selection O(n + k log k) even when the
+    # score vector is dense with ties (a full sort of the tie group could
+    # degenerate to O(n log n)).
+    kth = np.partition(neg, k - 1)[k - 1]
+    strict = np.flatnonzero(neg < kth)
+    boundary = np.flatnonzero(neg == kth)
+    if strict.size + boundary.size < k:
+        # Non-finite scores (NaN) break the partition invariants; fall back
+        # to the reference stable sort.
+        return np.argsort(neg, kind="stable")[:k].astype(np.int64)
+    order = np.argsort(neg[strict], kind="stable")
+    return np.concatenate(
+        [strict[order], boundary[: k - strict.size]]
+    ).astype(np.int64)
 
 
 def batched(items: Sequence, batch_size: int) -> Iterable[Sequence]:

@@ -102,6 +102,13 @@ class TestDecodeAttention:
                                selected=[np.empty(0, dtype=np.int64)])
         assert np.allclose(out, 0.0)
 
+    def test_query_heads_not_multiple_of_kv_heads_rejected(self, rng):
+        """Regression: ``h % h_kv != 0`` used to silently truncate the group
+        size and ignore trailing query heads."""
+        with pytest.raises(DimensionError):
+            decode_attention(rng.normal(size=(5, 4)), rng.normal(size=(2, 6, 4)),
+                             rng.normal(size=(2, 6, 4)))
+
     def test_selection_of_topk_tokens_approximates_full(self, rng):
         """Selecting the highest-scoring half of tokens should approximate the
         full-attention output better than selecting the lowest-scoring half."""
@@ -129,3 +136,8 @@ class TestSingleQueryScores:
         with pytest.raises(DimensionError):
             attention_scores_single_query(rng.normal(size=(4, 8)),
                                           rng.normal(size=(2, 10, 8)), group_size=3)
+
+    def test_query_heads_not_multiple_of_kv_heads_rejected(self, rng):
+        with pytest.raises(DimensionError):
+            attention_scores_single_query(rng.normal(size=(5, 8)),
+                                          rng.normal(size=(2, 10, 8)), group_size=2)

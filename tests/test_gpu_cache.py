@@ -41,6 +41,42 @@ class TestLookupAccess:
         assert result["miss_tokens"].size == 0
         assert cache.stats.hit_rate == pytest.approx(0.5)
 
+    def test_per_step_hit_rate_covers_accesses_since_begin_step(self):
+        """Regression: blocking-byte estimates used the *cumulative* hit
+        rate, letting earlier steps' hits/misses leak into the current
+        step's traffic estimate.  ``step_hit_rate`` must aggregate exactly
+        the accesses since the last ``begin_step()`` (one decode step spans
+        one access per layer)."""
+        cache = BlockGpuCache(capacity_tokens=512, block_size=128)
+        cache.begin_step()
+        cache.access(np.array([0, 1, 200]))          # layer 0, cold: 0/3
+        cache.access(np.array([0, 1, 200]))          # layer 1, warm: 3/3
+        assert cache.stats.step_hit_rate == pytest.approx(0.5)
+
+        cache.begin_step()                           # next decode step
+        cache.access(np.array([0, 1, 200]))          # warm: 3/3
+        assert cache.stats.step_hit_rate == 1.0
+        # The cumulative rate keeps the whole history for reporting.
+        assert cache.stats.hit_rate == pytest.approx(6 / 9)
+
+        cache.begin_step()
+        cache.access(np.array([0, 900]))             # mixed: 1/2
+        assert cache.stats.step_hit_rate == pytest.approx(0.5)
+        assert cache.stats.hit_rate == pytest.approx(7 / 11)
+
+    def test_per_step_hit_rate_before_any_access_is_zero(self):
+        cache = BlockGpuCache(capacity_tokens=512)
+        assert cache.stats.step_hit_rate == 0.0
+        stats = cache.stats.as_dict()
+        assert stats["step_hit_rate"] == 0.0
+        assert stats["hit_rate"] == 0.0
+
+    def test_step_counters_track_cumulative_without_begin_step(self):
+        cache = BlockGpuCache(capacity_tokens=512, block_size=128)
+        cache.access(np.array([0, 1, 200]))
+        cache.access(np.array([0, 1, 200]))
+        assert cache.stats.step_hit_rate == cache.stats.hit_rate
+
     def test_empty_request(self):
         cache = BlockGpuCache(capacity_tokens=512)
         result = cache.access(np.array([], dtype=np.int64))

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.kmeans import kmeans_assign, kmeans_fit, kmeans_plus_plus_init
+from repro.core.kmeans import (
+    _converged,
+    _reseed_targets,
+    kmeans_assign,
+    kmeans_fit,
+    kmeans_plus_plus_init,
+)
 from repro.errors import ConfigurationError
 
 
@@ -87,6 +93,75 @@ class TestKMeansFit:
         assert result.labels.shape == (n_points,)
         assert result.labels.min() >= 0
         assert result.labels.max() < n_clusters
+
+
+class TestConvergenceRule:
+    """Regression: a *negative* inertia improvement (possible right after
+    empty-cluster reseeding) used to satisfy ``improved <= tol * inertia``
+    and trigger a spurious ``converged=True`` exit."""
+
+    def test_negative_improvement_is_not_convergence(self):
+        assert not _converged(
+            labels_stable=False, improved=-1.0, inertia=100.0, tol=1e-6
+        )
+
+    def test_small_nonnegative_improvement_converges(self):
+        assert _converged(
+            labels_stable=False, improved=0.0, inertia=100.0, tol=1e-6
+        )
+        assert _converged(
+            labels_stable=False, improved=5e-5, inertia=100.0, tol=1e-6
+        )
+
+    def test_large_improvement_keeps_iterating(self):
+        assert not _converged(
+            labels_stable=False, improved=10.0, inertia=100.0, tol=1e-6
+        )
+
+    def test_stable_labels_always_converge(self):
+        assert _converged(
+            labels_stable=True, improved=-1.0, inertia=100.0, tol=1e-6
+        )
+
+
+class TestEmptyClusterReseeding:
+    def test_targets_use_updated_centroids(self):
+        """The reseed candidates must be ranked by distance to the *updated*
+        centroids: a point whose (old-position) centroid moved next to it is
+        no longer worst-represented and must not be picked."""
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [0.2, 0.0]])
+        # Updated centroid 0 sits on top of point 1 — the point that *was*
+        # far from centroid 0's old position at the origin.
+        centroids = np.array([[10.0, 0.0], [99.0, 99.0]])
+        labels = np.array([0, 0, 0])
+        worst = _reseed_targets(points, centroids, labels, num_empty=1)
+        # Against the updated centroid, point 0 (distance 10) is worst, not
+        # point 1 (distance 0, despite being far from the old origin).
+        assert list(worst) == [0]
+
+    def test_targets_are_distinct_points_in_distance_order(self):
+        points = np.array([[0.0], [1.0], [4.0], [9.0]])
+        centroids = np.array([[0.0]])
+        labels = np.zeros(4, dtype=np.int64)
+        worst = _reseed_targets(points, centroids, labels, num_empty=3)
+        assert list(worst) == [3, 2, 1]
+
+    def test_fit_with_forced_empty_clusters_stays_valid(self, rng):
+        """Duplicate-heavy data forces empty clusters during Lloyd; the run
+        must stay internally consistent and labels must match the returned
+        centroids."""
+        base = rng.normal(size=(3, 4))
+        points = np.vstack([
+            base[rng.integers(0, 3, size=60)] + 1e-4 * rng.normal(size=(60, 4)),
+            50.0 * rng.normal(size=(2, 4)),
+        ])
+        result = kmeans_fit(points, n_clusters=16, max_iter=25, seed=7)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 16
+        assert np.array_equal(
+            result.labels, kmeans_assign(points, result.centroids)
+        )
+        assert np.isfinite(result.inertia)
 
 
 class TestKMeansPlusPlus:

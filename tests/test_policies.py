@@ -337,6 +337,41 @@ class TestPQCachePolicy:
         assert comm["overlappable"] > 0
         assert comm["blocking"] > 0
 
+    def test_blocking_bytes_use_per_step_hit_rate(self, budget, tiny_config,
+                                                  prefill, decode_query):
+        """Regression: blocking bytes were scaled by the *cumulative* hit
+        rate, so a cold first step leaked into every later estimate (and
+        vice versa).  They must follow the current step's hit/miss split,
+        aggregated over every layer's retrieval of that step (a layer-0
+        select opens a new step)."""
+        policy = PQCachePolicy(budget, pq_config=PQCacheConfig(num_bits=4,
+                                                               max_kmeans_iters=2,
+                                                               gpu_cache_tokens=4096))
+        cloned = _prepare(policy, tiny_config, prefill)
+        seq_len = cloned.kvcache.seq_len
+        unscaled = policy.manager.step_communication_bytes(
+            seq_len, budget.middle_budget(policy.prompt_len))["blocking"]
+
+        # Step 1: layer 0 is cold (all misses), layer 1 re-fetches the same
+        # working set and mostly hits — the step rate aggregates both.
+        policy.select(0, decode_query, cloned.kvcache)
+        after_layer0 = policy.manager.gpu_cache.stats.step_hit_rate
+        assert after_layer0 == 0.0
+        policy.select(1, decode_query, cloned.kvcache)
+        step1_rate = policy.manager.gpu_cache.stats.step_hit_rate
+        assert 0.0 < step1_rate < 1.0
+        step1 = policy.step_communication_bytes(seq_len)["blocking"]
+        assert step1 == pytest.approx(unscaled * (1.0 - step1_rate))
+
+        # Step 2: layer 0 resets the step counters; everything now hits, so
+        # blocking traffic drops to zero even though the cumulative rate
+        # (kept for reporting) remembers step 1's misses.
+        policy.select(0, decode_query, cloned.kvcache)
+        policy.select(1, decode_query, cloned.kvcache)
+        warm = policy.step_communication_bytes(seq_len)["blocking"]
+        assert warm == 0.0
+        assert 0.0 < policy.manager.gpu_cache.stats.hit_rate < 1.0
+
     def test_describe_includes_pq_settings(self, budget):
         policy = PQCachePolicy(budget, pq_config=PQCacheConfig(num_partitions=4,
                                                                num_bits=8))

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import POLICY_NAMES, SelectionBudget, build_policy
+from repro.core import PQCacheConfig
 from repro.errors import ConfigurationError
 from repro.llm import StepSelections, greedy_generate
 from repro.memory import resolve_method
@@ -162,12 +163,29 @@ class TestConcurrentServing:
         assert metrics.num_generated_tokens == 3
         # PQCache keeps ~token_ratio of the context per step.
         assert 0 < metrics.mean_attended_tokens < 128
-        # Offloading methods move bytes; both directions accounted.
+        # Offloading methods move bytes.  Blocking bytes are scaled by the
+        # *per-step* GPU-cache hit rate: the first decode step's layer-0
+        # retrieval is cold, so some blocking traffic is paid; once the
+        # working set is resident later steps contribute zero.
         assert metrics.comm_blocking_bytes > 0.0
         assert metrics.comm_overlappable_bytes > 0.0
         assert metrics.e2e_seconds == pytest.approx(
             metrics.ttft + metrics.decode_seconds, rel=1e-6
         )
+
+    def test_blocking_bytes_accounted_without_gpu_cache(self, model, tiny_config):
+        """With the GPU block cache disabled nothing absorbs the top-k fetch,
+        so every decode step pays blocking PCIe bytes."""
+        prompt = make_prompts(tiny_config, (128,))[0]
+        engine = InferenceEngine(model)
+        request = Request(prompt_ids=prompt,
+                          sampling=SamplingParams(max_new_tokens=3),
+                          policy_spec=PolicySpec.named(
+                              "pqcache", BUDGET,
+                              pq_config=PQCacheConfig(gpu_cache_tokens=0)))
+        out = engine.run([request])[request.request_id]
+        assert out.metrics.comm_blocking_bytes > 0.0
+        assert out.metrics.comm_overlappable_bytes > 0.0
 
     def test_output_retention_bound_and_release(self, model, tiny_config):
         """Finished outputs (which pin KVCaches) can be bounded or released."""

@@ -100,6 +100,30 @@ class TestTopkIndices:
         expected = np.argsort(-scores)[: min(k, scores.size)]
         assert list(topk_indices(scores, k)) == list(expected)
 
+    def test_ties_at_boundary_break_by_lowest_index(self):
+        """Regression: ties at the k-th score used to be resolved by
+        argpartition's arbitrary (platform-dependent) order."""
+        scores = np.array([1.0, 2.0, 2.0, 1.0, 2.0, 0.5])
+        assert list(topk_indices(scores, 2)) == [1, 2]
+        assert list(topk_indices(scores, 3)) == [1, 2, 4]
+        # A boundary tie between equal 1.0 scores picks index 0, not 3.
+        assert list(topk_indices(scores, 4)) == [1, 2, 4, 0]
+
+    def test_all_duplicate_scores_select_lowest_indices(self):
+        scores = np.full(20, 7.0)
+        for k in (1, 5, 20):
+            assert list(topk_indices(scores, k)) == list(range(k))
+
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=60),
+           st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_duplicate_heavy_matches_lexsort(self, values, k):
+        """Property: result equals the first k of a stable (-score, index)
+        sort, for score vectors dense with duplicates."""
+        scores = np.array(values, dtype=np.float64)
+        expected = np.argsort(-scores, kind="stable")[: min(k, scores.size)]
+        assert list(topk_indices(scores, k)) == list(expected)
+
 
 class TestBatched:
     def test_even_batches(self):
