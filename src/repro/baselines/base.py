@@ -95,6 +95,10 @@ class KVCachePolicy(abc.ABC):
     #: whether the policy keeps the full KVCache (offloading) or discards
     #: entries permanently (dropping)
     is_dropping: bool = False
+    #: whether the policy can build (part of) its state from prefill chunks
+    #: as they arrive (see :meth:`on_prefill_chunk`); policies that cannot
+    #: simply get one :meth:`on_prefill` call when the prompt completes.
+    supports_incremental_prefill: bool = False
 
     def __init__(self, budget: SelectionBudget) -> None:
         self.budget = budget
@@ -114,6 +118,33 @@ class KVCachePolicy(abc.ABC):
 
     def _prepare(self, config: ModelConfig, prefill: PrefillResult) -> None:
         """Hook for subclasses; default is stateless."""
+
+    def on_prefill_chunk(
+        self,
+        config: ModelConfig,
+        kvcache: KVCache,
+        start: int,
+        stop: int,
+        total_len: int,
+    ) -> None:
+        """Observe one prefill chunk of a chunked-prefill request.
+
+        Called by the serving engine after the model processed prompt tokens
+        ``[start, stop)`` (the cache already holds them), only when
+        :attr:`supports_incremental_prefill` is true.  ``total_len`` is the
+        full prompt length, known upfront.  Default: no-op.
+        """
+
+    def finish_prefill(self, config: ModelConfig, prefill: PrefillResult) -> None:
+        """Finalise policy state once the whole prompt has been prefilled.
+
+        The engine calls this exactly once per request, after the last chunk
+        (or the single monolithic prefill).  The default defers to
+        :meth:`on_prefill`, which is the correct one-shot behaviour for
+        policies without incremental construction; incremental policies
+        override it to refine the state they built chunk by chunk.
+        """
+        self.on_prefill(config, prefill)
 
     def on_decode_step(self, cache: KVCache) -> None:
         """Called after each decode step appended a new token to the cache."""

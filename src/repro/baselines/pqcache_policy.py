@@ -2,9 +2,21 @@
 
 This is the glue between the algorithmic core (:class:`PQCacheManager`) and
 the generation loop: PQ construction happens in ``on_prefill`` (paper
-Algorithm 1), approximate top-k retrieval plus GPU-cache bookkeeping happens
-in ``select`` (Algorithm 2), and tokens leaving the local window receive PQ
-codes in ``on_decode_step``.
+Algorithm 1) — or incrementally across prefill chunks when the serving
+engine runs chunked prefill — approximate top-k retrieval plus GPU-cache
+bookkeeping happens in ``select`` (Algorithm 2), and tokens leaving the
+local window receive PQ codes in ``on_decode_step``.
+
+Incremental construction (chunked prefill)
+------------------------------------------
+Under the engine's chunked-prefill pipeline the policy receives one
+``on_prefill_chunk`` call per chunk: once ``sketch_tokens`` prompt tokens
+have arrived (or the prompt ends first) the codebooks are fitted from a
+sampled sketch of the keys seen so far, later chunks are stream-encoded with
+those codebooks as they arrive, and ``finish_prefill`` re-runs Lloyd
+iterations over the full key set (:meth:`PQCacheManager.refine`) and
+re-encodes — mirroring how the paper overlaps K-Means with prefill compute
+so construction never sits on the critical path.
 """
 
 from __future__ import annotations
@@ -22,16 +34,36 @@ __all__ = ["PQCachePolicy"]
 
 
 class PQCachePolicy(KVCachePolicy):
-    """Selective attention driven by Product Quantization retrieval."""
+    """Selective attention driven by Product Quantization retrieval.
+
+    Args:
+        budget: shared token/communication budget.
+        pq_config: PQ hyper-parameters.
+        planner: optional adaptive iteration planner (paper §3.3); when
+            present the K-Means budget is derived from the prompt length
+            instead of the static ``max_kmeans_iters``.
+        incremental: build the PQ index chunk by chunk when the engine runs
+            chunked prefill (sketch fit → stream encode → refine).  With
+            monolithic prefill this flag has no effect.
+        sketch_tokens: prompt tokens to wait for (and sample size used)
+            before fitting the sketch codebooks.
+        refine_iters: Lloyd iteration cap of the final refinement pass;
+            ``None`` uses the config's ``max_kmeans_iters`` (or the planner's
+            budget when a planner is set).
+    """
 
     name = "pqcache"
     is_dropping = False
+    supports_incremental_prefill = True
 
     def __init__(
         self,
         budget: SelectionBudget,
         pq_config: PQCacheConfig | None = None,
         planner: AdaptiveIterationPlanner | None = None,
+        incremental: bool = True,
+        sketch_tokens: int = 256,
+        refine_iters: int | None = None,
     ) -> None:
         super().__init__(budget)
         self.pq_config = pq_config or PQCacheConfig()
@@ -39,17 +71,72 @@ class PQCachePolicy(KVCachePolicy):
         #: K-Means budget is derived from the prompt length instead of the
         #: static ``max_kmeans_iters``.
         self.planner = planner
+        self.incremental = incremental
+        self.sketch_tokens = int(sketch_tokens)
+        self.refine_iters = refine_iters
         self.manager: PQCacheManager | None = None
         self._encoded_until = 0
 
     # ----------------------------------------------------------- lifecycle
 
+    def _max_iters(self, prompt_len: int) -> int | None:
+        if self.planner is not None:
+            return self.planner.max_iterations_for(prompt_len)
+        return None
+
     def _prepare(self, config: ModelConfig, prefill: PrefillResult) -> None:
         self.manager = PQCacheManager(config, self.pq_config)
-        max_iters = None
-        if self.planner is not None:
-            max_iters = self.planner.max_iterations_for(prefill.seq_len)
-        self.manager.build(prefill.kvcache, max_iters=max_iters)
+        self.manager.build(
+            prefill.kvcache, max_iters=self._max_iters(prefill.seq_len)
+        )
+        self._encoded_until = prefill.seq_len
+
+    def on_prefill_chunk(
+        self,
+        config: ModelConfig,
+        kvcache: KVCache,
+        start: int,
+        stop: int,
+        total_len: int,
+    ) -> None:
+        """Incremental construction step for one arrived prefill chunk."""
+        if not self.incremental:
+            return
+        self.config = config
+        if self.manager is None:
+            self.manager = PQCacheManager(config, self.pq_config)
+        if not self.manager.is_built:
+            # Wait for a meaningful sketch (or the whole prompt, whichever
+            # comes first) before fitting; everything seen so far is encoded.
+            if stop >= min(self.sketch_tokens, total_len):
+                self.manager.build_incremental(
+                    kvcache,
+                    upto=stop,
+                    max_iters=self._max_iters(total_len),
+                    sample_tokens=self.sketch_tokens,
+                )
+                self._encoded_until = stop
+            return
+        # Codebooks exist: stream-encode the chunk with the current
+        # centroids, one batched call per layer (no re-clustering).
+        for layer_index in range(config.num_layers):
+            keys = kvcache[layer_index].keys[:, start:stop, :]
+            self.manager.append_tokens(layer_index, keys)
+        self._encoded_until = stop
+
+    def finish_prefill(self, config: ModelConfig, prefill: PrefillResult) -> None:
+        """Refine the incrementally-built index, or fall back to one-shot."""
+        if self.manager is None or not self.manager.is_built:
+            # No chunks were observed (monolithic prefill) or the prompt was
+            # too short to sketch: build from scratch like the legacy path.
+            self.on_prefill(config, prefill)
+            return
+        self.config = config
+        self.prompt_len = prefill.seq_len
+        refine_iters = self.refine_iters
+        if refine_iters is None:
+            refine_iters = self._max_iters(prefill.seq_len)
+        self.manager.refine(prefill.kvcache, max_iters=refine_iters)
         self._encoded_until = prefill.seq_len
 
     def on_decode_step(self, cache: KVCache) -> None:

@@ -30,7 +30,13 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..utils import as_rng, check_2d
 
-__all__ = ["KMeansResult", "kmeans_fit", "kmeans_assign", "kmeans_plus_plus_init"]
+__all__ = [
+    "KMeansResult",
+    "kmeans_fit",
+    "kmeans_refine",
+    "kmeans_assign",
+    "kmeans_plus_plus_init",
+]
 
 
 def _converged(labels_stable: bool, improved: float, inertia: float, tol: float) -> bool:
@@ -181,6 +187,54 @@ def kmeans_fit(
         return KMeansResult(centroids, labels, 0.0, 0, True)
 
     centroids = kmeans_plus_plus_init(points, n_clusters, rng)
+    return _lloyd(points, centroids, max_iter, tol)
+
+
+def kmeans_refine(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int = 25,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Continue Lloyd iterations from explicit initial centroids.
+
+    This is the refinement primitive of the chunked-prefill PQ pipeline:
+    codebooks fitted on a sampled sketch of the first chunk(s) are later
+    re-optimised over the full key set without re-seeding, so the sketch
+    build's cluster structure is reused instead of thrown away.
+
+    Args:
+        points: ``(n_points, dim)`` training vectors (the full set).
+        centroids: ``(n_clusters, dim)`` starting centroids (e.g. from a
+            sketch-based :func:`kmeans_fit`); not mutated.
+        max_iter: maximum number of additional Lloyd iterations.  ``0``
+            returns the assignment under the given centroids unchanged.
+        tol: relative inertia improvement below which we declare convergence.
+
+    Returns:
+        A :class:`KMeansResult` (``n_iter`` counts only refinement iterations).
+    """
+    points = check_2d(points, "points")
+    centroids = check_2d(centroids, "centroids").copy()
+    if points.shape[1] != centroids.shape[1]:
+        raise ConfigurationError(
+            f"points dim {points.shape[1]} does not match centroids dim "
+            f"{centroids.shape[1]}"
+        )
+    if max_iter < 0:
+        raise ConfigurationError("max_iter must be >= 0")
+    return _lloyd(points, centroids, max_iter, tol)
+
+
+def _lloyd(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    """Lloyd iterations from given starting centroids (mutates ``centroids``)."""
+    n_points = points.shape[0]
+    n_clusters = centroids.shape[0]
     dists = _pairwise_sq_dists(points, centroids)
     labels = np.argmin(dists, axis=1)
     inertia = float(dists[np.arange(n_points), labels].sum())
@@ -199,7 +253,7 @@ def kmeans_fit(
         empty = np.flatnonzero(~nonempty)
         if empty.size:
             worst = _reseed_targets(points, centroids, labels, empty.size)
-            centroids[empty] = points[worst]
+            centroids[empty[: worst.size]] = points[worst]
 
         dists = _pairwise_sq_dists(points, centroids)
         new_labels = np.argmin(dists, axis=1)

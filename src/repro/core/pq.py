@@ -45,7 +45,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DimensionError, NotFittedError
 from ..utils import as_rng, check_2d
-from .kmeans import kmeans_fit
+from .kmeans import kmeans_fit, kmeans_refine
 
 __all__ = ["PQConfig", "ProductQuantizer", "stack_codebooks"]
 
@@ -198,6 +198,50 @@ class ProductQuantizer:
 
         self._centroids = centroids
         self.last_fit_iterations = total_iters
+        return codes
+
+    def refine(
+        self,
+        keys: np.ndarray,
+        max_iters: int | None = None,
+        tol: float = 1e-6,
+    ) -> np.ndarray:
+        """Continue Lloyd iterations from the current codebooks over ``keys``.
+
+        This is the incremental-construction companion of :meth:`fit`: the
+        chunked prefill pipeline fits codebooks from a sampled sketch of the
+        earliest chunk(s), stream-encodes later chunks as they arrive, and
+        finally refines the codebooks over the full key set — reusing the
+        sketch's cluster structure instead of re-seeding from scratch.
+
+        Args:
+            keys: ``(n, dim)`` key vectors to refine over (typically every
+                prefilled key of the head).
+            max_iters: optional override of the Lloyd iteration budget.
+            tol: relative inertia-improvement convergence tolerance.
+
+        Returns:
+            ``(n, m)`` refreshed codes of ``keys`` under the updated
+            codebooks (dtype ``uint16``).
+        """
+        centroids = self.centroids  # raises NotFittedError when unfitted
+        cfg = self.config
+        iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
+        sub_vectors = self._split(keys)
+
+        updated = np.empty_like(centroids)
+        codes = np.empty((keys.shape[0], cfg.num_partitions), dtype=np.uint16)
+        total_iters = 0
+        for part in range(cfg.num_partitions):
+            result = kmeans_refine(
+                sub_vectors[part], centroids[part], max_iter=iters, tol=tol
+            )
+            updated[part] = result.centroids
+            codes[:, part] = result.labels.astype(np.uint16)
+            total_iters += result.n_iter
+
+        self._centroids = updated
+        self.last_refine_iterations = total_iters
         return codes
 
     # ------------------------------------------------------ batched kernels

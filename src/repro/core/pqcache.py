@@ -5,8 +5,13 @@ The manager owns, for every (layer, KV head) pair, a
 keys plus the running list of PQ codes, and answers approximate top-k queries
 against the *middle* tokens during decoding (paper §3.1 steps ❷-❺):
 
-* :meth:`PQCacheManager.build` — PQ construction after prefilling, honouring
-  an (optionally adaptive) K-Means iteration budget.
+* :meth:`PQCacheManager.build` — one-shot PQ construction after prefilling,
+  honouring an (optionally adaptive) K-Means iteration budget.
+* :meth:`PQCacheManager.build_incremental` / :meth:`PQCacheManager.refine` —
+  the chunked-prefill pipeline: codebooks fitted from a sampled sketch of the
+  first chunk(s), later chunks stream-encoded on arrival via
+  :meth:`append_tokens`, and a final warm-started Lloyd refinement over the
+  full key set once the prompt has completely arrived.
 * :meth:`PQCacheManager.append_token` / :meth:`append_tokens` — assign codes
   to tokens evicted from the local window using their nearest centroids (no
   re-clustering).
@@ -43,7 +48,7 @@ import numpy as np
 from ..errors import ConfigurationError, NotFittedError
 from ..llm.config import ModelConfig
 from ..llm.kvcache import KVCache, TokenSegments
-from ..utils import topk_indices
+from ..utils import as_rng, topk_indices
 from .gpu_cache import BlockGpuCache
 from .pq import PQConfig, ProductQuantizer, stack_codebooks
 
@@ -222,6 +227,106 @@ class PQCacheManager:
             self._codebooks.append(stack_codebooks(layer_q))
             self._codes.append(_LayerCodeBuffer(np.stack(head_codes, axis=1)))
         self._built = True
+
+    def build_incremental(
+        self,
+        kvcache: KVCache,
+        upto: int,
+        max_iters: int | None = None,
+        sample_tokens: int | None = None,
+    ) -> None:
+        """Fit codebooks from a *sampled sketch* of the first prefilled tokens.
+
+        The chunked prefill pipeline cannot wait for the whole prompt before
+        starting PQ construction: codebooks are trained on a deterministic
+        sample of the first ``upto`` tokens' keys, then all ``upto`` tokens
+        are encoded with them.  Later chunks are streamed in through
+        :meth:`append_tokens`, and :meth:`refine` re-optimises the codebooks
+        over the full key set once the prompt has fully arrived.
+
+        Args:
+            kvcache: cache holding at least ``upto`` prefilled tokens.
+            upto: number of leading tokens available so far.
+            max_iters: optional Lloyd iteration cap for the sketch fit.
+            sample_tokens: sketch size; ``None`` or values >= ``upto`` use
+                every available token.
+        """
+        cfg = self.config
+        model = self.model_config
+        if upto <= 0:
+            raise ConfigurationError("upto must be positive")
+        if len(kvcache[0]) < upto:
+            raise ConfigurationError(
+                f"kvcache holds {len(kvcache[0])} tokens, need {upto}"
+            )
+        self._quantizers = []
+        self._codebooks = []
+        self._codes = []
+        self.total_kmeans_iterations = 0
+        iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
+        rng = as_rng(cfg.seed)
+        sketch: np.ndarray | None = None
+        if sample_tokens is not None and sample_tokens < upto:
+            # One shared token sample across layers/heads: deterministic for
+            # the config seed, sorted to keep gathers cache-friendly.
+            sketch = np.sort(rng.choice(upto, size=int(sample_tokens), replace=False))
+
+        for layer_index in range(model.num_layers):
+            keys = kvcache[layer_index].keys[:, :upto, :]
+            layer_q: list[ProductQuantizer] = []
+            for head in range(model.num_kv_heads):
+                pq = ProductQuantizer(cfg.pq_config(model.head_dim))
+                training = keys[head] if sketch is None else keys[head][sketch]
+                pq.fit(training, max_iters=iters)
+                self.total_kmeans_iterations += pq.last_fit_iterations
+                layer_q.append(pq)
+            self._quantizers.append(layer_q)
+            codebooks = stack_codebooks(layer_q)
+            self._codebooks.append(codebooks)
+            codes = ProductQuantizer.encode_batch(codebooks, keys)  # (h, n, m)
+            self._codes.append(_LayerCodeBuffer(codes.transpose(1, 0, 2)))
+        self._built = True
+
+    def refine(
+        self,
+        kvcache: KVCache,
+        max_iters: int | None = None,
+        tol: float = 1e-6,
+    ) -> None:
+        """Re-run Lloyd iterations over every encoded key and re-encode.
+
+        Completes the incremental construction: each (layer, head,
+        sub-space) codebook continues from its sketch-fitted centroids over
+        the full set of currently-encoded keys, and every stored code is
+        refreshed under the updated codebooks — so the index quality matches
+        a one-shot :meth:`build` within the tolerance of K-Means local
+        optima (asserted by test).
+
+        Args:
+            kvcache: cache holding at least as many tokens as are encoded.
+            max_iters: optional Lloyd iteration cap for the refinement.
+            tol: relative inertia-improvement convergence tolerance.
+        """
+        self._require_built()
+        model = self.model_config
+        for layer_index in range(model.num_layers):
+            n = len(self._codes[layer_index])
+            if len(kvcache[layer_index]) < n:
+                raise ConfigurationError(
+                    f"kvcache layer {layer_index} holds "
+                    f"{len(kvcache[layer_index])} tokens, {n} are encoded"
+                )
+            keys = kvcache[layer_index].keys[:, :n, :]
+            head_codes: list[np.ndarray] = []
+            for head, pq in enumerate(self._quantizers[layer_index]):
+                head_codes.append(pq.refine(keys[head], max_iters=max_iters, tol=tol))
+                self.total_kmeans_iterations += pq.last_refine_iterations
+            self._codebooks[layer_index] = stack_codebooks(
+                self._quantizers[layer_index]
+            )
+            self._codes[layer_index] = _LayerCodeBuffer(
+                np.stack(head_codes, axis=1)
+            )
 
     # -------------------------------------------------------------- update
 

@@ -5,7 +5,14 @@ from .attention import causal_attention, decode_attention, expand_kv_heads
 from .config import ModelConfig
 from .generation import GenerationResult, StepSelections, greedy_generate
 from .kvcache import KVCache, LayerKVCache, TokenSegments
-from .model import PrefillAggregates, PrefillResult, Selector, TransformerLM
+from .model import (
+    PREFILL_ROW_BLOCK,
+    PrefillAggregates,
+    PrefillResult,
+    PrefillState,
+    Selector,
+    TransformerLM,
+)
 from .rope import apply_rope, rope_frequencies
 from .tokenizer import SimpleTokenizer
 
@@ -20,8 +27,10 @@ __all__ = [
     "KVCache",
     "LayerKVCache",
     "TokenSegments",
+    "PREFILL_ROW_BLOCK",
     "PrefillAggregates",
     "PrefillResult",
+    "PrefillState",
     "Selector",
     "TransformerLM",
     "apply_rope",

@@ -103,6 +103,28 @@ class ModelConfig:
         """Total FLOPs of a single layer during prefilling."""
         return self.attention_flops_prefill(seq_len) + self.ffn_flops_prefill(seq_len)
 
+    def attention_flops_prefill_chunk(self, chunk_len: int, prefix_len: int) -> float:
+        """Attention FLOPs of one layer for one prefill chunk.
+
+        A chunk of ``chunk_len`` queries attends to all ``prefix_len``
+        already-cached tokens plus itself.  The quadratic terms telescope:
+        summing over the chunks of a prompt reproduces
+        :meth:`attention_flops_prefill` of the full length exactly, so
+        chunked and monolithic prefills are charged identical total compute.
+        """
+        d_h = self.head_dim
+        total = prefix_len + chunk_len
+        quad = float(total) ** 2 - float(prefix_len) ** 2
+        qk = 2.0 * self.num_heads * quad * d_h
+        av = 2.0 * self.num_heads * quad * d_h
+        proj = 2.0 * 4 * chunk_len * self.hidden_dim * self.hidden_dim
+        return qk + av + proj
+
+    def layer_flops_prefill_chunk(self, chunk_len: int, prefix_len: int) -> float:
+        """Total FLOPs of a single layer for one prefill chunk."""
+        return self.attention_flops_prefill_chunk(chunk_len, prefix_len) + \
+            self.ffn_flops_prefill(chunk_len)
+
     def layer_flops_decode(self, seq_len: int, attended_tokens: int | None = None) -> float:
         """FLOPs of a single layer for one decode step.
 

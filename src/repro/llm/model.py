@@ -6,17 +6,44 @@ implements exactly the two phases the paper describes (§2.1):
 * :meth:`TransformerLM.prefill` — runs all prompt tokens through every layer,
   fills the :class:`~repro.llm.kvcache.KVCache`, and collects the per-layer
   aggregate attention statistics that the dropping baselines (H2O, SnapKV,
-  PyramidKV) need.  Aggregates are computed in query blocks so memory stays
-  ``O(s)`` — the NumPy analogue of the paper's FlashAttention assumption.
+  PyramidKV) need.  Since the chunked-prefill redesign this is a thin loop
+  over :meth:`TransformerLM.prefill_chunk`: callers that need to interleave a
+  long prompt with other work (the serving engine's chunked-prefill
+  scheduler) drive :class:`PrefillState` directly via
+  :meth:`TransformerLM.begin_prefill` / :meth:`TransformerLM.prefill_chunk` /
+  :meth:`TransformerLM.finish_prefill`.
 * :meth:`TransformerLM.decode_step` — processes the last generated token only,
   reading keys/values from the cache, with an optional per-layer *selector*
   callback that restricts attention to a subset of tokens.  That callback is
   how every KVCache policy (PQCache and the baselines) is injected.
 
 The model itself is stateless across sequences — all per-sequence state
-lives in the :class:`~repro.llm.kvcache.KVCache` each caller owns — which is
-what lets the serving engine (:mod:`repro.serve`) interleave decode steps of
-many concurrent requests over one shared ``TransformerLM``.
+lives in the :class:`~repro.llm.kvcache.KVCache` each caller owns (and, for a
+prompt that is still being prefilled, in its :class:`PrefillState`) — which is
+what lets the serving engine (:mod:`repro.serve`) interleave prefill chunks
+and decode steps of many concurrent requests over one shared
+``TransformerLM``.
+
+Chunk-size invariance
+---------------------
+Chunked prefilling is **bitwise identical** to single-shot prefilling: any
+partition of the prompt into chunks produces the same KVCache contents,
+aggregates and logits, bit for bit.  Every floating-point reduction in the
+prefill path is therefore written to be independent of how rows are batched:
+
+* dense projections run on a fixed global row-block grid
+  (:data:`PREFILL_ROW_BLOCK` rows, zero-padded), because BLAS ``matmul``
+  results for one row change with the operand's row count;
+* attention logits and weighted sums use non-optimized ``einsum``
+  contractions, whose per-element accumulation over the contracted axis does
+  not depend on how the other axes are sliced;
+* softmax denominators and the accumulated/windowed score statistics use
+  strictly sequential reductions (``np.add.accumulate``), which are invariant
+  to trailing masked-out zeros and to chunk boundaries (unlike NumPy's
+  pairwise ``sum``).
+
+Row-wise operations (RMSNorm, SiLU, RoPE, residual adds) only reduce along
+the fixed feature axis and are invariant as-is.
 
 The model is random-initialised: no pretrained weights exist offline.  Its
 purpose is to exercise the true code paths (per-head keys with RoPE, GQA
@@ -33,7 +60,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DimensionError
 from ..utils import as_rng, softmax
-from .attention import causal_attention, expand_kv_heads
+from .attention import expand_kv_heads
 from .config import ModelConfig
 from .kvcache import KVCache
 from .layers import Linear, RMSNorm, SwiGLU
@@ -43,9 +70,60 @@ __all__ = [
     "LayerWeights",
     "PrefillAggregates",
     "PrefillResult",
+    "PrefillState",
+    "PREFILL_ROW_BLOCK",
     "Selector",
     "TransformerLM",
 ]
+
+#: Row-block size of the fixed global grid used for dense projections during
+#: prefilling.  Blocks are aligned to absolute token positions and zero-padded
+#: to exactly this many rows, so a token's projection is computed from an
+#: identically-shaped ``matmul`` regardless of chunk boundaries.
+PREFILL_ROW_BLOCK = 256
+
+
+def _blocked_rows(fn, rows: np.ndarray, global_start: int) -> np.ndarray:
+    """Apply a row-wise dense op on the fixed global row-block grid.
+
+    ``fn`` must map ``(PREFILL_ROW_BLOCK, d_in)`` to
+    ``(PREFILL_ROW_BLOCK, d_out)`` row-independently (a :class:`Linear` or
+    :class:`SwiGLU`).  Rows are placed at ``global_start + i`` on the grid and
+    missing grid rows are zero-padded, so each row's result is bitwise
+    independent of which other rows happen to share its chunk.
+    """
+    block = PREFILL_ROW_BLOCK
+    s = rows.shape[0]
+    pieces: list[np.ndarray] = []
+    pos = 0
+    while pos < s:
+        g = global_start + pos
+        offset = g % block
+        take = min(block - offset, s - pos)
+        if offset == 0 and take == block:
+            pieces.append(fn(rows[pos: pos + block]))
+        else:
+            padded = np.zeros((block, rows.shape[1]), dtype=np.float64)
+            padded[offset: offset + take] = rows[pos: pos + take]
+            pieces.append(fn(padded)[offset: offset + take])
+        pos += take
+    if len(pieces) == 1:
+        return pieces[0]
+    return np.concatenate(pieces, axis=0)
+
+
+def _accumulate_rows(totals: np.ndarray, scores: np.ndarray) -> None:
+    """Fold per-query score rows into running per-key totals sequentially.
+
+    ``totals`` is ``(h, >=width)`` and ``scores`` is ``(h, q, width)``; the
+    update is the strictly sequential scan
+    ``totals = (...((totals + s_0) + s_1)... + s_{q-1})``, so the result does
+    not depend on how queries were grouped into blocks or chunks (NumPy's
+    pairwise ``sum(axis=1)`` would).
+    """
+    width = scores.shape[2]
+    stacked = np.concatenate([totals[:, None, :width], scores], axis=1)
+    totals[:, :width] = np.add.accumulate(stacked, axis=1)[:, -1, :]
 
 
 @dataclass
@@ -115,6 +193,66 @@ class PrefillResult:
     aggregates: list[PrefillAggregates]           # one per layer
     prompt_queries: list[np.ndarray] | None       # per layer (h, s, d_h) or None
     seq_len: int
+
+
+@dataclass
+class PrefillState:
+    """Resumable state of a (possibly chunked) prefill in progress.
+
+    Created by :meth:`TransformerLM.begin_prefill`; advanced by
+    :meth:`TransformerLM.prefill_chunk`; turned into a :class:`PrefillResult`
+    by :meth:`TransformerLM.finish_prefill`.  The serving engine keeps one of
+    these per ``PREFILLING`` request so a long prompt can be processed a few
+    hundred tokens at a time, interleaved with other requests' work.
+
+    Attributes:
+        token_ids: the full prompt (known upfront — chunking only changes
+            *when* tokens are processed, not what the prompt is).
+        observation_window: effective trailing-query window
+            (``min(requested, seq_len)``) for the SnapKV-style aggregate.
+        query_block: query-block size of the streaming attention loop.
+        kvcache: cache being filled; after chunk ``i`` it holds exactly the
+            tokens processed so far, for every layer.
+        next_pos: index of the first unprocessed token.
+        acc_scores: per layer ``(num_heads, seq_len)`` running column sums of
+            attention mass (sequentially accumulated, see module docstring).
+        window_scores: per layer ``(num_heads, seq_len)`` running column sums
+            restricted to the last ``observation_window`` queries.
+        chunk_queries: per layer list of per-chunk query tensors when query
+            collection was requested, else ``None``.
+        last_hidden: final hidden state, available once complete.
+        logits: next-token logits of the last prompt token, once complete.
+    """
+
+    token_ids: np.ndarray
+    observation_window: int
+    query_block: int
+    kvcache: KVCache
+    acc_scores: list[np.ndarray]
+    window_scores: list[np.ndarray]
+    chunk_queries: list[list[np.ndarray]] | None
+    next_pos: int = 0
+    last_hidden: np.ndarray | None = None
+    logits: np.ndarray | None = None
+
+    @property
+    def seq_len(self) -> int:
+        """Total prompt length."""
+        return int(self.token_ids.size)
+
+    @property
+    def num_processed(self) -> int:
+        """Tokens prefilled so far."""
+        return self.next_pos
+
+    @property
+    def remaining_tokens(self) -> int:
+        """Tokens still to prefill."""
+        return self.seq_len - self.next_pos
+
+    @property
+    def is_complete(self) -> bool:
+        return self.next_pos >= self.seq_len
 
 
 # A selector receives (layer_index, query (h, d_h), layer cache) and returns
@@ -217,14 +355,198 @@ class TransformerLM:
 
     # ------------------------------------------------------------- prefill
 
+    def begin_prefill(
+        self,
+        token_ids: Sequence[int],
+        observation_window: int = 32,
+        collect_queries: bool = False,
+        query_block: int = 256,
+    ) -> PrefillState:
+        """Start a (possibly chunked) prefill of ``token_ids``.
+
+        Args:
+            token_ids: prompt token ids.
+            observation_window: trailing query count used for the SnapKV-style
+                window aggregate.
+            collect_queries: also collect per-layer prompt queries (needed by
+                the Oracle policy's offline analysis and by tests).
+            query_block: block size for the streaming attention aggregation.
+
+        Returns:
+            A fresh :class:`PrefillState` with no tokens processed yet.
+        """
+        token_ids = np.asarray(list(token_ids), dtype=np.int64)
+        if token_ids.size == 0:
+            raise ConfigurationError("prompt must contain at least one token")
+        if observation_window <= 0:
+            raise ConfigurationError("observation_window must be positive")
+        if query_block <= 0:
+            raise ConfigurationError("query_block must be positive")
+        cfg = self.config
+        s = int(token_ids.size)
+        return PrefillState(
+            token_ids=token_ids,
+            observation_window=min(observation_window, s),
+            query_block=int(query_block),
+            kvcache=KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim),
+            acc_scores=[
+                np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)
+            ],
+            window_scores=[
+                np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)
+            ],
+            chunk_queries=(
+                [[] for _ in range(cfg.num_layers)] if collect_queries else None
+            ),
+        )
+
+    def prefill_chunk(self, state: PrefillState, num_tokens: int) -> int:
+        """Process the next ``num_tokens`` prompt tokens through every layer.
+
+        Appends the chunk's keys/values to the state's KVCache, accumulates
+        the attention aggregates, and — once the last chunk completes —
+        computes the final hidden state and next-token logits.  Results are
+        bitwise independent of the chunking (see module docstring).
+
+        Args:
+            state: prefill state from :meth:`begin_prefill`.
+            num_tokens: chunk-size budget; the chunk is clipped to the
+                remaining prompt.
+
+        Returns:
+            The number of tokens actually processed.
+        """
+        if state.is_complete:
+            raise ConfigurationError("prefill is already complete")
+        if num_tokens <= 0:
+            raise ConfigurationError("num_tokens must be positive")
+        cfg = self.config
+        start = state.next_pos
+        stop = min(start + num_tokens, state.seq_len)
+        t = stop - start
+        group = cfg.gqa_group_size
+        positions = np.arange(start, stop)
+        hidden = self.embedding[state.token_ids[start:stop]]
+        # First prompt query that counts towards the windowed aggregate.
+        window_start = state.seq_len - state.observation_window
+
+        for layer_index, layer in enumerate(self.layers):
+            normed = layer.attn_norm(hidden)
+            q = _blocked_rows(layer.q_proj, normed, start)
+            k = _blocked_rows(layer.k_proj, normed, start)
+            v = _blocked_rows(layer.v_proj, normed, start)
+            q = q.reshape(t, cfg.num_heads, cfg.head_dim).transpose(1, 0, 2)
+            k = k.reshape(t, cfg.num_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+            v = v.reshape(t, cfg.num_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+            q = apply_rope(q, positions, base=self.rope_base)
+            k = apply_rope(k, positions, base=self.rope_base)
+            layer_cache = state.kvcache[layer_index]
+            layer_cache.append(k, v)
+            if state.chunk_queries is not None:
+                state.chunk_queries[layer_index].append(q)
+
+            # Streaming causal attention of the chunk's queries over every
+            # key cached so far (earlier chunks + this one), with O(t * block)
+            # extra memory, while accumulating the column-sum statistics the
+            # baselines need.  Each query block attends only keys up to its
+            # own last row — later keys are causally masked for every query
+            # in the block, and all reductions here are width-stable, so
+            # skipping them is bitwise-free (and halves the work).
+            k_exp = expand_kv_heads(layer_cache.keys, group)
+            v_exp = expand_kv_heads(layer_cache.values, group)
+            acc = state.acc_scores[layer_index]
+            win = state.window_scores[layer_index]
+            outputs = np.empty((cfg.num_heads, t, cfg.head_dim))
+            for b0 in range(0, t, state.query_block):
+                b1 = min(b0 + state.query_block, t)
+                width = start + b1
+                q_blk = q[:, b0:b1, :]
+                logits = np.einsum(
+                    "hqd,hkd->hqk", q_blk, k_exp[:, :width, :]
+                ) / np.sqrt(cfg.head_dim)
+                cols = np.arange(width)[None, :]
+                rows = np.arange(start + b0, start + b1)[:, None]
+                logits = np.where(cols > rows, -np.inf, logits)
+                # Width-stable softmax: the max ignores the -inf mask and the
+                # denominator is a strictly sequential scan, so a row's
+                # weights do not depend on how many masked future keys the
+                # block happens to carry.
+                peak = np.max(logits, axis=-1, keepdims=True)
+                scores = np.exp(logits - peak)
+                scores /= np.add.accumulate(scores, axis=-1)[..., -1:]
+                outputs[:, b0:b1, :] = np.einsum(
+                    "hqk,hkd->hqd", scores, v_exp[:, :width, :]
+                )
+                _accumulate_rows(acc, scores)
+                w0 = max(start + b0, window_start)
+                if w0 < start + b1:
+                    _accumulate_rows(win, scores[:, w0 - (start + b0):, :])
+
+            attn_out = outputs.transpose(1, 0, 2).reshape(t, cfg.hidden_dim)
+            hidden = hidden + _blocked_rows(layer.o_proj, attn_out, start)
+            hidden = hidden + _blocked_rows(
+                layer.ffn, layer.ffn_norm(hidden), start
+            )
+
+        state.next_pos = stop
+        if state.is_complete:
+            state.last_hidden = hidden[-1]
+            final = self.final_norm(hidden[-1])
+            state.logits = self.lm_head @ final
+        return t
+
+    def finish_prefill(self, state: PrefillState) -> PrefillResult:
+        """Package a completed :class:`PrefillState` as a :class:`PrefillResult`."""
+        if not state.is_complete:
+            raise ConfigurationError(
+                f"prefill incomplete: {state.num_processed}/{state.seq_len} "
+                "tokens processed"
+            )
+        cfg = self.config
+        s = state.seq_len
+        group = cfg.gqa_group_size
+        aggregates: list[PrefillAggregates] = []
+        for layer_index in range(cfg.num_layers):
+            # Reduce query-head statistics to KV heads (mean over the group),
+            # since selection happens at KV-head granularity.
+            acc = state.acc_scores[layer_index]
+            win = state.window_scores[layer_index]
+            aggregates.append(
+                PrefillAggregates(
+                    accumulated_scores=acc.reshape(cfg.num_kv_heads, group, s).mean(axis=1),
+                    window_scores=win.reshape(cfg.num_kv_heads, group, s).mean(axis=1),
+                    observation_window=state.observation_window,
+                )
+            )
+        all_queries: list[np.ndarray] | None = None
+        if state.chunk_queries is not None:
+            all_queries = [
+                chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=1)
+                for chunks in state.chunk_queries
+            ]
+        assert state.last_hidden is not None and state.logits is not None
+        return PrefillResult(
+            kvcache=state.kvcache,
+            last_hidden=state.last_hidden,
+            logits=state.logits,
+            aggregates=aggregates,
+            prompt_queries=all_queries,
+            seq_len=s,
+        )
+
     def prefill(
         self,
         token_ids: Sequence[int],
         observation_window: int = 32,
         collect_queries: bool = False,
         query_block: int = 256,
+        chunk_size: int | None = None,
     ) -> PrefillResult:
         """Run the prompt through the model and fill the KVCache.
+
+        A thin loop over :meth:`prefill_chunk`; the result is bitwise
+        identical for every ``chunk_size`` (``None`` processes the whole
+        prompt in one chunk).
 
         Args:
             token_ids: prompt token ids.
@@ -233,76 +555,21 @@ class TransformerLM:
             collect_queries: also return per-layer prompt queries (needed by
                 the Oracle policy's offline analysis and by tests).
             query_block: block size for the streaming attention aggregation.
+            chunk_size: tokens per prefill chunk.
 
         Returns:
             A :class:`PrefillResult`.
         """
-        token_ids = np.asarray(list(token_ids), dtype=np.int64)
-        if token_ids.size == 0:
-            raise ConfigurationError("prompt must contain at least one token")
-        cfg = self.config
-        s = int(token_ids.size)
-        positions = np.arange(s)
-        hidden = self.embedding[token_ids]
-        cache = KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim)
-        aggregates: list[PrefillAggregates] = []
-        all_queries: list[np.ndarray] | None = [] if collect_queries else None
-        group = cfg.gqa_group_size
-        window = min(observation_window, s)
-
-        for layer_index, layer in enumerate(self.layers):
-            q, k, v = self._project_qkv(layer, hidden, positions)
-            cache[layer_index].append(k, v)
-            if all_queries is not None:
-                all_queries.append(q)
-
-            # Streaming causal attention with O(s * block) memory, while
-            # accumulating the column-sum statistics the baselines need.
-            k_exp = expand_kv_heads(k, group)
-            v_exp = expand_kv_heads(v, group)
-            acc = np.zeros((cfg.num_heads, s), dtype=np.float64)
-            win = np.zeros((cfg.num_heads, s), dtype=np.float64)
-            outputs = np.empty((cfg.num_heads, s, cfg.head_dim), dtype=np.float64)
-            for start in range(0, s, query_block):
-                stop = min(start + query_block, s)
-                q_blk = q[:, start:stop, :]
-                logits = np.einsum("hqd,hkd->hqk", q_blk, k_exp) / np.sqrt(cfg.head_dim)
-                cols = np.arange(s)[None, :]
-                rows = np.arange(start, stop)[:, None]
-                logits = np.where(cols > rows, -np.inf, logits)
-                scores = softmax(logits, axis=-1)
-                outputs[:, start:stop, :] = np.einsum("hqk,hkd->hqd", scores, v_exp)
-                acc += scores.sum(axis=1)
-                overlap_start = max(start, s - window)
-                if overlap_start < stop:
-                    win += scores[:, overlap_start - start: stop - start, :].sum(axis=1)
-
-            # Reduce query-head statistics to KV heads (mean over the group),
-            # since selection happens at KV-head granularity.
-            acc_kv = acc.reshape(cfg.num_kv_heads, group, s).mean(axis=1)
-            win_kv = win.reshape(cfg.num_kv_heads, group, s).mean(axis=1)
-            aggregates.append(
-                PrefillAggregates(
-                    accumulated_scores=acc_kv,
-                    window_scores=win_kv,
-                    observation_window=window,
-                )
-            )
-
-            attn_out = outputs.transpose(1, 0, 2).reshape(s, cfg.hidden_dim)
-            hidden = hidden + layer.o_proj(attn_out)
-            hidden = hidden + layer.ffn(layer.ffn_norm(hidden))
-
-        final = self.final_norm(hidden[-1])
-        logits = self.lm_head @ final
-        return PrefillResult(
-            kvcache=cache,
-            last_hidden=hidden[-1],
-            logits=logits,
-            aggregates=aggregates,
-            prompt_queries=all_queries,
-            seq_len=s,
+        state = self.begin_prefill(
+            token_ids,
+            observation_window=observation_window,
+            collect_queries=collect_queries,
+            query_block=query_block,
         )
+        step = state.seq_len if chunk_size is None else int(chunk_size)
+        while not state.is_complete:
+            self.prefill_chunk(state, step)
+        return self.finish_prefill(state)
 
     # -------------------------------------------------------------- decode
 

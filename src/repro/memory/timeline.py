@@ -75,13 +75,23 @@ class Timeline:
         duration: float,
         depends_on: tuple[str, ...] | list[str] = (),
     ) -> Task:
-        """Add and immediately schedule a task."""
+        """Add and immediately schedule a task.
+
+        Tasks must be added in topological order: every dependency must
+        already be scheduled, which also makes dependency *cycles*
+        structurally unrepresentable — a cycle would require some task to
+        depend on a not-yet-added task, which is rejected here.  The
+        self-dependency case (the only cycle expressible with known names)
+        is reported explicitly.
+        """
         if name in self._tasks:
             raise SchedulingError(f"duplicate task name: {name}")
         if resource not in Resource.ALL:
             raise SchedulingError(f"unknown resource: {resource}")
         if duration < 0:
             raise SchedulingError("duration must be >= 0")
+        if name in depends_on:
+            raise SchedulingError(f"dependency cycle: {name} depends on itself")
         missing = [dep for dep in depends_on if dep not in self._tasks]
         if missing:
             raise SchedulingError(f"unknown dependencies for {name}: {missing}")

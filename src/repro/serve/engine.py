@@ -23,6 +23,19 @@ selection rides the vectorized ADC kernels
 :func:`~repro.llm.attention.decode_attention`, so a decode round costs one
 einsum/gather per layer instead of a Python loop over every KV head.
 
+Prefilling runs in one of two modes.  By default an admitted request
+prefills its whole prompt during the admission step (monolithic).  With
+``SchedulerConfig.max_prefill_chunk_tokens`` set, prefill is *chunked*: each
+step processes at most that many prompt tokens, split fairly across the
+batch's ``PREFILLING`` requests via :meth:`TransformerLM.prefill_chunk`, so a
+16k-token prompt no longer head-of-line-blocks a short prompt's TTFT.  The
+clock is charged per chunk (GPU compute of the chunk), with the residual of
+the overlapped construction timeline
+(:meth:`~repro.memory.LatencyModel.chunked_prefill_timeline`) settled at
+completion; policies that support it (PQCache) build their state
+incrementally from the same chunks (sketch fit → stream encode → refine).
+Chunked and monolithic prefill produce bitwise-identical model outputs.
+
 Wall-clock is *simulated*: the engine advances a clock using the analytical
 :class:`~repro.memory.LatencyModel` (prefill makespans and per-step TPOT for
 the request's method profile), so TTFT/TPOT/throughput come out in the
@@ -39,7 +52,7 @@ from ..baselines.base import KVCachePolicy
 from ..errors import ConfigurationError
 from ..llm.generation import StepSelections
 from ..llm.kvcache import KVCache
-from ..llm.model import PrefillResult, TransformerLM
+from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
 from .metrics import EngineMetrics, RequestMetrics
@@ -57,6 +70,9 @@ class _RequestState:
         self.status = RequestStatus.WAITING
         self.policy: KVCachePolicy | None = None
         self.prefill: PrefillResult | None = None
+        self.prefill_state: PrefillState | None = None
+        self.chunk_lens: list[int] = []
+        self.chunk_seconds: float = 0.0
         self.method: str = "full"
         self.generated: list[int] = []
         self.step_logits: list[np.ndarray] = []
@@ -80,6 +96,15 @@ class _RequestState:
     @property
     def finished(self) -> bool:
         return self.status == RequestStatus.FINISHED
+
+    @property
+    def remaining_prefill_tokens(self) -> int:
+        """Prompt tokens still to prefill (the scheduler's chunk protocol)."""
+        if self.prefill is not None or self.request.prefill is not None:
+            return 0
+        if self.prefill_state is not None:
+            return self.prefill_state.remaining_tokens
+        return len(self.request.prompt_ids)
 
     def pick_token(self, logits: np.ndarray) -> int:
         """Masked greedy argmax — the same rule the legacy loop used."""
@@ -174,28 +199,51 @@ class InferenceEngine:
     # --------------------------------------------------------------- step
 
     def step(self) -> list[RequestOutput]:
-        """Run one engine step: admissions + one decode round for the batch.
+        """Run one engine step: admissions + prefill work + one decode round.
+
+        Unchunked: admitted requests prefill their whole prompt.  Chunked:
+        the scheduler's per-step token budget is spread over the batch's
+        ``PREFILLING`` requests and each allocation advances that request by
+        one chunk.  Either way, every fully-prefilled running request then
+        gets a decode round.
 
         Returns one :class:`RequestOutput` per touched request, carrying the
         tokens that became available during this step (streaming deltas).
         """
         decision = self.scheduler.schedule()
-        if not decision.decodes and not decision.admitted:
+        if not decision.decodes and not decision.admitted and not decision.prefill_chunks:
             return []
         self.metrics.steps += 1
         new_tokens: dict[str, list[int]] = {}
+        chunked = self.scheduler.config.chunked_prefill_enabled
+
+        touched: list[_RequestState] = []
+
+        def touch(state: _RequestState) -> None:
+            if state not in touched:
+                touched.append(state)
 
         for state in decision.admitted:
-            self._run_prefill(state, new_tokens)
+            self._begin_prefill(state)
+            touch(state)
+            if not chunked:
+                self._run_monolithic_prefill(state, new_tokens)
+            elif state.remaining_prefill_tokens == 0 and state.prefill is None:
+                # Precomputed prefill (e.g. the eval harness): nothing to
+                # chunk, the request completes its prefill phase immediately.
+                self._complete_prefill(state, self._resolve_prefill(state), new_tokens)
+
+        for state, num_tokens in decision.prefill_chunks:
+            self._run_prefill_chunk(state, num_tokens, new_tokens)
+            touch(state)
 
         for state in decision.decodes:
-            if not state.finished:
+            touch(state)
+            if not state.finished and state.status is RequestStatus.RUNNING:
                 self._run_decode_round(state, new_tokens)
 
         outputs: list[RequestOutput] = []
-        for state in decision.admitted + [
-            s for s in decision.decodes if s not in decision.admitted
-        ]:
+        for state in touched:
             output = self._make_output(state, new_tokens.get(state.request.request_id, []))
             outputs.append(output)
             if state.finished:
@@ -206,10 +254,15 @@ class InferenceEngine:
                 del self._states[state.request.request_id]
                 self._final_outputs[state.request.request_id] = output
                 self.metrics.requests_finished += 1
-        if self.max_retained_outputs is not None:
-            while len(self._final_outputs) > self.max_retained_outputs:
-                self._final_outputs.pop(next(iter(self._final_outputs)))
+        self._trim_retained_outputs()
         return outputs
+
+    def _trim_retained_outputs(self) -> None:
+        """Evict the oldest retained finals beyond the retention bound."""
+        if self.max_retained_outputs is None:
+            return
+        while len(self._final_outputs) > self.max_retained_outputs:
+            self._final_outputs.pop(next(iter(self._final_outputs)))
 
     def stream(self) -> Iterator[RequestOutput]:
         """Drive the engine to completion, yielding every streamed output."""
@@ -249,13 +302,64 @@ class InferenceEngine:
         """Drop a finished request's retained output (frees its KVCache)."""
         self._final_outputs.pop(request_id, None)
 
+    def abort(self, request_id: str) -> RequestOutput:
+        """Cancel an unfinished request and free its scheduler slot.
+
+        Works on requests in any pre-finished state: still waiting, mid-way
+        through a chunked prefill (the partially-filled KVCache is dropped),
+        or decoding.  The request finishes immediately with
+        ``finish_reason="aborted"`` and the returned final
+        :class:`RequestOutput` carries whatever tokens were generated before
+        the abort.
+
+        Args:
+            request_id: id of the request to cancel.
+
+        Returns:
+            The final (aborted) output, also retained like any finished
+            output.
+
+        Raises:
+            ConfigurationError: if the request is unknown or already finished.
+        """
+        state = self._states.get(request_id)
+        if state is None:
+            raise ConfigurationError(
+                f"request {request_id!r} is not active (unknown or finished)"
+            )
+        self.scheduler.remove(state)
+        state.prefill_state = None  # drop the partial KVCache
+        self._finish(state, "aborted")
+        output = self._make_output(state, [])
+        del self._states[request_id]
+        self._final_outputs[request_id] = output
+        self.metrics.requests_aborted += 1
+        self._trim_retained_outputs()
+        return output
+
     # ------------------------------------------------------------ prefill
 
-    def _run_prefill(self, state: _RequestState, new_tokens: dict[str, list[int]]) -> None:
-        request = state.request
-        state.status = RequestStatus.RUNNING
+    def _begin_prefill(self, state: _RequestState) -> None:
+        """Admission bookkeeping: build the policy, resolve its profile."""
+        state.status = RequestStatus.PREFILLING
         state.metrics.prefill_start = self.metrics.clock
+        if state.request.policy_spec is not None:
+            state.policy = state.request.policy_spec.build()
+        state.method = resolve_method(
+            state.policy.name if state.policy is not None else None,
+            is_dropping=state.policy.is_dropping if state.policy is not None else False,
+        )
 
+    def _resolve_prefill(self, state: _RequestState) -> PrefillResult:
+        """Prefill result of a request that needs no (more) model work."""
+        assert state.request.prefill is not None
+        return state.request.prefill
+
+    def _run_monolithic_prefill(
+        self, state: _RequestState, new_tokens: dict[str, list[int]]
+    ) -> None:
+        """Legacy unchunked path: the whole prompt in the admission step."""
+        request = state.request
         if request.prefill is not None:
             prefill = request.prefill
         else:
@@ -263,26 +367,91 @@ class InferenceEngine:
                 request.prompt_ids,
                 observation_window=request.sampling.observation_window,
             )
-        state.prefill = prefill
+        self._complete_prefill(state, prefill, new_tokens)
 
-        if request.policy_spec is not None:
-            state.policy = request.policy_spec.build()
-            state.policy.on_prefill(self.model.config, prefill)
-        state.method = resolve_method(
-            state.policy.name if state.policy is not None else None,
-            is_dropping=state.policy.is_dropping if state.policy is not None else False,
-        )
+    def _run_prefill_chunk(
+        self, state: _RequestState, num_tokens: int, new_tokens: dict[str, list[int]]
+    ) -> None:
+        """Advance a chunked-prefill request by one scheduled chunk."""
+        request = state.request
+        if state.prefill_state is None:
+            state.prefill_state = self.model.begin_prefill(
+                request.prompt_ids,
+                observation_window=request.sampling.observation_window,
+            )
+        prefix = state.prefill_state.num_processed
+        processed = self.model.prefill_chunk(state.prefill_state, num_tokens)
+        state.chunk_lens.append(processed)
+        state.metrics.prefill_chunks += 1
+        self.metrics.prefill_chunks += 1
 
-        seconds = self.latency.prefill_timeline(prefill.seq_len, state.method).makespan
+        # Per-chunk clock charge: the chunk's GPU compute.  Offload and PQ
+        # construction overlap on other resources; their non-hidable residual
+        # is settled at completion from the overlapped chunk timeline.
+        seconds = self.latency.prefill_chunk_seconds(processed, prefix, state.method)
         self.metrics.clock += seconds
-        state.metrics.prefill_seconds = seconds
+        state.chunk_seconds += seconds
+        state.metrics.prefill_seconds += seconds
+
+        if state.policy is not None and state.policy.supports_incremental_prefill:
+            state.policy.on_prefill_chunk(
+                self.model.config,
+                state.prefill_state.kvcache,
+                prefix,
+                prefix + processed,
+                state.prefill_state.seq_len,
+            )
+
+        if state.prefill_state.is_complete:
+            prefill = self.model.finish_prefill(state.prefill_state)
+            residual = (
+                self.latency.chunked_prefill_timeline(
+                    state.chunk_lens, state.method
+                ).makespan
+                - state.chunk_seconds
+            )
+            if residual > 0.0:
+                self.metrics.clock += residual
+                state.metrics.prefill_seconds += residual
+            state.prefill_state = None
+            self._complete_prefill(state, prefill, new_tokens)
+
+    def _complete_prefill(
+        self,
+        state: _RequestState,
+        prefill: PrefillResult,
+        new_tokens: dict[str, list[int]],
+    ) -> None:
+        """Shared tail of both prefill modes: policy state, clock, first token."""
+        request = state.request
+        state.prefill = prefill
+        state.status = RequestStatus.RUNNING
+
+        if state.policy is not None:
+            # finish_prefill refines incrementally-built state (PQCache under
+            # chunked prefill) and defers to on_prefill for everything else.
+            state.policy.finish_prefill(self.model.config, prefill)
+
+        if not state.chunk_lens:
+            # Monolithic prefill charges the whole overlapped makespan once.
+            seconds = self.latency.prefill_timeline(
+                prefill.seq_len, state.method
+            ).makespan
+            self.metrics.clock += seconds
+            state.metrics.prefill_seconds = seconds
+            state.metrics.prefill_chunks = 1
         self.metrics.prefills += 1
 
+        # The first token exists as soon as prefilling ends — for sampled
+        # requests it is emitted right away; for teacher-forced requests it
+        # is the externally-supplied token that the first decode round will
+        # process, so TTFT is the same point on the clock (this used to be
+        # skipped, reporting TTFT as 0 for every eval-harness run).
+        state.metrics.first_token_time = self.metrics.clock
         if state.forced is None:
             first = state.pick_token(prefill.logits)
             state.generated.append(first)
             state.metrics.num_generated_tokens += 1
-            state.metrics.first_token_time = self.metrics.clock
             self.metrics.generated_tokens += 1
             new_tokens.setdefault(request.request_id, []).append(first)
             if state.is_stop(first):

@@ -28,6 +28,7 @@ class RequestMetrics:
         decode_seconds: simulated decode service time accumulated so far.
         num_prompt_tokens: prompt length.
         num_generated_tokens: tokens emitted (0 in teacher-forcing mode).
+        prefill_chunks: prefill chunks executed (1 for monolithic prefill).
         decode_steps: decode rounds executed.
         attended_tokens: sum over decode steps of the mean number of cache
             tokens attended per layer/head — divide by ``decode_steps`` for
@@ -46,6 +47,7 @@ class RequestMetrics:
     decode_seconds: float = 0.0
     num_prompt_tokens: int = 0
     num_generated_tokens: int = 0
+    prefill_chunks: int = 0
     decode_steps: int = 0
     attended_tokens: float = 0.0
     comm_overlappable_bytes: float = 0.0
@@ -90,6 +92,7 @@ class RequestMetrics:
             "decode_seconds": self.decode_seconds,
             "num_prompt_tokens": self.num_prompt_tokens,
             "num_generated_tokens": self.num_generated_tokens,
+            "prefill_chunks": self.prefill_chunks,
             "decode_steps": self.decode_steps,
             "mean_attended_tokens": self.mean_attended_tokens,
             "comm_overlappable_bytes": self.comm_overlappable_bytes,
@@ -105,7 +108,9 @@ class EngineMetrics:
     steps: int = 0
     requests_submitted: int = 0
     requests_finished: int = 0
+    requests_aborted: int = 0
     prefills: int = 0
+    prefill_chunks: int = 0
     decode_rounds: int = 0
     generated_tokens: int = 0
 
@@ -129,7 +134,9 @@ class EngineMetrics:
             "steps": self.steps,
             "requests_submitted": self.requests_submitted,
             "requests_finished": self.requests_finished,
+            "requests_aborted": self.requests_aborted,
             "prefills": self.prefills,
+            "prefill_chunks": self.prefill_chunks,
             "decode_rounds": self.decode_rounds,
             "generated_tokens": self.generated_tokens,
             "requests_per_second": self.requests_per_second,

@@ -151,9 +151,18 @@ class PolicySpec:
 
 
 class RequestStatus(Enum):
-    """Lifecycle of a request inside the engine."""
+    """Lifecycle of a request inside the engine.
+
+    ``WAITING → PREFILLING → RUNNING → FINISHED``: a request admitted into a
+    batch slot first prefills its prompt (one monolithic step, or several
+    chunks under chunked prefill — it stays ``PREFILLING`` between chunks),
+    then decodes (``RUNNING``) until it finishes.  :meth:`InferenceEngine
+    .abort` can finish a request early from any non-finished state (see
+    ``docs/serving.md``).
+    """
 
     WAITING = "waiting"
+    PREFILLING = "prefilling"
     RUNNING = "running"
     FINISHED = "finished"
 
@@ -206,7 +215,8 @@ class RequestOutput:
         new_token_ids: tokens first emitted during this engine step.
         token_ids: all tokens emitted so far (prompt excluded).
         finished: whether the request completed this step.
-        finish_reason: ``"length"``, ``"stop"`` or ``None`` while running.
+        finish_reason: ``"length"``, ``"stop"``, ``"aborted"`` or ``None``
+            while running.
         metrics: per-request serving metrics (TTFT, TPOT, bytes moved, ...).
         logits: ``(steps, vocab)`` per-decode-step logits (final output only).
         selections: per-step :data:`~repro.llm.StepSelections` (final only).

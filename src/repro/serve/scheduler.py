@@ -1,19 +1,29 @@
-"""Continuous-batching scheduler.
+"""Continuous-batching scheduler with optional chunked prefill.
 
 The scheduler owns the waiting queue and the running batch.  Each engine step
-asks it for a :class:`SchedulingDecision`: which waiting requests to admit
-(prefill) this step and which running requests get a decode round.  Admission
-is FCFS and a request holds its batch slot until it finishes — the classic
+asks it for a :class:`SchedulingDecision`: which waiting requests to admit,
+how many prefill tokens each partially-prefilled request may process this
+step, and which running requests get a decode round.  Admission is FCFS and a
+request holds its batch slot until it finishes — the classic
 continuous-batching discipline (Orca/vLLM style): slots freed by finished
 requests are refilled on the very next step instead of waiting for the whole
 batch to drain.
+
+Chunked prefill (vLLM-style) is enabled by setting
+``max_prefill_chunk_tokens``: instead of prefilling an admitted prompt in one
+monolithic step — which head-of-line-blocks every other request for the whole
+prompt's makespan — each step hands out at most that many prompt tokens,
+split max-min fairly across the batch's ``PREFILLING`` requests (short
+prompts complete first, long prompts soak up the leftover budget).  Items
+scheduled in chunked mode must expose a ``remaining_prefill_tokens``
+attribute (the engine's per-request state does).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Generic, List, TypeVar
+from dataclasses import dataclass, field
+from typing import Deque, Generic, List, Tuple, TypeVar
 
 from ..errors import ConfigurationError
 
@@ -31,16 +41,29 @@ class SchedulerConfig:
         max_prefills_per_step: admission cap per engine step; prefills are
             long, so bounding them keeps decode rounds of already-running
             requests from starving (vLLM's ``max_num_seqs`` analogue).
+        max_prefill_chunk_tokens: per-step prompt-token budget shared by all
+            mid-prefill requests.  ``None`` (the default) disables chunking:
+            admitted requests prefill their whole prompt in the admission
+            step, exactly like the pre-chunking engine.
     """
 
     max_batch_size: int = 8
     max_prefills_per_step: int = 2
+    max_prefill_chunk_tokens: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
         if self.max_prefills_per_step <= 0:
             raise ConfigurationError("max_prefills_per_step must be positive")
+        if self.max_prefill_chunk_tokens is not None and self.max_prefill_chunk_tokens <= 0:
+            raise ConfigurationError(
+                "max_prefill_chunk_tokens must be positive (or None to disable)"
+            )
+
+    @property
+    def chunked_prefill_enabled(self) -> bool:
+        return self.max_prefill_chunk_tokens is not None
 
 
 @dataclass
@@ -48,13 +71,19 @@ class SchedulingDecision(Generic[T]):
     """What one engine step should do.
 
     Attributes:
-        admitted: requests moving waiting → running this step (to prefill).
-        decodes: running requests (including just-admitted ones) that get a
-            decode round this step.
+        admitted: requests moving waiting → running this step.
+        prefill_chunks: ``(request, num_tokens)`` prefill work for this step,
+            in processing order (chunked mode only; empty otherwise —
+            unchunked admissions prefill their whole prompt).
+        decodes: running requests that get a decode round this step.  In
+            chunked mode this includes requests whose prefill completes with
+            this step's chunk allocation, matching the unchunked behaviour of
+            decoding right after admission-prefill.
     """
 
     admitted: List[T]
     decodes: List[T]
+    prefill_chunks: List[Tuple[T, int]] = field(default_factory=list)
 
 
 class ContinuousBatchingScheduler(Generic[T]):
@@ -87,10 +116,24 @@ class ContinuousBatchingScheduler(Generic[T]):
         """Release the batch slot of a finished request."""
         self._running.remove(item)
 
+    def remove(self, item: T) -> None:
+        """Drop a request from whichever queue holds it (abort support)."""
+        if item in self._running:
+            self._running.remove(item)
+        elif item in self._waiting:
+            self._waiting.remove(item)
+        else:
+            raise ConfigurationError("item is not scheduled")
+
     # ----------------------------------------------------------- schedule
 
+    @staticmethod
+    def _remaining(item: T) -> int:
+        """Prefill tokens the item still needs (chunked-mode protocol)."""
+        return int(item.remaining_prefill_tokens)  # type: ignore[attr-defined]
+
     def schedule(self) -> SchedulingDecision[T]:
-        """Admit waiting requests into free slots, then decode the batch."""
+        """Admit waiting requests into free slots, then plan prefill/decode."""
         admitted: List[T] = []
         while (
             self._waiting
@@ -100,4 +143,37 @@ class ContinuousBatchingScheduler(Generic[T]):
             item = self._waiting.popleft()
             self._running.append(item)
             admitted.append(item)
-        return SchedulingDecision(admitted=admitted, decodes=list(self._running))
+
+        if not self.config.chunked_prefill_enabled:
+            return SchedulingDecision(admitted=admitted, decodes=list(self._running))
+
+        # Chunked mode: split the step's token budget max-min fairly over the
+        # partially-prefilled requests.  Smallest demands are served first
+        # (fully, when the fair share covers them) so short prompts are never
+        # head-of-line-blocked by a long prefill; the leftover budget rolls
+        # over to the larger demands.  Ties keep FCFS order (stable sort).
+        prefilling = [
+            item for item in self._running if self._remaining(item) > 0
+        ]
+        prefilling.sort(key=self._remaining)
+        granted: dict[int, int] = {}
+        chunks: List[Tuple[T, int]] = []
+        budget = int(self.config.max_prefill_chunk_tokens or 0)
+        for index, item in enumerate(prefilling):
+            if budget <= 0:
+                break
+            claimants_left = len(prefilling) - index
+            fair_share = -(-budget // claimants_left)  # ceil division
+            grant = min(self._remaining(item), fair_share, budget)
+            if grant > 0:
+                chunks.append((item, grant))
+                granted[id(item)] = grant
+                budget -= grant
+
+        decodes = [
+            item for item in self._running
+            if self._remaining(item) - granted.get(id(item), 0) <= 0
+        ]
+        return SchedulingDecision(
+            admitted=admitted, decodes=decodes, prefill_chunks=chunks
+        )

@@ -11,8 +11,9 @@ from repro.core.kmeans import (
     kmeans_assign,
     kmeans_fit,
     kmeans_plus_plus_init,
+    kmeans_refine,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DimensionError
 
 
 def _blobs(rng, centers, points_per_center=30, scale=0.05):
@@ -182,3 +183,58 @@ class TestKMeansAssign:
         centroids = np.array([[0.0, 0.0], [10.0, 0.0]])
         points = np.array([[1.0, 0.0], [9.0, 0.5]])
         assert list(kmeans_assign(points, centroids)) == [0, 1]
+
+
+class TestKMeansRefine:
+    """Incremental construction: warm-started Lloyd over the full point set."""
+
+    def test_refine_improves_sketch_fit(self, rng):
+        points = rng.normal(size=(400, 6))
+        sketch = points[rng.choice(400, size=60, replace=False)]
+        sketch_fit = kmeans_fit(sketch, n_clusters=16, max_iter=20, seed=0)
+        before = kmeans_assign(points, sketch_fit.centroids)
+        diffs = points - sketch_fit.centroids[before]
+        inertia_before = float(np.einsum("ij,ij->i", diffs, diffs).sum())
+        refined = kmeans_refine(points, sketch_fit.centroids, max_iter=20)
+        assert refined.inertia <= inertia_before + 1e-9
+
+    def test_refine_reaches_one_shot_quality(self, rng):
+        points = rng.normal(size=(500, 8))
+        one_shot = kmeans_fit(points, n_clusters=32, max_iter=30, seed=0)
+        sketch = points[::4]
+        sketch_fit = kmeans_fit(sketch, n_clusters=32, max_iter=30, seed=0)
+        refined = kmeans_refine(points, sketch_fit.centroids, max_iter=30)
+        # Both land in local optima; quality must match within tolerance.
+        assert refined.inertia <= 1.10 * one_shot.inertia
+
+    def test_zero_iterations_keeps_centroids(self, rng):
+        points = rng.normal(size=(50, 3))
+        centroids = rng.normal(size=(4, 3))
+        result = kmeans_refine(points, centroids, max_iter=0)
+        assert np.array_equal(result.centroids, centroids)
+        assert result.converged and result.n_iter == 0
+        assert np.array_equal(result.labels, kmeans_assign(points, centroids))
+
+    def test_does_not_mutate_input_centroids(self, rng):
+        points = rng.normal(size=(80, 3))
+        centroids = rng.normal(size=(8, 3))
+        frozen = centroids.copy()
+        kmeans_refine(points, centroids, max_iter=10)
+        assert np.array_equal(centroids, frozen)
+
+    def test_fewer_points_than_empty_clusters_is_safe(self, rng):
+        # Two identical points, many far-away centroids: most clusters end up
+        # empty and there are fewer reseed candidates than empty slots.
+        points = np.zeros((2, 3))
+        centroids = 100.0 + rng.normal(size=(8, 3))
+        result = kmeans_refine(points, centroids, max_iter=5)
+        assert result.labels.shape == (2,)
+
+    def test_validation(self, rng):
+        points = rng.normal(size=(10, 3))
+        with pytest.raises(ConfigurationError):
+            kmeans_refine(points, rng.normal(size=(4, 2)))  # dim mismatch
+        with pytest.raises(DimensionError):
+            kmeans_refine(points[:0], rng.normal(size=(4, 3)))  # no points
+        with pytest.raises(ConfigurationError):
+            kmeans_refine(points, rng.normal(size=(4, 3)), max_iter=-1)

@@ -68,17 +68,39 @@ class TestTimeline:
         assert tl["cluster"].start == pytest.approx(1.5)
         assert tl.makespan == pytest.approx(3.5)
 
-    def test_duplicate_and_unknown_names(self):
+    def test_duplicate_task_name_rejected(self):
         tl = Timeline()
         tl.add("a", Resource.GPU, 1.0)
-        with pytest.raises(SchedulingError):
+        with pytest.raises(SchedulingError, match="duplicate task name"):
             tl.add("a", Resource.GPU, 1.0)
-        with pytest.raises(SchedulingError):
+
+    def test_unknown_dependency_rejected(self):
+        tl = Timeline()
+        tl.add("a", Resource.GPU, 1.0)
+        with pytest.raises(SchedulingError, match="unknown dependencies"):
             tl.add("b", Resource.GPU, 1.0, depends_on=("missing",))
-        with pytest.raises(SchedulingError):
+
+    def test_unknown_resource_rejected(self):
+        tl = Timeline()
+        with pytest.raises(SchedulingError, match="unknown resource"):
             tl.add("c", "tpu", 1.0)
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
         with pytest.raises(SchedulingError):
             tl.add("d", Resource.GPU, -1.0)
+
+    def test_dependency_cycles_are_impossible(self):
+        """Self-dependencies are guarded explicitly; longer cycles cannot be
+        expressed because every dependency must already be scheduled."""
+        tl = Timeline()
+        with pytest.raises(SchedulingError, match="cycle"):
+            tl.add("a", Resource.GPU, 1.0, depends_on=("a",))
+        # A two-task cycle requires naming a future task, which is rejected
+        # as an unknown dependency before any cycle can form.
+        with pytest.raises(SchedulingError, match="unknown dependencies"):
+            tl.add("b", Resource.GPU, 1.0, depends_on=("c",))
+        assert len(tl) == 0  # nothing was partially added
 
     def test_utilisation_and_busy_time(self):
         tl = Timeline()
@@ -194,3 +216,74 @@ class TestLatencyModel:
 
     def test_methods_listed(self, latency_model):
         assert "pqcache" in latency_model.methods()
+
+
+class TestChunkedPrefillLatency:
+    def test_chunk_charges_telescope_to_monolithic_compute(self, latency_model):
+        chunks = [4096] * 8
+        total = sum(
+            latency_model.prefill_chunk_seconds(c, i * 4096, "full")
+            for i, c in enumerate(chunks)
+        )
+        mono = latency_model.layer_prefill_compute_seconds(32768) \
+            * latency_model.model.num_layers
+        assert total == pytest.approx(mono, rel=1e-12)
+
+    def test_chunked_timeline_overlaps(self, latency_model):
+        chunks = [8192] * 8
+        timeline = latency_model.chunked_prefill_timeline(chunks, "pqcache",
+                                                          iterations=16)
+        gpu = timeline.resource_busy_time(Resource.GPU)
+        sequential = sum(task.duration for task in timeline.tasks)
+        # Genuine overlap: strictly below the sequential execution of
+        # compute + offload + clustering/encode/refine...
+        assert timeline.makespan < sequential
+        # ...and construction is almost entirely hidden behind compute.
+        assert timeline.makespan < 1.05 * gpu
+        # Dependency sanity: every chunk's offload follows its compute.
+        assert timeline["offload-C3-L0"].start >= timeline["compute-C3-L0"].finish
+
+    def test_chunked_timeline_close_to_monolithic_makespan(self, latency_model):
+        chunks = [8192] * 8
+        chunked = latency_model.chunked_prefill_timeline(chunks, "pqcache",
+                                                         iterations=16).makespan
+        mono = latency_model.prefill_timeline(65536, "pqcache",
+                                              iterations=16).makespan
+        assert chunked == pytest.approx(mono, rel=0.1)
+
+    def test_refine_overlaps_last_chunk(self, latency_model):
+        chunks = [8192] * 8
+        timeline = latency_model.chunked_prefill_timeline(chunks, "pqcache",
+                                                          iterations=16)
+        # Early layers refine while the last chunk's compute is running.
+        assert timeline["refine-L0"].start < timeline["compute-C7-L31"].finish
+
+    def test_non_pq_methods_have_no_construction_tasks(self, latency_model):
+        timeline = latency_model.chunked_prefill_timeline([1024] * 4, "full")
+        assert all(t.resource == Resource.GPU for t in timeline.tasks)
+        timeline = latency_model.chunked_prefill_timeline([1024] * 4, "sparq")
+        assert any(t.resource == Resource.D2H for t in timeline.tasks)
+        assert not any(t.name.startswith("cluster") for t in timeline.tasks)
+
+    def test_infllm_block_setup_tasks_present(self, latency_model):
+        timeline = latency_model.chunked_prefill_timeline([1024] * 4, "infllm")
+        blocks = [t for t in timeline.tasks if t.name.startswith("blocks-")]
+        assert len(blocks) == 4 * latency_model.model.num_layers
+        assert not any(t.name.startswith("refine") for t in timeline.tasks)
+
+    def test_h2o_chunk_score_bytes_telescope(self, latency_model):
+        chunks = [2048] * 8
+        total = sum(
+            latency_model.prefill_chunk_seconds(c, i * 2048, "h2o")
+            for i, c in enumerate(chunks)
+        )
+        mono = latency_model.prefill_timeline(16384, "h2o").makespan
+        assert total == pytest.approx(mono, rel=1e-12)
+
+    def test_chunk_lens_validated(self, latency_model):
+        with pytest.raises(ConfigurationError):
+            latency_model.chunked_prefill_timeline([], "pqcache")
+        with pytest.raises(ConfigurationError):
+            latency_model.chunked_prefill_timeline([128, 0], "pqcache")
+        with pytest.raises(ConfigurationError):
+            latency_model.chunked_prefill_timeline([128], "magic")

@@ -168,3 +168,88 @@ class TestAccountingAndCache:
         mgr.build(kvcache, max_iters=1)
         assert mgr.gpu_cache is None
         assert mgr.record_fetch(np.arange(4)) is None
+
+
+class TestIncrementalConstruction:
+    """Sketch fit → stream encode → refine must match one-shot build quality."""
+
+    CFG = PQCacheConfig(num_partitions=2, num_bits=4, max_kmeans_iters=15,
+                        gpu_cache_tokens=0)
+
+    @staticmethod
+    def _reconstruction_error(mgr, kvcache, tiny_config):
+        errors = []
+        for layer in range(tiny_config.num_layers):
+            n = mgr.num_codes(layer)
+            for head in range(tiny_config.num_kv_heads):
+                pq = mgr.quantizer(layer, head)
+                keys = kvcache[layer].keys[head, :n, :]
+                approx = pq.decode(mgr.codes(layer, head))
+                errors.append(float(np.mean((approx - keys) ** 2)))
+        return float(np.mean(errors))
+
+    def _incremental(self, tiny_config, kvcache, chunk=50, sketch=100):
+        mgr = PQCacheManager(tiny_config, self.CFG)
+        total = len(kvcache[0])
+        seen = 0
+        while seen < total and not mgr.is_built:
+            seen = min(seen + chunk, total)
+            if seen >= min(sketch, total):
+                mgr.build_incremental(kvcache, upto=seen, sample_tokens=sketch)
+        while seen < total:
+            stop = min(seen + chunk, total)
+            for layer in range(tiny_config.num_layers):
+                mgr.append_tokens(layer, kvcache[layer].keys[:, seen:stop, :])
+            seen = stop
+        return mgr
+
+    def test_incremental_covers_all_tokens(self, tiny_config, kvcache):
+        mgr = self._incremental(tiny_config, kvcache)
+        for layer in range(tiny_config.num_layers):
+            assert mgr.num_codes(layer) == len(kvcache[0])
+
+    def test_refine_matches_one_shot_within_tolerance(self, tiny_config, kvcache):
+        one_shot = PQCacheManager(tiny_config, self.CFG)
+        one_shot.build(kvcache)
+        incremental = self._incremental(tiny_config, kvcache)
+        incremental.refine(kvcache)
+        err_one_shot = self._reconstruction_error(one_shot, kvcache, tiny_config)
+        err_incremental = self._reconstruction_error(
+            incremental, kvcache, tiny_config
+        )
+        # Different K-Means local optima: quality must agree within 10%.
+        assert err_incremental <= 1.10 * err_one_shot
+
+    def test_refine_improves_streamed_codes(self, tiny_config, kvcache):
+        incremental = self._incremental(tiny_config, kvcache)
+        before = self._reconstruction_error(incremental, kvcache, tiny_config)
+        incremental.refine(kvcache)
+        after = self._reconstruction_error(incremental, kvcache, tiny_config)
+        assert after <= before + 1e-12
+
+    def test_refine_then_decode_append_keeps_alignment(self, tiny_config, kvcache, rng):
+        mgr = self._incremental(tiny_config, kvcache)
+        mgr.refine(kvcache)
+        new = rng.normal(size=(tiny_config.num_kv_heads, 3, tiny_config.head_dim))
+        mgr.append_tokens(0, new)
+        assert mgr.num_codes(0) == len(kvcache[0]) + 3
+
+    def test_sketch_sampling_is_deterministic(self, tiny_config, kvcache):
+        a = PQCacheManager(tiny_config, self.CFG)
+        a.build_incremental(kvcache, upto=150, sample_tokens=64)
+        b = PQCacheManager(tiny_config, self.CFG)
+        b.build_incremental(kvcache, upto=150, sample_tokens=64)
+        assert np.array_equal(a.layer_codes(0), b.layer_codes(0))
+        assert np.array_equal(a.codebooks(0), b.codebooks(0))
+
+    def test_build_incremental_validation(self, tiny_config, kvcache):
+        mgr = PQCacheManager(tiny_config, self.CFG)
+        with pytest.raises(ConfigurationError):
+            mgr.build_incremental(kvcache, upto=0)
+        with pytest.raises(ConfigurationError):
+            mgr.build_incremental(kvcache, upto=10_000)
+
+    def test_refine_requires_built(self, tiny_config, kvcache):
+        mgr = PQCacheManager(tiny_config, self.CFG)
+        with pytest.raises(NotFittedError):
+            mgr.refine(kvcache)
