@@ -99,6 +99,13 @@ class KVCachePolicy(abc.ABC):
     #: as they arrive (see :meth:`on_prefill_chunk`); policies that cannot
     #: simply get one :meth:`on_prefill` call when the prompt completes.
     supports_incremental_prefill: bool = False
+    #: whether the policy reads :class:`~repro.llm.model.PrefillAggregates`
+    #: (accumulated / windowed attention scores).  The serving engine's
+    #: prefix cache only resumes a prefill past a point where those
+    #: aggregates can be reconstructed exactly when this is true; policies
+    #: that never look at them (PQCache) may opt out for longer reuse.
+    #: Conservative default: ``True``.
+    needs_prefill_aggregates: bool = True
 
     def __init__(self, budget: SelectionBudget) -> None:
         self.budget = budget
@@ -148,6 +155,55 @@ class KVCachePolicy(abc.ABC):
 
     def on_decode_step(self, cache: KVCache) -> None:
         """Called after each decode step appended a new token to the cache."""
+
+    # -------------------------------------------------------- prefix reuse
+
+    def prefix_fingerprint(self):
+        """Hashable key identifying reusable prefix artifacts, or ``None``.
+
+        Two requests whose policies return equal non-``None`` fingerprints
+        build bitwise-identical per-prefix state (codebooks, codes) from the
+        same prompt prefix, so the serving engine may hand one policy's
+        :meth:`prefix_snapshot` to the other's :meth:`attach_prefix`.
+        ``None`` (the default) disables artifact reuse — KV-block reuse still
+        applies.
+        """
+        return None
+
+    def attach_prefix(
+        self,
+        config: ModelConfig,
+        kvcache: KVCache,
+        snapshot,
+        prefix_len: int,
+    ) -> bool:
+        """Adopt another request's per-prefix artifacts before resuming.
+
+        Called by the serving engine on a prefix-cache hit, before the first
+        prefill chunk, with the cache already holding ``prefix_len`` tokens.
+        Returns True when the snapshot was attached (the policy must then be
+        in the exact state its own cold pipeline would reach after
+        ``prefix_len`` prompt tokens); False falls back to cold construction
+        (which still reads the reused keys from ``kvcache``).
+        """
+        return False
+
+    def prefix_snapshot(self):
+        """Reusable per-prefix artifacts captured during prefilling.
+
+        The engine stores the returned object (if any) in the prefix cache
+        alongside the request's KV blocks, keyed by
+        :meth:`prefix_fingerprint`.  Default: nothing to share.
+        """
+        return None
+
+    def release_prefix(self) -> None:
+        """Drop references taken by :meth:`attach_prefix`.
+
+        Called by the engine exactly once when the request finishes (or is
+        aborted), so snapshot refcounts reflect live attachments.  Default:
+        nothing to release.
+        """
 
     # ----------------------------------------------------------- selection
 

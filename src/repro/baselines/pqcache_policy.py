@@ -17,6 +17,19 @@ those codebooks as they arrive, and ``finish_prefill`` re-runs Lloyd
 iterations over the full key set (:meth:`PQCacheManager.refine`) and
 re-encodes — mirroring how the paper overlaps K-Means with prefill compute
 so construction never sits on the critical path.
+
+Prefix reuse
+------------
+The pre-refine state (sketch codebooks + streamed codes) is a pure function
+of the prompt prefix, the PQ configuration and the sketch schedule — so on a
+shared-prefix cache hit the engine hands this policy an earlier request's
+:class:`~repro.core.pqcache.PQSnapshot` via :meth:`attach_prefix` and the
+manager adopts it copy-on-write instead of re-clustering; the final
+refinement still runs over the full prompt, which is exactly what the cold
+pipeline would have done from the same pre-refine state, keeping decode
+outputs byte-identical between hit and cold paths.  ``finish_prefill``
+captures this request's own pre-refine snapshot so the engine can cache it
+for the next request.
 """
 
 from __future__ import annotations
@@ -24,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.adaptive import AdaptiveIterationPlanner
-from ..core.pqcache import PQCacheConfig, PQCacheManager
+from ..core.pqcache import PQCacheConfig, PQCacheManager, PQSnapshot
 from ..llm.config import ModelConfig
 from ..llm.kvcache import KVCache
 from ..llm.model import PrefillResult
@@ -55,6 +68,10 @@ class PQCachePolicy(KVCachePolicy):
     name = "pqcache"
     is_dropping = False
     supports_incremental_prefill = True
+    #: selection reads only PQ codes and segment geometry — never the
+    #: prefill attention aggregates — so prefix reuse is not limited to
+    #: aggregate-snapshot boundaries.
+    needs_prefill_aggregates = False
 
     def __init__(
         self,
@@ -76,6 +93,8 @@ class PQCachePolicy(KVCachePolicy):
         self.refine_iters = refine_iters
         self.manager: PQCacheManager | None = None
         self._encoded_until = 0
+        self._prefix_snapshot: PQSnapshot | None = None
+        self._attached_snapshot: PQSnapshot | None = None
 
     # ----------------------------------------------------------- lifecycle
 
@@ -107,15 +126,28 @@ class PQCachePolicy(KVCachePolicy):
             self.manager = PQCacheManager(config, self.pq_config)
         if not self.manager.is_built:
             # Wait for a meaningful sketch (or the whole prompt, whichever
-            # comes first) before fitting; everything seen so far is encoded.
-            if stop >= min(self.sketch_tokens, total_len):
+            # comes first) before fitting.  The fit boundary is *schedule
+            # independent* — exactly ``min(sketch_tokens, total_len)`` tokens,
+            # never "wherever the scheduler's chunk happened to end" — so the
+            # pre-refine state is a pure function of the prompt prefix and
+            # the config: any chunking (and any prefix-cache consumer)
+            # reproduces the same codebooks bit for bit.  Tokens beyond the
+            # boundary that arrived in the same chunk are stream-encoded
+            # immediately after, like any later chunk.
+            target = min(self.sketch_tokens, total_len)
+            if stop >= target:
                 self.manager.build_incremental(
                     kvcache,
-                    upto=stop,
+                    upto=target,
                     max_iters=self._max_iters(total_len),
                     sample_tokens=self.sketch_tokens,
                 )
-                self._encoded_until = stop
+                self._encoded_until = target
+                if stop > target:
+                    for layer_index in range(config.num_layers):
+                        keys = kvcache[layer_index].keys[:, target:stop, :]
+                        self.manager.append_tokens(layer_index, keys)
+                    self._encoded_until = stop
             return
         # Codebooks exist: stream-encode the chunk with the current
         # centroids, one batched call per layer (no re-clustering).
@@ -123,6 +155,71 @@ class PQCachePolicy(KVCachePolicy):
             keys = kvcache[layer_index].keys[:, start:stop, :]
             self.manager.append_tokens(layer_index, keys)
         self._encoded_until = stop
+
+    # -------------------------------------------------------- prefix reuse
+
+    def prefix_fingerprint(self):
+        """Key under which this policy's PQ artifacts are shareable.
+
+        Reuse requires the consumer's cold pipeline to be a deterministic
+        function of the shared prefix: incremental construction with a static
+        iteration budget qualifies; an adaptive planner derives the budget
+        from the (request-specific) prompt length, so it opts out.
+        """
+        if not self.incremental or self.planner is not None:
+            return None
+        return ("pqcache", self.pq_config, self.sketch_tokens)
+
+    def attach_prefix(
+        self,
+        config: ModelConfig,
+        kvcache: KVCache,
+        snapshot,
+        prefix_len: int,
+    ) -> bool:
+        """Adopt a shared prefix's sketch codebooks and codes (no k-means).
+
+        The snapshot is sliced to the shared ``prefix_len``; any matched
+        tokens beyond the snapshot's coverage are stream-encoded from the
+        reused keys.  Afterwards the policy state equals what its own cold
+        pipeline would hold after ``prefix_len`` prompt tokens.
+        """
+        fingerprint = self.prefix_fingerprint()
+        if fingerprint is None or not isinstance(snapshot, PQSnapshot):
+            return False
+        if snapshot.fingerprint != fingerprint:
+            return False
+        # Soundness gate: this request's own cold pipeline fits its sketch
+        # at min(sketch_tokens, total_len) tokens.  Reuse is exact only when
+        # the producer fitted at the canonical full-sketch boundary (its
+        # prompt covered sketch_tokens) and the shared prefix covers it too;
+        # a short-prompt producer's codebooks (fitted at its total_len)
+        # would differ from what this request's cold run would build.
+        if snapshot.sketch_upto != self.sketch_tokens:
+            return False
+        if prefix_len < self.sketch_tokens:
+            return False
+        self.config = config
+        upto = min(prefix_len, snapshot.num_tokens)
+        self.manager = PQCacheManager(config, self.pq_config)
+        self.manager.attach(snapshot, upto)
+        self._attached_snapshot = snapshot
+        if upto < prefix_len:
+            for layer_index in range(config.num_layers):
+                keys = kvcache[layer_index].keys[:, upto:prefix_len, :]
+                self.manager.append_tokens(layer_index, keys)
+        self._encoded_until = prefix_len
+        return True
+
+    def prefix_snapshot(self) -> PQSnapshot | None:
+        """Pre-refine snapshot captured by :meth:`finish_prefill`, if any."""
+        return self._prefix_snapshot
+
+    def release_prefix(self) -> None:
+        """Drop this request's reference on the attached snapshot."""
+        if self._attached_snapshot is not None:
+            self._attached_snapshot.release()
+            self._attached_snapshot = None
 
     def finish_prefill(self, config: ModelConfig, prefill: PrefillResult) -> None:
         """Refine the incrementally-built index, or fall back to one-shot."""
@@ -133,6 +230,12 @@ class PQCachePolicy(KVCachePolicy):
             return
         self.config = config
         self.prompt_len = prefill.seq_len
+        # Capture the pre-refine state for prefix reuse *before* refine
+        # mutates it: this is the stage that is a pure function of the
+        # prompt prefix (copy-on-write, so the capture is free).
+        fingerprint = self.prefix_fingerprint()
+        if fingerprint is not None:
+            self._prefix_snapshot = self.manager.snapshot(fingerprint)
         refine_iters = self.refine_iters
         if refine_iters is None:
             refine_iters = self._max_iters(prefill.seq_len)

@@ -138,6 +138,18 @@ class ProductQuantizer:
     def is_fitted(self) -> bool:
         return self._centroids is not None
 
+    def clone(self) -> "ProductQuantizer":
+        """Independent copy sharing no mutable state (centroids are copied).
+
+        The copy-on-write path of :class:`~repro.core.pqcache.PQCacheManager`
+        uses this before :meth:`refine` mutates centroids that a prefix-cache
+        snapshot still references.
+        """
+        other = ProductQuantizer(self.config)
+        if self._centroids is not None:
+            other._centroids = self._centroids.copy()
+        return other
+
     @property
     def centroids(self) -> np.ndarray:
         """Codebooks of shape ``(m, 2**b, sub_dim)``."""

@@ -37,6 +37,22 @@ cares about: PQ code bytes, centroid bytes, and the GPU block cache that
 absorbs part of the top-k key/value fetch traffic.  Per-step blocking-byte
 estimates use the cache's *per-step* hit rate; the cumulative rate is kept
 for reporting only.
+
+Prefix reuse (snapshot / attach)
+--------------------------------
+The serving engine's shared-prefix cache reuses PQ artifacts across requests
+so a cache-hit prompt never re-clusters what an earlier request already
+fitted: :meth:`PQCacheManager.snapshot` captures the *pre-refine* state
+(sketch-fitted codebooks + every code assigned so far) **by reference** —
+nothing is copied; instead the manager flips into copy-on-write mode so a
+later :meth:`refine` clones the shared quantizers and a later
+:meth:`append_tokens` copies the shared code buffer before mutating.
+:meth:`PQCacheManager.attach` seeds a fresh manager from such a snapshot
+(sliced to the matched prefix length), likewise copy-on-write.  Snapshots
+are refcounted (``attach_count``/``release``; the serving engine balances
+every attach with a release at request teardown), so ``attach_count``
+always reports the *live* attachments and ``total_attaches`` the lifetime
+reuse.
 """
 
 from __future__ import annotations
@@ -52,7 +68,7 @@ from ..utils import as_rng, topk_indices
 from .gpu_cache import BlockGpuCache
 from .pq import PQConfig, ProductQuantizer, stack_codebooks
 
-__all__ = ["PQCacheConfig", "PQCacheManager"]
+__all__ = ["PQCacheConfig", "PQCacheManager", "PQSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -116,7 +132,7 @@ class _LayerCodeBuffer:
     and :meth:`view` exposes the live rows without copying.
     """
 
-    def __init__(self, codes: np.ndarray) -> None:
+    def __init__(self, codes: np.ndarray, shared: bool = False) -> None:
         codes = np.ascontiguousarray(codes, dtype=np.uint16)
         if codes.ndim != 3:
             raise ConfigurationError(
@@ -124,9 +140,21 @@ class _LayerCodeBuffer:
             )
         self._buffer = codes
         self._length = codes.shape[0]
+        #: copy-on-write guard: the backing array is (or may be) referenced
+        #: by a prefix-cache snapshot or another request — the first
+        #: :meth:`extend` copies the live rows into a private buffer.
+        self._shared = shared
 
     def __len__(self) -> int:
         return self._length
+
+    def mark_shared(self) -> None:
+        """Flag the backing array as externally referenced (COW on extend)."""
+        self._shared = True
+
+    @property
+    def is_shared(self) -> bool:
+        return self._shared
 
     def extend(self, rows: np.ndarray) -> None:
         """Append token rows, shape ``(n_new, h_kv, m)``."""
@@ -140,13 +168,14 @@ class _LayerCodeBuffer:
         if n_new == 0:
             return
         capacity = self._buffer.shape[0]
-        if self._length + n_new > capacity:
+        if self._shared or self._length + n_new > capacity:
             new_capacity = max(2 * capacity, self._length + n_new, 64)
             grown = np.empty(
                 (new_capacity,) + self._buffer.shape[1:], dtype=np.uint16
             )
             grown[: self._length] = self._buffer[: self._length]
             self._buffer = grown
+            self._shared = False
         self._buffer[self._length : self._length + n_new] = rows
         self._length += n_new
 
@@ -154,6 +183,47 @@ class _LayerCodeBuffer:
         """Live rows, shape ``(len(self), h_kv, m)`` — a view, not a copy;
         callers must not mutate or hold it across appends."""
         return self._buffer[: self._length]
+
+
+@dataclass
+class PQSnapshot:
+    """Immutable-by-convention capture of a manager's pre-refine PQ state.
+
+    Everything is held *by reference*: the producing manager flips into
+    copy-on-write mode when the snapshot is taken, and consumers attach the
+    arrays copy-on-write too, so no codes or centroids are duplicated until
+    someone actually mutates them (``refine`` clones the quantizers,
+    ``append_tokens`` copies the code buffer).
+
+    Attributes:
+        quantizers: per-layer, per-head sketch-fitted quantizers.
+        codebooks: per-layer stacked ``(h_kv, m, 2**b, sub_dim)`` tensors.
+        codes: per-layer ``(num_tokens, h_kv, m)`` code arrays.
+        num_tokens: tokens covered by the codes.
+        sketch_upto: prompt tokens the codebook fit had seen — a consumer may
+            only attach when its shared prefix covers at least this many
+            tokens, otherwise its own cold pipeline would have fitted
+            different codebooks and decode outputs would diverge.
+        fingerprint: hashable configuration key; attach requires an exact
+            match (same PQ geometry, seed and sketch schedule).
+        attach_count: live references from attached managers (refcount).
+        total_attaches: lifetime attach counter for reuse accounting.
+    """
+
+    quantizers: list
+    codebooks: list
+    codes: list
+    num_tokens: int
+    sketch_upto: int
+    fingerprint: object = None
+    attach_count: int = 0
+    total_attaches: int = 0
+
+    def release(self) -> None:
+        """Drop one attached-manager reference."""
+        if self.attach_count <= 0:
+            raise ConfigurationError("PQSnapshot.release without matching attach")
+        self.attach_count -= 1
 
 
 class PQCacheManager:
@@ -174,6 +244,10 @@ class PQCacheManager:
         #: per-layer shared code buffers, each backing ``(capacity, h_kv, m)``
         self._codes: list[_LayerCodeBuffer] = []
         self._built = False
+        #: quantizers are shared with a snapshot — clone before refining
+        self._cow_quantizers = False
+        #: prompt tokens the codebook fit saw (0 = one-shot full build)
+        self.sketch_upto = 0
         self.total_kmeans_iterations = 0
         self.gpu_cache: BlockGpuCache | None = None
         if self.config.gpu_cache_tokens > 0:
@@ -207,6 +281,8 @@ class PQCacheManager:
         self._quantizers = []
         self._codebooks = []
         self._codes = []
+        self._cow_quantizers = False
+        self.sketch_upto = 0
         self.total_kmeans_iterations = 0
         iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
 
@@ -262,6 +338,8 @@ class PQCacheManager:
         self._quantizers = []
         self._codebooks = []
         self._codes = []
+        self._cow_quantizers = False
+        self.sketch_upto = int(upto)
         self.total_kmeans_iterations = 0
         iters = cfg.max_kmeans_iters if max_iters is None else int(max_iters)
         rng = as_rng(cfg.seed)
@@ -309,6 +387,13 @@ class PQCacheManager:
         """
         self._require_built()
         model = self.model_config
+        if self._cow_quantizers:
+            # The quantizers are shared with a prefix-cache snapshot (or came
+            # from one): refine mutates centroids in place, so clone first.
+            self._quantizers = [
+                [pq.clone() for pq in layer] for layer in self._quantizers
+            ]
+            self._cow_quantizers = False
         for layer_index in range(model.num_layers):
             n = len(self._codes[layer_index])
             if len(kvcache[layer_index]) < n:
@@ -327,6 +412,77 @@ class PQCacheManager:
             self._codes[layer_index] = _LayerCodeBuffer(
                 np.stack(head_codes, axis=1)
             )
+
+    # ------------------------------------------------------- prefix reuse
+
+    def snapshot(self, fingerprint: object = None) -> PQSnapshot:
+        """Capture the current PQ state for prefix reuse — by reference.
+
+        Intended to be taken at the *pre-refine* point of the incremental
+        pipeline (sketch codebooks + streamed codes): that state is a pure
+        function of the prompt prefix and the PQ configuration, so any later
+        request sharing the prefix reproduces it bit-for-bit by attaching
+        instead of re-clustering.  The manager flips into copy-on-write mode:
+        a subsequent :meth:`refine` clones the quantizers and a subsequent
+        :meth:`append_tokens` copies the shared code buffer, leaving the
+        snapshot's arrays untouched.
+        """
+        self._require_built()
+        for buf in self._codes:
+            buf.mark_shared()
+        self._cow_quantizers = True
+        return PQSnapshot(
+            quantizers=self._quantizers,
+            codebooks=list(self._codebooks),
+            codes=[buf.view() for buf in self._codes],
+            num_tokens=len(self._codes[0]) if self._codes else 0,
+            sketch_upto=self.sketch_upto,
+            fingerprint=fingerprint,
+        )
+
+    def attach(self, snapshot: PQSnapshot, upto: int | None = None) -> None:
+        """Seed this (unbuilt) manager from a prefix-cache snapshot.
+
+        The snapshot's codebooks and the first ``upto`` token codes are
+        adopted by reference (copy-on-write on later mutation); the manager
+        behaves exactly as if :meth:`build_incremental` had fitted the same
+        sketch and streamed the same ``upto`` tokens — minus the K-Means and
+        encode work.
+
+        Args:
+            snapshot: state captured by :meth:`snapshot`.
+            upto: shared-prefix length; defaults to the full snapshot.  Must
+                cover at least ``snapshot.sketch_upto`` tokens, otherwise the
+                codebooks would encode data outside the shared prefix.
+        """
+        if self._built:
+            raise ConfigurationError("attach requires an unbuilt manager")
+        upto = snapshot.num_tokens if upto is None else int(upto)
+        if not 0 < upto <= snapshot.num_tokens:
+            raise ConfigurationError(
+                f"upto must be in (0, {snapshot.num_tokens}], got {upto}"
+            )
+        if upto < snapshot.sketch_upto:
+            raise ConfigurationError(
+                f"cannot attach {upto} tokens of a snapshot whose codebooks "
+                f"were fitted on {snapshot.sketch_upto} tokens"
+            )
+        model = self.model_config
+        if len(snapshot.quantizers) != model.num_layers or (
+            snapshot.quantizers
+            and len(snapshot.quantizers[0]) != model.num_kv_heads
+        ):
+            raise ConfigurationError("snapshot geometry does not match model")
+        self._quantizers = snapshot.quantizers
+        self._cow_quantizers = True
+        self._codebooks = list(snapshot.codebooks)
+        self._codes = [
+            _LayerCodeBuffer(codes[:upto], shared=True) for codes in snapshot.codes
+        ]
+        self.sketch_upto = snapshot.sketch_upto
+        self._built = True
+        snapshot.attach_count += 1
+        snapshot.total_attaches += 1
 
     # -------------------------------------------------------------- update
 

@@ -4,7 +4,15 @@ generation loop and tokenizer."""
 from .attention import causal_attention, decode_attention, expand_kv_heads
 from .config import ModelConfig
 from .generation import GenerationResult, StepSelections, greedy_generate
-from .kvcache import KVCache, LayerKVCache, TokenSegments
+from .kvcache import (
+    BlockAllocator,
+    BlockTable,
+    KVCache,
+    LayerKVCache,
+    PagedKVCache,
+    PagedLayerKVCache,
+    TokenSegments,
+)
 from .model import (
     PREFILL_ROW_BLOCK,
     PrefillAggregates,
@@ -24,8 +32,12 @@ __all__ = [
     "GenerationResult",
     "StepSelections",
     "greedy_generate",
+    "BlockAllocator",
+    "BlockTable",
     "KVCache",
     "LayerKVCache",
+    "PagedKVCache",
+    "PagedLayerKVCache",
     "TokenSegments",
     "PREFILL_ROW_BLOCK",
     "PrefillAggregates",

@@ -1,10 +1,26 @@
-"""Key-Value cache data structures.
+"""Key-Value cache data structures: monolithic and paged (block-based).
 
-The KVCache is the central object that PQCache manages.  This module keeps
-the modelling simple and explicit: one :class:`LayerKVCache` per transformer
-layer holding ``(h_kv, s, d_h)`` arrays of keys and values, with append
-semantics for autoregressive decoding, plus the three-way segmentation the
-paper uses (initial tokens, middle tokens, local tokens — §3.4).
+The KVCache is the central object that PQCache manages.  Two storage designs
+coexist:
+
+* **Monolithic** — one :class:`LayerKVCache` per transformer layer holding
+  ``(h_kv, s, d_h)`` arrays of keys and values with amortised-growth append
+  semantics.  This is the default for standalone generation: the cache is
+  private to one sequence and freed with it.
+* **Paged** — a :class:`PagedKVCache` whose physical storage is fixed-size
+  token *blocks* drawn from a shared, refcounted :class:`BlockAllocator`
+  (vLLM-style).  A :class:`BlockTable` maps logical token positions to
+  physical blocks, blocks can be shared between requests (a forked table
+  increfs them), and writes into a shared block copy it first
+  (copy-on-write) — which is what lets the serving engine's prefix cache
+  reuse a common prompt prefix across requests without ever letting one
+  request corrupt another's view.  Each layer additionally keeps a
+  contiguous *assembled mirror* of its tokens so the NumPy attention kernels
+  read the exact same ``(h_kv, s, d_h)`` views as the monolithic cache —
+  paged and monolithic storage are bitwise interchangeable for compute.
+
+Both designs share the three-way segmentation the paper uses (initial
+tokens, middle tokens, local tokens — §3.4) via :class:`TokenSegments`.
 """
 
 from __future__ import annotations
@@ -13,9 +29,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigurationError, DimensionError
+from ..errors import CapacityError, ConfigurationError, DimensionError
 
-__all__ = ["TokenSegments", "LayerKVCache", "KVCache"]
+__all__ = [
+    "TokenSegments",
+    "LayerKVCache",
+    "KVCache",
+    "BlockAllocator",
+    "BlockTable",
+    "PagedLayerKVCache",
+    "PagedKVCache",
+]
 
 
 @dataclass(frozen=True)
@@ -113,11 +137,10 @@ class LayerKVCache:
 
     # -------------------------------------------------------------- append
 
-    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
-        """Append one or more tokens' keys and values.
-
-        Accepts ``(h_kv, t, d_h)`` or ``(h_kv, d_h)`` (single token).
-        """
+    def _validate_append(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Normalise append operands to ``(h_kv, t, d_h)`` and check shapes."""
         keys = np.asarray(keys, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
         if keys.ndim == 2:
@@ -131,11 +154,23 @@ class LayerKVCache:
                 f"expected (h_kv={self.num_kv_heads}, t, d_h={self.head_dim}), "
                 f"got {keys.shape}"
             )
+        return keys, values
+
+    def _store(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Write already-validated ``(h_kv, t, d_h)`` operands."""
         t = keys.shape[1]
         self._ensure_capacity(t)
         self._keys[:, self._length: self._length + t, :] = keys
         self._values[:, self._length: self._length + t, :] = values
         self._length += t
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append one or more tokens' keys and values.
+
+        Accepts ``(h_kv, t, d_h)`` or ``(h_kv, d_h)`` (single token).
+        """
+        keys, values = self._validate_append(keys, values)
+        self._store(keys, values)
 
     def gather(self, token_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Keys and values of the given token indices: ``(h_kv, k, d_h)``."""
@@ -183,3 +218,405 @@ class KVCache:
 
     def nbytes(self, dtype_bytes: int = 2) -> int:
         return sum(layer.nbytes(dtype_bytes) for layer in self.layers)
+
+
+# --------------------------------------------------------------------- paged
+
+
+class BlockAllocator:
+    """Refcounted pool of fixed-size KV blocks shared by all requests.
+
+    One physical block stores ``block_size`` tokens' keys and values for
+    *every* layer — shape ``(num_layers, h_kv, block_size, d_h)`` per tensor —
+    so a prefix chain of blocks is layer-agnostic and can be attached to a new
+    request wholesale.  Blocks are allocated with refcount 1; sharing
+    (:meth:`BlockTable.fork`, the prefix cache) increfs, releases decref, and
+    a block whose refcount reaches zero returns to the free list for reuse.
+
+    Attributes:
+        eviction_hook: optional callable ``(num_blocks) -> int`` invoked when
+            an allocation finds the pool exhausted (no free block, capacity
+            reached).  The hook should release references (e.g. evict
+            prefix-cache entries) and return how many blocks it freed; the
+            allocation is retried once afterwards and raises
+            :class:`~repro.errors.CapacityError` if the pool is still full.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        num_kv_heads: int,
+        head_dim: int,
+        block_size: int = 64,
+        capacity_blocks: int | None = None,
+    ) -> None:
+        if num_layers <= 0 or num_kv_heads <= 0 or head_dim <= 0:
+            raise ConfigurationError(
+                "num_layers, num_kv_heads and head_dim must be positive"
+            )
+        if block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if capacity_blocks is not None and capacity_blocks <= 0:
+            raise ConfigurationError(
+                "capacity_blocks must be positive (or None for an unbounded pool)"
+            )
+        self.num_layers = num_layers
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self.eviction_hook = None
+        self._keys: dict[int, np.ndarray] = {}
+        self._values: dict[int, np.ndarray] = {}
+        self._refcounts: dict[int, int] = {}
+        self._free: list[int] = []
+        self._next_id = 0
+        #: lifetime counters (allocations counts fresh + recycled blocks)
+        self.allocations = 0
+        self.cow_copies = 0
+
+    # ---------------------------------------------------------- accounting
+
+    @property
+    def num_allocated(self) -> int:
+        """Blocks currently referenced by at least one holder."""
+        return len(self._refcounts)
+
+    @property
+    def num_free(self) -> int:
+        """Recycled blocks immediately available without growing the pool."""
+        return len(self._free)
+
+    @property
+    def num_available(self) -> int | None:
+        """Blocks that could still be handed out (``None`` = unbounded)."""
+        if self.capacity_blocks is None:
+            return None
+        return self.capacity_blocks - self.num_allocated
+
+    def tokens_capacity(self) -> int | None:
+        """Pool capacity in tokens (``None`` = unbounded)."""
+        if self.capacity_blocks is None:
+            return None
+        return self.capacity_blocks * self.block_size
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        """Modelled storage cost of every live block at the given width."""
+        per_block = (
+            2 * self.num_layers * self.num_kv_heads * self.block_size
+            * self.head_dim * dtype_bytes
+        )
+        return self.num_allocated * per_block
+
+    # ---------------------------------------------------------- allocation
+
+    def _block_shape(self) -> tuple[int, int, int, int]:
+        return (self.num_layers, self.num_kv_heads, self.block_size, self.head_dim)
+
+    #: blocks requested from the eviction hook per exhaustion event; freeing
+    #: a small batch amortises the hook's scan over the next allocations (a
+    #: multi-block admission would otherwise fire it once per block).
+    _EVICTION_BATCH = 8
+
+    def allocate(self) -> int:
+        """Hand out one block with refcount 1.
+
+        Reuses a freed block when possible; otherwise grows the pool up to
+        ``capacity_blocks``.  On exhaustion the :attr:`eviction_hook` gets one
+        chance to free blocks before :class:`~repro.errors.CapacityError`.
+        """
+        block_id = self._try_allocate()
+        if block_id is None and self.eviction_hook is not None:
+            self.eviction_hook(self._EVICTION_BATCH)
+            block_id = self._try_allocate()
+        if block_id is None:
+            raise CapacityError(
+                f"KV block pool exhausted: {self.num_allocated}/"
+                f"{self.capacity_blocks} blocks in use and nothing evictable"
+            )
+        return block_id
+
+    def _try_allocate(self) -> int | None:
+        if self._free:
+            block_id = self._free.pop()
+            self._keys[block_id].fill(0.0)
+            self._values[block_id].fill(0.0)
+        elif self.capacity_blocks is None or self._next_id < self.capacity_blocks:
+            block_id = self._next_id
+            self._next_id += 1
+            self._keys[block_id] = np.zeros(self._block_shape())
+            self._values[block_id] = np.zeros(self._block_shape())
+        else:
+            return None
+        self._refcounts[block_id] = 1
+        self.allocations += 1
+        return block_id
+
+    def _require_live(self, block_id: int) -> None:
+        if block_id not in self._refcounts:
+            raise ConfigurationError(f"block {block_id} is not allocated")
+
+    def refcount(self, block_id: int) -> int:
+        self._require_live(block_id)
+        return self._refcounts[block_id]
+
+    def incref(self, block_id: int) -> None:
+        self._require_live(block_id)
+        self._refcounts[block_id] += 1
+
+    def decref(self, block_id: int) -> bool:
+        """Drop one reference; returns True when the block was freed.
+
+        Raises :class:`~repro.errors.ConfigurationError` on refcount
+        underflow (decref of a block that is already free) — that is always a
+        double-release bug in the caller, never a recoverable condition.
+        """
+        self._require_live(block_id)
+        count = self._refcounts[block_id] - 1
+        if count < 0:  # pragma: no cover - _require_live catches first
+            raise ConfigurationError(f"refcount underflow on block {block_id}")
+        if count == 0:
+            del self._refcounts[block_id]
+            self._free.append(block_id)
+            return True
+        self._refcounts[block_id] = count
+        return False
+
+    def copy_block(self, block_id: int) -> int:
+        """Copy-on-write helper: clone a block's contents into a fresh block.
+
+        The caller still holds its reference on the source block and is
+        expected to :meth:`decref` it after swapping its table entry.
+        """
+        self._require_live(block_id)
+        new_id = self.allocate()
+        self._keys[new_id][...] = self._keys[block_id]
+        self._values[new_id][...] = self._values[block_id]
+        self.cow_copies += 1
+        return new_id
+
+    # ------------------------------------------------------------- storage
+
+    def block_keys(self, block_id: int) -> np.ndarray:
+        """Key storage of a block: ``(num_layers, h_kv, block_size, d_h)``."""
+        self._require_live(block_id)
+        return self._keys[block_id]
+
+    def block_values(self, block_id: int) -> np.ndarray:
+        """Value storage of a block: ``(num_layers, h_kv, block_size, d_h)``."""
+        self._require_live(block_id)
+        return self._values[block_id]
+
+
+class BlockTable:
+    """Ordered mapping of logical token blocks to physical block ids.
+
+    The table *owns* one allocator reference per listed block; :meth:`fork`
+    produces a copy-on-write shallow copy (increfs every block), and
+    :meth:`release` drops all references exactly once (idempotent).
+    """
+
+    def __init__(
+        self, allocator: BlockAllocator, block_ids: "list[int] | None" = None
+    ) -> None:
+        self.allocator = allocator
+        self.block_ids: list[int] = list(block_ids or [])
+        self._released = False
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    @property
+    def capacity_tokens(self) -> int:
+        return len(self.block_ids) * self.allocator.block_size
+
+    @classmethod
+    def fork_from(
+        cls, allocator: BlockAllocator, block_ids: "list[int]"
+    ) -> "BlockTable":
+        """Build a table sharing existing blocks (increfs each of them)."""
+        for block_id in block_ids:
+            allocator.incref(block_id)
+        return cls(allocator, list(block_ids))
+
+    def fork(self) -> "BlockTable":
+        """Copy-on-write clone of this table."""
+        self._require_live()
+        return BlockTable.fork_from(self.allocator, self.block_ids)
+
+    def append_new(self) -> int:
+        """Allocate and append a fresh block; returns its id."""
+        self._require_live()
+        block_id = self.allocator.allocate()
+        self.block_ids.append(block_id)
+        return block_id
+
+    def replace(self, index: int, new_block_id: int) -> None:
+        """Swap entry ``index`` for an already-owned block (COW bookkeeping).
+
+        The old block's reference is dropped; the new block's reference is
+        assumed to be held already (e.g. from :meth:`BlockAllocator.copy_block`).
+        """
+        self._require_live()
+        old = self.block_ids[index]
+        self.block_ids[index] = new_block_id
+        self.allocator.decref(old)
+
+    def release(self) -> None:
+        """Drop every block reference held by this table (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        for block_id in self.block_ids:
+            self.allocator.decref(block_id)
+        self.block_ids = []
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def _require_live(self) -> None:
+        if self._released:
+            raise ConfigurationError("BlockTable has been released")
+
+
+class PagedLayerKVCache(LayerKVCache):
+    """One layer of a :class:`PagedKVCache`.
+
+    Behaves exactly like :class:`LayerKVCache` for readers (``keys`` /
+    ``values`` / ``gather`` are contiguous assembled views), but every append
+    is also written through to the owning cache's shared block storage, where
+    copy-on-write protects blocks shared with other requests.
+    """
+
+    def __init__(self, owner: "PagedKVCache", layer_index: int) -> None:
+        super().__init__(owner.allocator.num_kv_heads, owner.allocator.head_dim)
+        self._owner = owner
+        self._layer_index = layer_index
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys, values = self._validate_append(keys, values)
+        # Blocks first: allocation can fail on a bounded pool, and in that
+        # case the assembled mirror must not have advanced.
+        self._owner._write_blocks(self._layer_index, self._length, keys, values)
+        self._store(keys, values)
+
+    def _mirror_append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append to the assembled mirror only (prefix attach path)."""
+        super().append(keys, values)
+
+
+class PagedKVCache(KVCache):
+    """Block-based KVCache drawing storage from a shared allocator.
+
+    All layers share one :class:`BlockTable`: a physical block holds the
+    keys/values of its token range for every layer, so a cached prefix chain
+    attaches in one step.  Construction with ``prefix_table`` /
+    ``prefix_len`` starts the cache pre-filled with the first ``prefix_len``
+    tokens read out of the shared blocks (the prefix-cache hit path); the
+    table passed in must already own its block references (e.g. via
+    :meth:`BlockTable.fork_from`) and is owned by this cache from then on.
+
+    Call :meth:`release` when the request no longer needs the shared storage:
+    the block references are dropped (blocks whose refcount reaches zero
+    return to the allocator's free list) while the assembled per-layer
+    mirrors stay readable, so retained outputs keep working after release.
+    """
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        prefix_table: BlockTable | None = None,
+        prefix_len: int = 0,
+    ) -> None:
+        self.allocator = allocator
+        self.num_layers = allocator.num_layers
+        if prefix_len < 0:
+            raise ConfigurationError("prefix_len must be >= 0")
+        if prefix_len > 0:
+            if prefix_table is None:
+                raise ConfigurationError("prefix_len > 0 requires a prefix_table")
+            if prefix_table.capacity_tokens < prefix_len:
+                raise ConfigurationError(
+                    f"prefix_table holds {prefix_table.capacity_tokens} tokens, "
+                    f"prefix_len={prefix_len} requested"
+                )
+        self.table = prefix_table if prefix_table is not None else BlockTable(allocator)
+        self.cached_prefix_len = prefix_len
+        self.layers = [
+            PagedLayerKVCache(self, layer) for layer in range(self.num_layers)
+        ]
+        if prefix_len > 0:
+            self._attach_prefix(prefix_len)
+
+    # ------------------------------------------------------------- prefix
+
+    def _attach_prefix(self, prefix_len: int) -> None:
+        """Assemble the first ``prefix_len`` tokens from the shared blocks.
+
+        Appends block slices straight into each layer's mirror — one copy
+        per element, no concatenated all-layers temporary — since this runs
+        on every prefix-cache hit.
+        """
+        block_size = self.allocator.block_size
+        num_blocks = -(-prefix_len // block_size)
+        for layer_index, layer in enumerate(self.layers):
+            remaining = prefix_len
+            for block_id in self.table.block_ids[:num_blocks]:
+                take = min(block_size, remaining)
+                layer._mirror_append(
+                    self.allocator.block_keys(block_id)[layer_index, :, :take, :],
+                    self.allocator.block_values(block_id)[layer_index, :, :take, :],
+                )
+                remaining -= take
+
+    # ------------------------------------------------------------- writes
+
+    def _write_blocks(
+        self, layer_index: int, start: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Write one layer's token span ``[start, start+t)`` into the blocks.
+
+        Extends the shared table as the leading layer crosses block
+        boundaries and performs copy-on-write on any block that is shared
+        with another holder (refcount > 1).
+        """
+        block_size = self.allocator.block_size
+        t = keys.shape[1]
+        pos = start
+        while pos < start + t:
+            block_index = pos // block_size
+            offset = pos % block_size
+            take = min(block_size - offset, start + t - pos)
+            if block_index >= len(self.table.block_ids):
+                self.table.append_new()
+            block_id = self.table.block_ids[block_index]
+            if self.allocator.refcount(block_id) > 1:
+                block_id = self.allocator.copy_block(block_id)
+                self.table.replace(block_index, block_id)
+            rel = pos - start
+            self.allocator.block_keys(block_id)[
+                layer_index, :, offset: offset + take, :
+            ] = keys[:, rel: rel + take, :]
+            self.allocator.block_values(block_id)[
+                layer_index, :, offset: offset + take, :
+            ] = values[:, rel: rel + take, :]
+            pos += take
+
+    # ------------------------------------------------------------ release
+
+    def release(self) -> None:
+        """Drop the shared block references (mirrors remain readable)."""
+        self.table.release()
+
+    @property
+    def released(self) -> bool:
+        return self.table.released
+
+    def pool_nbytes(self, dtype_bytes: int = 2) -> int:
+        """Modelled shared-storage cost of the blocks this cache references."""
+        per_block = (
+            2 * self.num_layers * self.allocator.num_kv_heads
+            * self.allocator.block_size * self.allocator.head_dim * dtype_bytes
+        )
+        return len(self.table.block_ids) * per_block

@@ -112,7 +112,11 @@ def _blocked_rows(fn, rows: np.ndarray, global_start: int) -> np.ndarray:
     return np.concatenate(pieces, axis=0)
 
 
-def _accumulate_rows(totals: np.ndarray, scores: np.ndarray) -> None:
+def _accumulate_rows(
+    totals: np.ndarray,
+    scores: np.ndarray,
+    capture_rows: "list[tuple[int, int]] | None" = None,
+) -> "list[np.ndarray] | None":
     """Fold per-query score rows into running per-key totals sequentially.
 
     ``totals`` is ``(h, >=width)`` and ``scores`` is ``(h, q, width)``; the
@@ -120,10 +124,22 @@ def _accumulate_rows(totals: np.ndarray, scores: np.ndarray) -> None:
     ``totals = (...((totals + s_0) + s_1)... + s_{q-1})``, so the result does
     not depend on how queries were grouped into blocks or chunks (NumPy's
     pairwise ``sum(axis=1)`` would).
+
+    ``capture_rows`` requests mid-scan snapshots: each ``(j, width_j)`` entry
+    yields a copy of the totals *after folding the first ``j`` score rows*,
+    restricted to the first ``width_j`` keys.  Because the scan is strictly
+    sequential, such a snapshot is bitwise identical to the totals a prefill
+    that *stopped* after those queries would hold — which is what lets the
+    prefix cache resume a prefill mid-prompt without perturbing a single bit
+    of the accumulated aggregates.
     """
     width = scores.shape[2]
     stacked = np.concatenate([totals[:, None, :width], scores], axis=1)
-    totals[:, :width] = np.add.accumulate(stacked, axis=1)[:, -1, :]
+    scan = np.add.accumulate(stacked, axis=1)
+    totals[:, :width] = scan[:, -1, :]
+    if not capture_rows:
+        return None
+    return [scan[:, j, :w].copy() for j, w in capture_rows]
 
 
 @dataclass
@@ -185,7 +201,19 @@ class PrefillAggregates:
 
 @dataclass
 class PrefillResult:
-    """Everything the decoding phase needs after prefilling."""
+    """Everything the decoding phase needs after prefilling.
+
+    ``cached_prefix_len`` is non-zero for prefills resumed from a cached
+    prefix; when the resume was performed *without* an accumulated-score
+    snapshot (``prefix_acc_scores``), the ``aggregates`` cover only the
+    queries the model actually processed — callers that consume aggregates
+    (the dropping baselines) must resume with a snapshot (the serving engine
+    enforces this via ``KVCachePolicy.needs_prefill_aggregates``).
+
+    ``acc_snapshots`` maps each requested snapshot boundary ``L`` to the
+    per-layer ``(num_heads, L)`` accumulated-score state after the first
+    ``L`` prompt queries — the payload a future resumed prefill needs.
+    """
 
     kvcache: KVCache
     last_hidden: np.ndarray                       # (d,)
@@ -193,6 +221,8 @@ class PrefillResult:
     aggregates: list[PrefillAggregates]           # one per layer
     prompt_queries: list[np.ndarray] | None       # per layer (h, s, d_h) or None
     seq_len: int
+    cached_prefix_len: int = 0
+    acc_snapshots: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -220,6 +250,13 @@ class PrefillState:
             restricted to the last ``observation_window`` queries.
         chunk_queries: per layer list of per-chunk query tensors when query
             collection was requested, else ``None``.
+        prefix_len: tokens attached from a cached prefix — the model never
+            re-processes them (``next_pos`` starts there and the kvcache
+            already holds their keys/values for every layer).
+        acc_snapshot_boundaries: sorted token boundaries at which the running
+            accumulated-score state should be captured into
+            ``acc_snapshots`` (the prefix cache's resume payload).
+        acc_snapshots: boundary → per-layer ``(num_heads, L)`` snapshots.
         last_hidden: final hidden state, available once complete.
         logits: next-token logits of the last prompt token, once complete.
     """
@@ -232,6 +269,9 @@ class PrefillState:
     window_scores: list[np.ndarray]
     chunk_queries: list[list[np.ndarray]] | None
     next_pos: int = 0
+    prefix_len: int = 0
+    acc_snapshot_boundaries: tuple = ()
+    acc_snapshots: dict = field(default_factory=dict)
     last_hidden: np.ndarray | None = None
     logits: np.ndarray | None = None
 
@@ -361,6 +401,10 @@ class TransformerLM:
         observation_window: int = 32,
         collect_queries: bool = False,
         query_block: int = 256,
+        kvcache: KVCache | None = None,
+        prefix_len: int = 0,
+        prefix_acc_scores: "list[np.ndarray] | None" = None,
+        acc_snapshot_boundaries: "Sequence[int] | None" = None,
     ) -> PrefillState:
         """Start a (possibly chunked) prefill of ``token_ids``.
 
@@ -371,9 +415,24 @@ class TransformerLM:
             collect_queries: also collect per-layer prompt queries (needed by
                 the Oracle policy's offline analysis and by tests).
             query_block: block size for the streaming attention aggregation.
+            kvcache: cache to fill; defaults to a fresh monolithic
+                :class:`~repro.llm.kvcache.KVCache`.  The serving engine
+                passes a :class:`~repro.llm.kvcache.PagedKVCache` here.
+            prefix_len: resume-from-offset — the first ``prefix_len`` prompt
+                tokens are already present in ``kvcache`` (a shared-prefix
+                hit) and are *not* re-processed.  Requires ``kvcache``.
+            prefix_acc_scores: per-layer ``(num_heads, prefix_len)``
+                accumulated-score snapshots captured by the prefill that
+                produced the prefix; when given, the resumed aggregates are
+                bitwise identical to a cold prefill's.  Without it the
+                ``acc`` aggregates only cover the resumed queries.
+            acc_snapshot_boundaries: token boundaries (each in
+                ``(prefix_len, seq_len]``) at which to capture the running
+                accumulated-score state for future resumes.
 
         Returns:
-            A fresh :class:`PrefillState` with no tokens processed yet.
+            A fresh :class:`PrefillState` with ``prefix_len`` tokens already
+            accounted as processed.
         """
         token_ids = np.asarray(list(token_ids), dtype=np.int64)
         if token_ids.size == 0:
@@ -384,20 +443,77 @@ class TransformerLM:
             raise ConfigurationError("query_block must be positive")
         cfg = self.config
         s = int(token_ids.size)
+        prefix_len = int(prefix_len)
+        if prefix_len < 0:
+            raise ConfigurationError("prefix_len must be >= 0")
+        if prefix_len >= s:
+            raise ConfigurationError(
+                f"prefix_len ({prefix_len}) must leave at least one prompt "
+                f"token to process (prompt has {s})"
+            )
+        if prefix_len > 0:
+            if kvcache is None:
+                raise ConfigurationError("prefix_len > 0 requires a kvcache")
+            if collect_queries:
+                raise ConfigurationError(
+                    "collect_queries is incompatible with prefix resume: the "
+                    "cached prefix's queries were never materialised"
+                )
+            if len(kvcache) != prefix_len:
+                raise ConfigurationError(
+                    f"kvcache holds {len(kvcache)} tokens, prefix_len="
+                    f"{prefix_len} expected"
+                )
+        elif kvcache is not None and len(kvcache) != 0:
+            raise ConfigurationError("a fresh prefill requires an empty kvcache")
+        if kvcache is None:
+            kvcache = KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim)
+
+        acc_scores = [np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)]
+        if prefix_acc_scores is not None:
+            if prefix_len == 0:
+                raise ConfigurationError(
+                    "prefix_acc_scores requires a non-zero prefix_len"
+                )
+            if len(prefix_acc_scores) != cfg.num_layers:
+                raise ConfigurationError(
+                    f"prefix_acc_scores must have {cfg.num_layers} per-layer "
+                    f"entries, got {len(prefix_acc_scores)}"
+                )
+            for layer_index, snapshot in enumerate(prefix_acc_scores):
+                snapshot = np.asarray(snapshot, dtype=np.float64)
+                if snapshot.shape != (cfg.num_heads, prefix_len):
+                    raise DimensionError(
+                        f"prefix_acc_scores[{layer_index}] must have shape "
+                        f"({cfg.num_heads}, {prefix_len}), got {snapshot.shape}"
+                    )
+                acc_scores[layer_index][:, :prefix_len] = snapshot
+
+        boundaries: tuple[int, ...] = ()
+        if acc_snapshot_boundaries:
+            boundaries = tuple(sorted({int(b) for b in acc_snapshot_boundaries}))
+            for boundary in boundaries:
+                if not prefix_len < boundary <= s:
+                    raise ConfigurationError(
+                        f"acc snapshot boundary {boundary} outside "
+                        f"({prefix_len}, {s}]"
+                    )
+
         return PrefillState(
             token_ids=token_ids,
             observation_window=min(observation_window, s),
             query_block=int(query_block),
-            kvcache=KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim),
-            acc_scores=[
-                np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)
-            ],
+            kvcache=kvcache,
+            acc_scores=acc_scores,
             window_scores=[
                 np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)
             ],
             chunk_queries=(
                 [[] for _ in range(cfg.num_layers)] if collect_queries else None
             ),
+            next_pos=prefix_len,
+            prefix_len=prefix_len,
+            acc_snapshot_boundaries=boundaries,
         )
 
     def prefill_chunk(self, state: PrefillState, num_tokens: int) -> int:
@@ -477,7 +593,22 @@ class TransformerLM:
                 outputs[:, b0:b1, :] = np.einsum(
                     "hqk,hkd->hqd", scores, v_exp[:, :width, :]
                 )
-                _accumulate_rows(acc, scores)
+                # Accumulated-score snapshot boundaries that fall inside this
+                # query block are captured mid-scan: the totals after query
+                # L-1, restricted to keys [0, L), are exactly what a prefill
+                # resumed at L needs as its accumulated-score init.
+                captures = [
+                    (boundary - (start + b0), boundary)
+                    for boundary in state.acc_snapshot_boundaries
+                    if start + b0 < boundary <= start + b1
+                ]
+                captured = _accumulate_rows(acc, scores, captures or None)
+                if captured:
+                    for (_, boundary), snapshot in zip(captures, captured):
+                        sink = state.acc_snapshots.setdefault(
+                            boundary, [None] * cfg.num_layers
+                        )
+                        sink[layer_index] = snapshot
                 w0 = max(start + b0, window_start)
                 if w0 < start + b1:
                     _accumulate_rows(win, scores[:, w0 - (start + b0):, :])
@@ -532,6 +663,8 @@ class TransformerLM:
             aggregates=aggregates,
             prompt_queries=all_queries,
             seq_len=s,
+            cached_prefix_len=state.prefix_len,
+            acc_snapshots=dict(state.acc_snapshots),
         )
 
     def prefill(

@@ -273,8 +273,18 @@ class LatencyModel:
         method: str = "pqcache",
         iterations: int | None = None,
         sketch_tokens: int = 256,
+        cached_prefix_tokens: int = 0,
     ) -> Timeline:
         """Overlap schedule of a chunked prefill (Figure 7's pipeline view).
+
+        ``cached_prefix_tokens`` models a shared-prefix cache hit: the first
+        that-many tokens cost **nothing** — no compute, offload or
+        clustering tasks are emitted for them (the compute of the real
+        chunks still accounts for attending over the cached prefix, via the
+        telescoping chunk-FLOP model).  When the cached prefix already
+        covers the sketch, codebook fitting is skipped entirely (the PQ
+        artifacts are reused by reference) and later chunks only pay
+        stream-encoding plus the final refinement.
 
         Models the per-chunk tasks of the incremental construction pipeline
         as dependency-linked :class:`~repro.memory.timeline.Task` objects:
@@ -303,22 +313,29 @@ class LatencyModel:
         self._check_method(method)
         if not chunk_lens or any(int(c) <= 0 for c in chunk_lens):
             raise ConfigurationError("chunk_lens must be non-empty and positive")
+        if cached_prefix_tokens < 0:
+            raise ConfigurationError("cached_prefix_tokens must be >= 0")
         profile = _PROFILES[method]
         offloading = method in ("pqcache", "sparq", "infllm", "oracle")
         timeline = Timeline()
         layers = self.model.num_layers
-        total = sum(int(c) for c in chunk_lens)
+        cached = int(cached_prefix_tokens)
+        total = cached + sum(int(c) for c in chunk_lens)
 
         # First chunk index at which the sketch (or the whole short prompt)
-        # is available for codebook fitting.
+        # is available for codebook fitting.  A cached prefix that already
+        # covers the sketch means the codebooks arrive pre-fitted with the
+        # attached PQ snapshot: no cluster task at all.
         sketch_target = min(sketch_tokens, total)
-        seen = 0
-        sketch_chunk = len(chunk_lens) - 1
-        for index, chunk in enumerate(chunk_lens):
-            seen += int(chunk)
-            if seen >= sketch_target:
-                sketch_chunk = index
-                break
+        sketch_cached = cached >= sketch_target
+        seen = cached
+        sketch_chunk = -1 if sketch_cached else len(chunk_lens) - 1
+        if not sketch_cached:
+            for index, chunk in enumerate(chunk_lens):
+                seen += int(chunk)
+                if seen >= sketch_target:
+                    sketch_chunk = index
+                    break
 
         # The refinement pass covers the retrieval candidates offloaded up to
         # the second-to-last chunk (the trailing chunk is local-window
@@ -328,11 +345,11 @@ class LatencyModel:
         # on the serial CPU stream, and queueing it behind the last chunk's
         # encodes would needlessly push it past the end of compute.
         refine_gate = -1
-        if profile.uses_pq and len(chunk_lens) > 1:
-            refine_gate = max(len(chunk_lens) - 2, sketch_chunk)
+        if profile.uses_pq and (len(chunk_lens) > 1 or sketch_cached):
+            refine_gate = max(len(chunk_lens) - 2, sketch_chunk, 0)
 
         prev_gpu: str | None = None
-        prefix = 0
+        prefix = cached
         for c, chunk in enumerate(chunk_lens):
             chunk = int(chunk)
             compute = self._layer_chunk_compute_seconds(chunk, prefix, profile)
@@ -369,24 +386,39 @@ class LatencyModel:
                     )
                 elif c > sketch_chunk:
                     # One assignment pass over the chunk == a single Lloyd
-                    # iteration's distance computations.
+                    # iteration's distance computations.  With the sketch
+                    # served from the prefix cache there is no cluster task
+                    # to wait for — encoding starts as soon as the chunk's
+                    # keys are on the host.
+                    encode_deps = (
+                        (offload_name,)
+                        if sketch_cached
+                        else (f"cluster-L{layer}", offload_name)
+                    )
                     timeline.add(
                         f"encode-C{c}-L{layer}", Resource.CPU,
                         self.layer_clustering_seconds(chunk, iterations=1),
-                        (f"cluster-L{layer}", offload_name),
+                        encode_deps,
                     )
             prefix += chunk
-            if offloading and c == refine_gate:
+            if offloading and profile.uses_pq and c == refine_gate:
                 base_iters = (
                     self.kmeans_iterations if iterations is None else iterations
                 )
                 # Warm-started from the sketch codebooks: roughly half the
-                # from-scratch Lloyd budget suffices.
+                # from-scratch Lloyd budget suffices.  The pass covers the
+                # *full* prompt even on a cache hit — the implemented
+                # pipeline re-refines every encoded key (that is what keeps
+                # hit and cold decode outputs byte-identical), so the clock
+                # bills it honestly; the cache-hit savings are the skipped
+                # compute/offload/sketch-fit/encode tasks, not the refine.
                 refine = self.layer_clustering_seconds(
                     prefix, max(base_iters // 2, 1)
                 )
                 for layer in range(layers):
-                    deps = [f"offload-C{c}-L{layer}", f"cluster-L{layer}"]
+                    deps = [f"offload-C{c}-L{layer}"]
+                    if not sketch_cached:
+                        deps.append(f"cluster-L{layer}")
                     if c > sketch_chunk:
                         deps.append(f"encode-C{c}-L{layer}")
                     timeline.add(

@@ -132,6 +132,19 @@ class Timeline:
         """Total busy time of one resource."""
         return sum(t.duration for t in self._tasks.values() if t.resource == resource)
 
+    def resource_makespan(self, resource: str) -> float:
+        """Finish time of the latest task on one resource (0.0 if none).
+
+        The serving engine uses the GPU resource-makespan of a prefill
+        timeline as the first-token-ready time: prompt logits exist once the
+        last compute task ends, while the CPU/D2H construction tail beyond
+        it only gates the first *retrieval* (the paper's TT2T argument).
+        """
+        return max(
+            (t.finish for t in self._tasks.values() if t.resource == resource),
+            default=0.0,
+        )
+
     def critical_path(self) -> list[str]:
         """Names of tasks on a longest dependency/resource chain.
 

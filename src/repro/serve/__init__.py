@@ -4,13 +4,17 @@ This package is the serving front-end of the reproduction: it turns the
 single-sequence policy stack (model substrate + KVCache policies) into an
 engine that admits concurrent :class:`Request` objects, interleaves their
 decode rounds, streams tokens incrementally, and accounts simulated
-wall-clock through the analytical latency models.
+wall-clock through the analytical latency models.  With
+``enable_prefix_caching=True`` requests draw their KVCache from a shared
+paged block pool and the :class:`PrefixCache` reuses common prompt prefixes
+— KV blocks, accumulated-score snapshots and PQ artifacts — across requests
+(see ``docs/architecture.md``).
 
 Typical use::
 
     from repro.serve import InferenceEngine, PolicySpec, Request, SamplingParams
 
-    engine = InferenceEngine(model)
+    engine = InferenceEngine(model, enable_prefix_caching=True)
     engine.submit(Request(prompt_ids=prompt,
                           sampling=SamplingParams(max_new_tokens=16),
                           policy_spec=PolicySpec.named("pqcache", budget)))
@@ -21,6 +25,7 @@ Typical use::
 from ..llm.generation import StepSelections
 from .engine import InferenceEngine
 from .metrics import EngineMetrics, RequestMetrics
+from .prefix_cache import PrefixCache, PrefixCacheStats, PrefixMatch
 from .request import (
     PolicySpec,
     Request,
@@ -35,6 +40,9 @@ __all__ = [
     "InferenceEngine",
     "EngineMetrics",
     "RequestMetrics",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "PrefixMatch",
     "PolicySpec",
     "Request",
     "RequestOutput",

@@ -36,6 +36,25 @@ completion; policies that support it (PQCache) build their state
 incrementally from the same chunks (sketch fit → stream encode → refine).
 Chunked and monolithic prefill produce bitwise-identical model outputs.
 
+Paged KV and the shared-prefix cache
+------------------------------------
+With ``enable_prefix_caching=True`` every request's KVCache is a
+:class:`~repro.llm.kvcache.PagedKVCache` drawing fixed-size token blocks from
+a shared refcounted :class:`~repro.llm.kvcache.BlockAllocator`, and a
+:class:`~repro.serve.PrefixCache` hash-matches each incoming prompt against
+previously served block chains.  On a hit the matched blocks are attached
+copy-on-write, prefill resumes from the first divergent token
+(:meth:`TransformerLM.begin_prefill` with ``prefix_len``), reusable PQ
+artifacts (sketch codebooks + codes) are adopted by reference through the
+policy's ``attach_prefix`` hook, and the simulated clock charges **zero**
+prefill or clustering cost for the cache-hit tokens.  Decode outputs are
+byte-identical between the cache-hit and cold paths: the reused keys/values
+are the exact arrays an earlier request computed, resumed reductions are
+strictly-sequential continuations of snapshotted state, and policies whose
+selection depends on prefill aggregates only reuse up to a boundary where
+those aggregates were snapshotted exactly
+(``KVCachePolicy.needs_prefill_aggregates``).
+
 Wall-clock is *simulated*: the engine advances a clock using the analytical
 :class:`~repro.memory.LatencyModel` (prefill makespans and per-step TPOT for
 the request's method profile), so TTFT/TPOT/throughput come out in the
@@ -51,11 +70,12 @@ import numpy as np
 from ..baselines.base import KVCachePolicy
 from ..errors import ConfigurationError
 from ..llm.generation import StepSelections
-from ..llm.kvcache import KVCache
+from ..llm.kvcache import BlockAllocator, BlockTable, KVCache, PagedKVCache
 from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
 from .metrics import EngineMetrics, RequestMetrics
+from .prefix_cache import PrefixCache
 from .request import Request, RequestOutput, RequestStatus
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
 
@@ -74,6 +94,15 @@ class _RequestState:
         self.chunk_lens: list[int] = []
         self.chunk_seconds: float = 0.0
         self.method: str = "full"
+        #: paged-KV state (prefix caching only)
+        self.paged: PagedKVCache | None = None
+        self.cached_prefix = 0
+        self.prefix_acc: list[np.ndarray] | None = None
+        self.acc_capture = 0
+        #: construction time (refine & friends) extending past the last
+        #: compute task — charged after the first token is stamped, since it
+        #: only gates the first retrieval (TT2T), not the first token.
+        self.construction_tail = 0.0
         self.generated: list[int] = []
         self.step_logits: list[np.ndarray] = []
         self.selections: list[StepSelections] = []
@@ -99,12 +128,16 @@ class _RequestState:
 
     @property
     def remaining_prefill_tokens(self) -> int:
-        """Prompt tokens still to prefill (the scheduler's chunk protocol)."""
+        """Prompt tokens still to prefill (the scheduler's chunk protocol).
+
+        Cache-hit tokens are excluded: a request resumed from a shared
+        prefix only demands chunk budget for its divergent suffix.
+        """
         if self.prefill is not None or self.request.prefill is not None:
             return 0
         if self.prefill_state is not None:
             return self.prefill_state.remaining_tokens
-        return len(self.request.prompt_ids)
+        return len(self.request.prompt_ids) - self.cached_prefix
 
     def pick_token(self, logits: np.ndarray) -> int:
         """Masked greedy argmax — the same rule the legacy loop used."""
@@ -139,6 +172,23 @@ class InferenceEngine:
             ``None`` one is built from ``hardware`` (default: the paper's
             RTX 4090 + PCIe 1.0 testbed) and the substrate's geometry.
         hardware: hardware spec for the default latency model.
+        max_retained_outputs: retention bound on finished outputs.
+        enable_prefix_caching: allocate every request's KVCache from a shared
+            paged block pool and reuse matching prompt prefixes (KV blocks,
+            accumulated-score snapshots, PQ artifacts) across requests.
+        kv_block_size: tokens per KV block (prefix granularity).
+        kv_pool_blocks: bound on the block pool; ``None`` grows on demand.
+            When the pool runs dry mid-admission the prefix cache evicts
+            LRU chains; an exhausted pool with nothing evictable raises
+            :class:`~repro.errors.CapacityError`.
+        cache_decoded_blocks: also cache the blocks a request fills while
+            *decoding*, so a follow-up turn embedding the answer reuses them.
+            **Approximate reuse — off by default**: decoded tokens' KV was
+            computed through the decode kernel under the request's (possibly
+            sparse) attention policy, so it is not bitwise equal to what a
+            cold full-attention prefill of the same tokens would produce;
+            enabling this trades the byte-identity guarantee on the decoded
+            region for a higher hit rate (prompt-region reuse stays exact).
     """
 
     def __init__(
@@ -148,6 +198,10 @@ class InferenceEngine:
         latency_model: LatencyModel | None = None,
         hardware: HardwareSpec | None = None,
         max_retained_outputs: int | None = None,
+        enable_prefix_caching: bool = False,
+        kv_block_size: int = 64,
+        kv_pool_blocks: int | None = None,
+        cache_decoded_blocks: bool = False,
     ) -> None:
         self.model = model
         self.scheduler: ContinuousBatchingScheduler[_RequestState] = (
@@ -162,6 +216,20 @@ class InferenceEngine:
         #: everything — fine for batch jobs, set a bound for long-lived
         #: serving loops or call :meth:`release` per request.
         self.max_retained_outputs = max_retained_outputs
+        self.block_allocator: BlockAllocator | None = None
+        self.prefix_cache: PrefixCache | None = None
+        self.cache_decoded_blocks = cache_decoded_blocks
+        if enable_prefix_caching:
+            config = model.config
+            self.block_allocator = BlockAllocator(
+                config.num_layers,
+                config.num_kv_heads,
+                config.head_dim,
+                block_size=kv_block_size,
+                capacity_blocks=kv_pool_blocks,
+            )
+            self.prefix_cache = PrefixCache(self.block_allocator)
+            self.block_allocator.eviction_hook = self.prefix_cache.evict
         self._states: dict[str, _RequestState] = {}
         self._seen_ids: set[str] = set()
         self._final_outputs: dict[str, RequestOutput] = {}
@@ -247,6 +315,7 @@ class InferenceEngine:
             output = self._make_output(state, new_tokens.get(state.request.request_id, []))
             outputs.append(output)
             if state.finished:
+                self._cache_decoded_blocks(state)
                 self.scheduler.finish(state)
                 # The heavyweight per-request state (KVCache, logits) now
                 # lives only in the final output, subject to the retention
@@ -262,7 +331,22 @@ class InferenceEngine:
         if self.max_retained_outputs is None:
             return
         while len(self._final_outputs) > self.max_retained_outputs:
-            self._final_outputs.pop(next(iter(self._final_outputs)))
+            output = self._final_outputs.pop(next(iter(self._final_outputs)))
+            self._release_blocks(output)
+
+    @staticmethod
+    def _release_blocks(output: RequestOutput | None) -> None:
+        """Return a retained output's shared KV blocks to the pool.
+
+        The assembled per-layer mirrors stay readable, so the output itself
+        remains fully usable; only the refcounts on the shared block pool are
+        dropped (cached prefix entries keep their own references).
+        """
+        if output is None or output.prefill is None:
+            return
+        kvcache = output.prefill.kvcache
+        if isinstance(kvcache, PagedKVCache):
+            kvcache.release()
 
     def stream(self) -> Iterator[RequestOutput]:
         """Drive the engine to completion, yielding every streamed output."""
@@ -300,7 +384,7 @@ class InferenceEngine:
 
     def release(self, request_id: str) -> None:
         """Drop a finished request's retained output (frees its KVCache)."""
-        self._final_outputs.pop(request_id, None)
+        self._release_blocks(self._final_outputs.pop(request_id, None))
 
     def abort(self, request_id: str) -> RequestOutput:
         """Cancel an unfinished request and free its scheduler slot.
@@ -329,6 +413,10 @@ class InferenceEngine:
             )
         self.scheduler.remove(state)
         state.prefill_state = None  # drop the partial KVCache
+        if state.paged is not None and state.prefill is None:
+            # Aborted mid-prefill: the partial paged cache will never be
+            # retained, so return its blocks to the pool right away.
+            state.paged.release()
         self._finish(state, "aborted")
         output = self._make_output(state, [])
         del self._states[request_id]
@@ -349,11 +437,110 @@ class InferenceEngine:
             state.policy.name if state.policy is not None else None,
             is_dropping=state.policy.is_dropping if state.policy is not None else False,
         )
+        if self.prefix_cache is not None and state.request.prefill is None:
+            self._setup_prefix(state)
+
+    def _setup_prefix(self, state: _RequestState) -> None:
+        """Prefix-cache lookup + paged-KVCache construction for one request.
+
+        Decides the reuse length ``R``:
+
+        * policies that read prefill aggregates (and full attention, whose
+          final output exposes them) may only resume at a boundary where the
+          accumulated-score state was snapshotted exactly, capped so the
+          SnapKV-style observation window stays entirely in the recomputed
+          suffix — both conditions keep the resumed aggregates bitwise equal
+          to a cold prefill's;
+        * aggregate-free policies (PQCache) reuse every matched full block,
+          up to ``len(prompt) - 1`` (at least one token must be processed to
+          produce the first-token logits).
+
+        Then forks the matched block chain copy-on-write and, when the
+        policy can, attaches the cached PQ artifacts.
+        """
+        assert self.prefix_cache is not None and self.block_allocator is not None
+        request = state.request
+        policy = state.policy
+        prompt_len = len(request.prompt_ids)
+        block = self.block_allocator.block_size
+        observation = request.sampling.observation_window
+        fingerprint = policy.prefix_fingerprint() if policy is not None else None
+        needs_aggregates = (
+            policy.needs_prefill_aggregates if policy is not None else True
+        )
+
+        match = self.prefix_cache.match(request.prompt_ids, fingerprint)
+        self.metrics.prefix_cache_queries += 1
+        self.metrics.prefix_prompt_tokens += prompt_len
+
+        reuse = 0
+        acc_scores = None
+        if match is not None:
+            if needs_aggregates:
+                limit = min(match.matched_tokens, prompt_len - observation)
+                candidates = [b for b in match.acc_boundaries if b <= limit]
+                if candidates:
+                    reuse = max(candidates)
+                    acc_scores = match.acc_boundaries[reuse]
+            else:
+                reuse = min(match.matched_tokens, prompt_len - 1)
+                acc_scores = match.acc_boundaries.get(reuse)
+
+        if reuse > 0:
+            num_blocks = -(-reuse // block)
+            table = BlockTable.fork_from(
+                self.block_allocator, match.block_ids[:num_blocks]
+            )
+            state.paged = PagedKVCache(
+                self.block_allocator, prefix_table=table, prefix_len=reuse
+            )
+            state.cached_prefix = reuse
+            state.prefix_acc = acc_scores
+            self.metrics.prefix_cache_hits += 1
+            self.metrics.prefix_cache_hit_tokens += reuse
+            if match.pq_snapshot is not None and policy is not None:
+                policy.attach_prefix(
+                    self.model.config, state.paged, match.pq_snapshot, reuse
+                )
+        else:
+            state.paged = PagedKVCache(self.block_allocator)
+        state.metrics.cached_prefix_tokens = reuse
+
+        # Boundary at which this request's own accumulated-score state will
+        # be snapshotted for future consumers: the largest block-aligned
+        # point that leaves the observation window in the suffix, if it
+        # covers queries this request actually computes.  A request that
+        # resumed *without* an exact accumulated-score init (the
+        # aggregate-free long-reuse path) must not capture at all — its scan
+        # is missing the cached-prefix queries' contributions, and caching
+        # that snapshot would poison later aggregate-consuming resumes.
+        capture = ((prompt_len - observation) // block) * block
+        if capture > state.cached_prefix and (
+            state.cached_prefix == 0 or state.prefix_acc is not None
+        ):
+            state.acc_capture = capture
 
     def _resolve_prefill(self, state: _RequestState) -> PrefillResult:
         """Prefill result of a request that needs no (more) model work."""
         assert state.request.prefill is not None
         return state.request.prefill
+
+    def _make_prefill_state(self, state: _RequestState) -> PrefillState:
+        """Begin the model-side prefill, resuming from a cached prefix."""
+        request = state.request
+        kwargs: dict = {}
+        if state.paged is not None:
+            kwargs["kvcache"] = state.paged
+            if state.cached_prefix > 0:
+                kwargs["prefix_len"] = state.cached_prefix
+                kwargs["prefix_acc_scores"] = state.prefix_acc
+            if state.acc_capture:
+                kwargs["acc_snapshot_boundaries"] = [state.acc_capture]
+        return self.model.begin_prefill(
+            request.prompt_ids,
+            observation_window=request.sampling.observation_window,
+            **kwargs,
+        )
 
     def _run_monolithic_prefill(
         self, state: _RequestState, new_tokens: dict[str, list[int]]
@@ -362,6 +549,15 @@ class InferenceEngine:
         request = state.request
         if request.prefill is not None:
             prefill = request.prefill
+        elif state.paged is not None:
+            # Paged/prefix-cached requests always run through the resumable
+            # API so cache-hit tokens are skipped; without chunking the whole
+            # remainder is one chunk (charged through the chunk clock, which
+            # telescopes to the monolithic charge on a cold cache).
+            self._run_prefill_chunk(
+                state, state.remaining_prefill_tokens, new_tokens
+            )
+            return
         else:
             prefill = self.model.prefill(
                 request.prompt_ids,
@@ -375,10 +571,7 @@ class InferenceEngine:
         """Advance a chunked-prefill request by one scheduled chunk."""
         request = state.request
         if state.prefill_state is None:
-            state.prefill_state = self.model.begin_prefill(
-                request.prompt_ids,
-                observation_window=request.sampling.observation_window,
-            )
+            state.prefill_state = self._make_prefill_state(state)
         prefix = state.prefill_state.num_processed
         processed = self.model.prefill_chunk(state.prefill_state, num_tokens)
         state.chunk_lens.append(processed)
@@ -404,15 +597,28 @@ class InferenceEngine:
 
         if state.prefill_state.is_complete:
             prefill = self.model.finish_prefill(state.prefill_state)
-            residual = (
-                self.latency.chunked_prefill_timeline(
-                    state.chunk_lens, state.method
-                ).makespan
-                - state.chunk_seconds
+            timeline = self.latency.chunked_prefill_timeline(
+                state.chunk_lens,
+                state.method,
+                cached_prefix_tokens=state.cached_prefix,
             )
-            if residual > 0.0:
-                self.metrics.clock += residual
-                state.metrics.prefill_seconds += residual
+            # Split the overlap residual at the first-token-ready point: the
+            # prompt's logits exist once the last GPU compute task ends, so
+            # only the compute-side residual precedes TTFT; the construction
+            # tail beyond it (offload/encode/refine that compute could not
+            # hide) gates the first *retrieval* and is charged after the
+            # first token is stamped (the paper's TT2T argument — this is
+            # also what makes a prefix-cache hit's TTFT reflect the skipped
+            # prefix compute rather than the full-prompt refine, which both
+            # hit and cold paths still pay before their first decode step).
+            gpu_ready = max(
+                timeline.resource_makespan("gpu"), state.chunk_seconds
+            )
+            compute_residual = gpu_ready - state.chunk_seconds
+            if compute_residual > 0.0:
+                self.metrics.clock += compute_residual
+                state.metrics.prefill_seconds += compute_residual
+            state.construction_tail = max(timeline.makespan - gpu_ready, 0.0)
             state.prefill_state = None
             self._complete_prefill(state, prefill, new_tokens)
 
@@ -432,6 +638,34 @@ class InferenceEngine:
             # chunked prefill) and defers to on_prefill for everything else.
             state.policy.finish_prefill(self.model.config, prefill)
 
+        if self.prefix_cache is not None and state.paged is not None:
+            # Cache the prompt's full blocks plus the reusable artifacts:
+            # the accumulated-score snapshot at its capture boundary and the
+            # policy's pre-refine PQ state (both shared by reference).
+            acc_scores = (
+                prefill.acc_snapshots.get(state.acc_capture)
+                if state.acc_capture
+                else None
+            )
+            fingerprint = (
+                state.policy.prefix_fingerprint()
+                if state.policy is not None
+                else None
+            )
+            snapshot = (
+                state.policy.prefix_snapshot()
+                if state.policy is not None
+                else None
+            )
+            self.prefix_cache.insert(
+                request.prompt_ids,
+                state.paged.table.block_ids,
+                acc_boundary=state.acc_capture if acc_scores is not None else 0,
+                acc_scores=acc_scores,
+                pq_fingerprint=fingerprint,
+                pq_snapshot=snapshot,
+            )
+
         if not state.chunk_lens:
             # Monolithic prefill charges the whole overlapped makespan once.
             seconds = self.latency.prefill_timeline(
@@ -448,6 +682,17 @@ class InferenceEngine:
         # process, so TTFT is the same point on the clock (this used to be
         # skipped, reporting TTFT as 0 for every eval-harness run).
         state.metrics.first_token_time = self.metrics.clock
+
+        if state.construction_tail > 0.0:
+            # The non-hidable construction tail (chiefly the full-prompt PQ
+            # refinement) completes after the first token exists but before
+            # the first retrieval, so it lands on the clock *after* TTFT was
+            # stamped and before any decode round — and before a stop-token
+            # finish stamps finish_time, keeping e2e >= prefill_seconds.
+            self.metrics.clock += state.construction_tail
+            state.metrics.prefill_seconds += state.construction_tail
+            state.construction_tail = 0.0
+
         if state.forced is None:
             first = state.pick_token(prefill.logits)
             state.generated.append(first)
@@ -537,10 +782,38 @@ class InferenceEngine:
 
     # ------------------------------------------------------------- finish
 
+    def _cache_decoded_blocks(self, state: _RequestState) -> None:
+        """Extend the request's cached chain with its decoded tokens.
+
+        Opt-in (``cache_decoded_blocks``): a follow-up turn's prompt usually
+        embeds this request's answer, so the blocks filled during decoding
+        are prefix material too — but only *approximately*.  Decoded tokens'
+        KV went through the decode kernel under this request's attention
+        policy, so reusing it is not bitwise equal to a cold prefill of the
+        same tokens; the engine therefore never caches the decoded region
+        unless explicitly asked to.  Only KV content is cached (no aggregate
+        or PQ payloads — those are prompt-prefix artifacts).
+        """
+        if (
+            not self.cache_decoded_blocks
+            or self.prefix_cache is None
+            or state.paged is None
+            or state.prefill is None
+            or state.num_decoded == 0
+        ):
+            return
+        decoded = (
+            state.forced if state.forced is not None else state.generated
+        )[: state.num_decoded]
+        chain_ids = list(state.request.prompt_ids) + [int(t) for t in decoded]
+        self.prefix_cache.insert(chain_ids, state.paged.table.block_ids)
+
     def _finish(self, state: _RequestState, reason: str) -> None:
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
         state.metrics.finish_time = self.metrics.clock
+        if state.policy is not None:
+            state.policy.release_prefix()
 
     @staticmethod
     def _gpu_cache_hit_rate(policy: KVCachePolicy | None) -> float:

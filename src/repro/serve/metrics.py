@@ -37,6 +37,9 @@ class RequestMetrics:
             behind compute (PQ-code prefetch, block representatives).
         comm_blocking_bytes: modelled traffic on the critical path (top-k
             key/value fetches), accumulated over decode steps.
+        cached_prefix_tokens: prompt tokens served from the shared-prefix
+            cache (0 when prefix caching is off or the lookup missed);
+            these tokens incur no prefill compute or clustering cost.
     """
 
     arrival_time: float = 0.0
@@ -52,6 +55,7 @@ class RequestMetrics:
     attended_tokens: float = 0.0
     comm_overlappable_bytes: float = 0.0
     comm_blocking_bytes: float = 0.0
+    cached_prefix_tokens: int = 0
 
     # ------------------------------------------------------------- derived
 
@@ -97,12 +101,22 @@ class RequestMetrics:
             "mean_attended_tokens": self.mean_attended_tokens,
             "comm_overlappable_bytes": self.comm_overlappable_bytes,
             "comm_blocking_bytes": self.comm_blocking_bytes,
+            "cached_prefix_tokens": self.cached_prefix_tokens,
         }
 
 
 @dataclass
 class EngineMetrics:
-    """Aggregate counters of one :class:`~repro.serve.InferenceEngine`."""
+    """Aggregate counters of one :class:`~repro.serve.InferenceEngine`.
+
+    The ``prefix_cache_*`` counters cover the shared-prefix cache (all zero
+    when ``enable_prefix_caching`` is off) at the *reuse* level: lookups
+    performed, lookups whose match was actually attached, prompt tokens
+    actually served from cached blocks, and total prompt tokens that went
+    through the lookup path.  The cache's own
+    :class:`~repro.serve.PrefixCacheStats` counts raw index matches, which
+    can exceed these when a policy's constraints cap the reuse.
+    """
 
     clock: float = 0.0
     steps: int = 0
@@ -113,6 +127,10 @@ class EngineMetrics:
     prefill_chunks: int = 0
     decode_rounds: int = 0
     generated_tokens: int = 0
+    prefix_cache_queries: int = 0
+    prefix_cache_hits: int = 0
+    prefix_cache_hit_tokens: int = 0
+    prefix_prompt_tokens: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -128,6 +146,20 @@ class EngineMetrics:
             return 0.0
         return self.generated_tokens / self.clock
 
+    @property
+    def prefix_cache_hit_rate(self) -> float:
+        """Fraction of prefix-cache lookups that matched at least one block."""
+        if self.prefix_cache_queries == 0:
+            return 0.0
+        return self.prefix_cache_hits / self.prefix_cache_queries
+
+    @property
+    def prefix_token_hit_rate(self) -> float:
+        """Fraction of looked-up prompt tokens served from cached blocks."""
+        if self.prefix_prompt_tokens == 0:
+            return 0.0
+        return self.prefix_cache_hit_tokens / self.prefix_prompt_tokens
+
     def as_dict(self) -> dict:
         return {
             "clock": self.clock,
@@ -141,4 +173,9 @@ class EngineMetrics:
             "generated_tokens": self.generated_tokens,
             "requests_per_second": self.requests_per_second,
             "tokens_per_second": self.tokens_per_second,
+            "prefix_cache_queries": self.prefix_cache_queries,
+            "prefix_cache_hits": self.prefix_cache_hits,
+            "prefix_cache_hit_tokens": self.prefix_cache_hit_tokens,
+            "prefix_cache_hit_rate": self.prefix_cache_hit_rate,
+            "prefix_token_hit_rate": self.prefix_token_hit_rate,
         }

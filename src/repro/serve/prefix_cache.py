@@ -1,0 +1,377 @@
+"""Shared-prefix cache over the paged KV block pool.
+
+Concurrent requests that share a prompt prefix (a system prompt, a multi-turn
+history) should not redo its prefill, k-means clustering, or PQ encoding.
+This module provides the engine-side index that makes that reuse safe:
+
+* Prompts are hashed **per block** with parent chaining (vLLM-style): the key
+  of block *i* is ``H(key_{i-1}, tokens_i)``, so equal keys identify equal
+  whole prefixes, not just equal blocks.  Every node additionally stores its
+  raw token ids and verifies them on lookup — a hash collision therefore
+  degrades to a cache miss (cold prefill), never to silent corruption.
+* Each cached node holds one reference on its physical block in the
+  :class:`~repro.llm.kvcache.BlockAllocator`; an attaching request forks the
+  matched chain (increfs), and copy-on-write in
+  :class:`~repro.llm.kvcache.PagedKVCache` protects the shared contents.
+* Nodes can carry two kinds of *artifact payloads* beyond raw KV:
+  accumulated-attention-score snapshots (the exact resume state policies
+  that read prefill aggregates need) and per-policy
+  :class:`~repro.core.pqcache.PQSnapshot` objects (sketch codebooks + codes,
+  reused by reference instead of re-clustered).
+* Eviction is LRU over leaf nodes: when the block pool runs dry mid-admission
+  the allocator calls :meth:`PrefixCache.evict`, which walks least-recently
+  used chains tail-first and drops nodes whose blocks nobody else references.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..llm.kvcache import BlockAllocator
+
+__all__ = ["PrefixCache", "PrefixCacheStats", "PrefixMatch"]
+
+
+def _default_hash(parent_key: bytes, tokens: np.ndarray) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(parent_key)
+    digest.update(tokens.astype(np.int64).tobytes())
+    return digest.digest()
+
+
+class _Node:
+    """One cached block: chain position, physical block, artifact payloads."""
+
+    __slots__ = (
+        "key", "parent", "children", "block_id", "depth", "token_ids",
+        "last_used", "acc_scores", "pq_snapshots",
+    )
+
+    def __init__(
+        self,
+        key: bytes,
+        parent: "_Node | None",
+        block_id: int,
+        depth: int,
+        token_ids: np.ndarray,
+    ) -> None:
+        self.key = key
+        self.parent = parent
+        self.children = 0
+        self.block_id = block_id
+        self.depth = depth            # blocks from the root, inclusive of self
+        self.token_ids = token_ids    # this block's tokens (collision check)
+        self.last_used = 0
+        #: per-layer (num_heads, end_pos) accumulated-score snapshot valid at
+        #: exactly this node's end position, or None
+        self.acc_scores = None
+        #: fingerprint -> PQSnapshot (sketch codebooks + codes)
+        self.pq_snapshots: dict = {}
+
+    def end_pos(self, block_size: int) -> int:
+        return self.depth * block_size
+
+
+@dataclass
+class PrefixMatch:
+    """Longest cached chain matching a prompt, plus reusable payloads.
+
+    Attributes:
+        matched_tokens: full-block prefix length found in the cache.
+        block_ids: physical blocks of the matched chain (not yet increfed —
+            fork them via :meth:`~repro.llm.kvcache.BlockTable.fork_from`).
+        acc_boundaries: boundary → per-layer accumulated-score snapshots
+            available inside the matched region.
+        pq_snapshot: deepest PQ snapshot with the requested fingerprint found
+            on the chain, or ``None``.
+    """
+
+    matched_tokens: int
+    block_ids: list[int]
+    acc_boundaries: dict[int, list] = field(default_factory=dict)
+    pq_snapshot: object = None
+
+
+@dataclass
+class PrefixCacheStats:
+    """*Index-level* counters: what the hash-chain lookups matched.
+
+    These count matches as seen by :meth:`PrefixCache.match` — the full
+    matched block chain per lookup.  The engine may then reuse *fewer*
+    tokens than matched (policy aggregate constraints, the
+    ``len(prompt) - 1`` cap) or none at all; what was actually attached is
+    what :class:`~repro.serve.EngineMetrics` ``prefix_cache_*`` counters
+    record.  Compare the two to see how much matched prefix the reuse
+    policy left on the table.
+    """
+
+    queries: int = 0
+    hits: int = 0
+    hit_tokens: int = 0
+    lookup_tokens: int = 0
+    inserted_blocks: int = 0
+    evicted_blocks: int = 0
+    collisions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched at least one block."""
+        if self.queries == 0:
+            return 0.0
+        return self.hits / self.queries
+
+    @property
+    def token_hit_rate(self) -> float:
+        """Fraction of looked-up prompt tokens found in the index.
+
+        An upper bound on the engine's ``prefix_token_hit_rate`` (which
+        counts only the tokens actually reused).
+        """
+        if self.lookup_tokens == 0:
+            return 0.0
+        return self.hit_tokens / self.lookup_tokens
+
+
+class PrefixCache:
+    """Hash-chained index of cached prompt-prefix blocks.
+
+    Args:
+        allocator: the paged-KV block pool the cached chains live in; the
+            cache holds one reference per cached block.
+        hash_fn: ``(parent_key, tokens) -> bytes`` chain hash; injectable so
+            tests can force collisions and exercise the verification
+            fallback.  Collisions are detected by comparing stored token ids
+            and resolved as misses (first chain wins the slot).
+    """
+
+    _ROOT_KEY = b"root"
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        hash_fn: "Callable[[bytes, np.ndarray], bytes] | None" = None,
+    ) -> None:
+        self.allocator = allocator
+        self.block_size = allocator.block_size
+        self._hash = hash_fn or _default_hash
+        self._nodes: dict[bytes, _Node] = {}
+        self._tick = 0
+        self.stats = PrefixCacheStats()
+
+    def __len__(self) -> int:
+        """Number of cached blocks."""
+        return len(self._nodes)
+
+    # --------------------------------------------------------------- match
+
+    def _walk(self, token_ids: np.ndarray) -> list[_Node]:
+        """Longest chain of cached nodes matching the prompt's full blocks."""
+        nodes: list[_Node] = []
+        key = self._ROOT_KEY
+        pos = 0
+        block = self.block_size
+        while pos + block <= token_ids.size:
+            tokens = token_ids[pos: pos + block]
+            key = self._hash(key, tokens)
+            node = self._nodes.get(key)
+            if node is None:
+                break
+            if not np.array_equal(node.token_ids, tokens):
+                # Hash collision: the slot belongs to a different chain.
+                # Treat as a miss — correctness never depends on the hash.
+                self.stats.collisions += 1
+                break
+            nodes.append(node)
+            pos += block
+        return nodes
+
+    def match(
+        self, token_ids: Sequence[int], fingerprint: object = None
+    ) -> PrefixMatch | None:
+        """Longest-prefix lookup for an incoming prompt.
+
+        Args:
+            token_ids: the request's prompt token ids.
+            fingerprint: policy fingerprint to select PQ snapshots with
+                (``None`` returns no PQ payload).
+
+        Returns:
+            A :class:`PrefixMatch`, or ``None`` on a complete miss.
+        """
+        token_ids = np.asarray(list(token_ids), dtype=np.int64)
+        self.stats.queries += 1
+        self.stats.lookup_tokens += int(token_ids.size)
+        nodes = self._walk(token_ids)
+        if not nodes:
+            return None
+        self._tick += 1
+        acc: dict[int, list] = {}
+        best_pq = None
+        for node in nodes:
+            node.last_used = self._tick
+            if node.acc_scores is not None:
+                acc[node.end_pos(self.block_size)] = node.acc_scores
+            if fingerprint is not None:
+                snap = node.pq_snapshots.get(fingerprint)
+                if snap is not None and (
+                    best_pq is None or snap.num_tokens > best_pq.num_tokens
+                ):
+                    best_pq = snap
+        matched = nodes[-1].end_pos(self.block_size)
+        self.stats.hits += 1
+        self.stats.hit_tokens += matched
+        return PrefixMatch(
+            matched_tokens=matched,
+            block_ids=[node.block_id for node in nodes],
+            acc_boundaries=acc,
+            pq_snapshot=best_pq,
+        )
+
+    # -------------------------------------------------------------- insert
+
+    def insert(
+        self,
+        token_ids: Sequence[int],
+        block_ids: Sequence[int],
+        acc_boundary: int = 0,
+        acc_scores: "list | None" = None,
+        pq_fingerprint: object = None,
+        pq_snapshot: object = None,
+    ) -> int:
+        """Cache a request's full prompt/output blocks and artifact payloads.
+
+        Walks the chain, reusing existing nodes (two identical cold prompts
+        racing keep the first request's blocks) and increfing + indexing the
+        request's blocks for the new tail.  Artifact payloads are attached to
+        the chain where valid: the accumulated-score snapshot at its exact
+        boundary node, the PQ snapshot on every node it covers (deepest
+        snapshot wins when several producers share a chain).
+
+        Args:
+            token_ids: the tokens backing ``block_ids`` (prompt, optionally
+                followed by generated tokens); only full blocks are cached.
+            block_ids: the request's block table entries for those tokens.
+            acc_boundary: block-aligned position of ``acc_scores`` (0 = none).
+            acc_scores: per-layer ``(num_heads, acc_boundary)`` snapshots.
+            pq_fingerprint: policy fingerprint keying ``pq_snapshot``.
+            pq_snapshot: :class:`~repro.core.pqcache.PQSnapshot` to share.
+
+        Returns:
+            Number of newly cached blocks.
+        """
+        token_ids = np.asarray(list(token_ids), dtype=np.int64)
+        block = self.block_size
+        num_full = int(token_ids.size) // block
+        if acc_boundary and acc_boundary % block != 0:
+            raise ConfigurationError(
+                f"acc_boundary ({acc_boundary}) must be block-aligned ({block})"
+            )
+        if len(block_ids) * block < num_full * block:
+            raise ConfigurationError(
+                f"{len(block_ids)} blocks cannot back {num_full} full "
+                "token blocks"
+            )
+        self._tick += 1
+        key = self._ROOT_KEY
+        parent: _Node | None = None
+        created = 0
+        for index in range(num_full):
+            tokens = token_ids[index * block: (index + 1) * block]
+            key = self._hash(key, tokens)
+            node = self._nodes.get(key)
+            if node is not None and not np.array_equal(node.token_ids, tokens):
+                # Collision with a foreign chain: stop caching here rather
+                # than evict the resident chain (first writer wins).
+                self.stats.collisions += 1
+                break
+            if node is None:
+                block_id = int(block_ids[index])
+                self.allocator.incref(block_id)
+                node = _Node(key, parent, block_id, index + 1, tokens.copy())
+                self._nodes[key] = node
+                if parent is not None:
+                    parent.children += 1
+                created += 1
+                self.stats.inserted_blocks += 1
+            node.last_used = self._tick
+            end = node.end_pos(block)
+            if acc_scores is not None and end == acc_boundary:
+                node.acc_scores = acc_scores
+            if pq_snapshot is not None and pq_fingerprint is not None:
+                existing = node.pq_snapshots.get(pq_fingerprint)
+                if existing is None or pq_snapshot.num_tokens > existing.num_tokens:
+                    node.pq_snapshots[pq_fingerprint] = pq_snapshot
+            parent = node
+        return created
+
+    # ------------------------------------------------------------ eviction
+
+    def evict(self, num_blocks: int = 1) -> int:
+        """Free at least ``num_blocks`` pool blocks by dropping cold chains.
+
+        Only *leaf* nodes (no cached children) are candidates — dropping an
+        interior node would orphan its descendants' chain keys — and only
+        nodes whose block nobody but the cache references actually free pool
+        space.  Candidates are taken least-recently-used first; freeing a
+        leaf may expose its parent, so the walk continues until the target is
+        met or nothing evictable remains.
+
+        Returns:
+            Number of blocks actually returned to the allocator's free list.
+        """
+        freed = 0
+        # One LRU-sorted snapshot per call; chains are walked tail-first by
+        # re-passing over it (freeing a leaf exposes its parent, which sits
+        # nearby in LRU order since a chain is touched as a unit), instead
+        # of a full fresh scan per freed block.
+        candidates = sorted(self._nodes.values(), key=lambda n: n.last_used)
+        progressed = True
+        while freed < num_blocks and progressed:
+            progressed = False
+            for node in candidates:
+                if freed >= num_blocks:
+                    break
+                if node.key not in self._nodes or node.children:
+                    continue
+                if self.allocator.refcount(node.block_id) != 1:
+                    continue  # an active request still holds the block
+                self._remove(node)
+                freed += 1
+                self.stats.evicted_blocks += 1
+                progressed = True
+        return freed
+
+    def clear(self) -> int:
+        """Drop every cached node (releases all cache-held block refs)."""
+        dropped = 0
+        while self._nodes:
+            for node in list(self._nodes.values()):
+                if node.children == 0:
+                    self._remove(node)
+                    dropped += 1
+        return dropped
+
+    def _remove(self, node: _Node) -> None:
+        del self._nodes[node.key]
+        if node.parent is not None:
+            node.parent.children -= 1
+        self.allocator.decref(node.block_id)
+
+    # ----------------------------------------------------------- reporting
+
+    def describe(self) -> dict:
+        return {
+            "blocks": len(self._nodes),
+            "block_size": self.block_size,
+            "queries": self.stats.queries,
+            "hit_rate": self.stats.hit_rate,
+            "token_hit_rate": self.stats.token_hit_rate,
+            "inserted_blocks": self.stats.inserted_blocks,
+            "evicted_blocks": self.stats.evicted_blocks,
+            "collisions": self.stats.collisions,
+        }

@@ -17,6 +17,12 @@ split max-min fairly across the batch's ``PREFILLING`` requests (short
 prompts complete first, long prompts soak up the leftover budget).  Items
 scheduled in chunked mode must expose a ``remaining_prefill_tokens``
 attribute (the engine's per-request state does).
+
+The scheduler is storage-agnostic: under the engine's paged-KV/prefix-cache
+mode a request's ``remaining_prefill_tokens`` already excludes the tokens
+served from the shared-prefix cache, so cache-hit requests demand chunk
+budget (and clock) only for their divergent suffix — the scheduler charges
+zero prefill work for cache-hit tokens without knowing they exist.
 """
 
 from __future__ import annotations

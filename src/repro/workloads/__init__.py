@@ -1,6 +1,7 @@
 """Synthetic long-context workloads standing in for the paper's benchmarks."""
 
 from .base import Sample, TaskDataset, VocabLayout
+from .conversation import Conversation, multi_turn_conversation
 from .generators import (
     cot_arithmetic,
     counting,
@@ -30,6 +31,8 @@ __all__ = [
     "Sample",
     "TaskDataset",
     "VocabLayout",
+    "Conversation",
+    "multi_turn_conversation",
     "cot_arithmetic",
     "counting",
     "few_shot_recall",

@@ -1,0 +1,139 @@
+"""Multi-turn conversation workload with a shared system prompt.
+
+This is the workload the shared-prefix cache is built for: every turn's
+prompt embeds the full conversation so far — a long system prompt, then an
+alternating history of user turns and model answers — so consecutive turns
+share an ever-growing prefix.  Without a prefix cache each turn redoes the
+whole history's prefill and PQ construction; with one, only the newly
+appended turn is processed (``benchmarks/test_prefix_reuse.py`` measures the
+resulting TTFT gap, ``examples/multi_turn_chat.py`` demos it).
+
+The generator is deterministic for a seed, draws from the shared
+:class:`~repro.workloads.VocabLayout` token ranges like every other workload
+family, and stays answer-agnostic: the model's decoded tokens are appended
+to the running history by the driver (:meth:`Conversation.extend_history`),
+so the workload composes with any policy or engine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..utils import as_rng
+from .base import VocabLayout
+
+__all__ = ["Conversation", "multi_turn_conversation"]
+
+
+@dataclass
+class Conversation:
+    """A scripted multi-turn exchange sharing one system prompt.
+
+    Attributes:
+        system_ids: tokens of the system prompt (the always-shared prefix).
+        turn_ids: per-turn user-message tokens, each ending with the
+            separator so turn boundaries are unambiguous.
+        separator_id: token closing each message.
+    """
+
+    system_ids: list[int]
+    turn_ids: list[list[int]] = field(default_factory=list)
+    separator_id: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.system_ids:
+            raise WorkloadError("conversation needs a non-empty system prompt")
+        if not self.turn_ids:
+            raise WorkloadError("conversation needs at least one turn")
+
+    @property
+    def num_turns(self) -> int:
+        return len(self.turn_ids)
+
+    def initial_history(self) -> list[int]:
+        """Token history before the first turn: the system prompt."""
+        return list(self.system_ids)
+
+    def prompt_for_turn(self, turn: int, history: "list[int]") -> list[int]:
+        """Full prompt of one turn: running history + that turn's message.
+
+        Args:
+            turn: turn index in ``[0, num_turns)``.
+            history: tokens of everything before this turn (system prompt +
+                previous turns + previous answers), as maintained by
+                :meth:`extend_history`.
+        """
+        if not 0 <= turn < self.num_turns:
+            raise WorkloadError(
+                f"turn {turn} out of range [0, {self.num_turns})"
+            )
+        return list(history) + list(self.turn_ids[turn])
+
+    def extend_history(
+        self, prompt_ids: "list[int]", answer_ids: "list[int]"
+    ) -> list[int]:
+        """History for the next turn: this turn's prompt + its answer."""
+        return list(prompt_ids) + list(answer_ids) + [self.separator_id]
+
+
+def multi_turn_conversation(
+    num_turns: int = 3,
+    system_tokens: int = 4096,
+    turn_tokens: int = 64,
+    layout: VocabLayout | None = None,
+    seed: int = 0,
+) -> Conversation:
+    """Generate a deterministic multi-turn conversation.
+
+    The system prompt is filler text salted with tag/value pairs (so
+    retrieval policies have structure to find); each user turn is filler
+    ending in a tag mention plus the separator.
+
+    Args:
+        num_turns: user turns in the conversation.
+        system_tokens: length of the shared system prompt.
+        turn_tokens: length of each user message (including separator).
+        layout: vocabulary layout; defaults to :class:`VocabLayout`.
+        seed: RNG seed.
+    """
+    if num_turns <= 0:
+        raise WorkloadError("num_turns must be positive")
+    if system_tokens <= 0 or turn_tokens <= 1:
+        raise WorkloadError("system_tokens must be >= 1 and turn_tokens >= 2")
+    layout = layout or VocabLayout()
+    num_facts = min(num_turns, layout.num_tags, layout.num_values)
+    if system_tokens <= num_facts:
+        raise WorkloadError(
+            f"system_tokens ({system_tokens}) must exceed the number of "
+            f"planted facts ({num_facts})"
+        )
+    rng = as_rng(seed)
+
+    system = layout.sample_filler(rng, system_tokens)
+    tags = layout.sample_tags(rng, num_facts)
+    values = layout.sample_values(rng, num_facts)
+    # Plant one fact per turn inside the system prompt so each user turn has
+    # something to refer back to across the shared prefix.
+    fact_positions = np.sort(
+        rng.choice(max(system_tokens - 1, 1), size=tags.size, replace=False)
+    )
+    for position, tag, value in zip(fact_positions, tags, values):
+        system[position] = tag
+        if position + 1 < system_tokens:
+            system[position + 1] = value
+
+    separator = 3 % layout.vocab_size
+    turns: list[list[int]] = []
+    for turn in range(num_turns):
+        message = layout.sample_filler(rng, turn_tokens - 1).tolist()
+        message[-1] = int(tags[turn % tags.size])
+        turns.append([int(t) for t in message] + [separator])
+
+    return Conversation(
+        system_ids=[int(t) for t in system],
+        turn_ids=turns,
+        separator_id=separator,
+    )

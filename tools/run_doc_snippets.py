@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code fences of markdown docs so they cannot rot.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_snippets.py README.md docs/*.md
+
+Every fenced block tagged exactly ``python`` is executed; blocks in the same
+file share one namespace (so a quickstart can build on an earlier snippet).
+Fences tagged anything else (``text``, ``bash``, ``mermaid``, untagged) are
+skipped.  A block tagged ``python no-run`` is shown-but-not-executed — use
+sparingly, e.g. for snippets that depend on user-local paths.
+
+Exit code is non-zero on the first failing snippet, printing the file, the
+snippet index and the offending code — this is the CI docs job's whole job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^```(\S*)[ \t]*([^\n]*)$")
+
+
+def extract_snippets(text: str) -> list[tuple[int, str]]:
+    """(start_line, code) for every runnable ```python fence."""
+    snippets: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    in_fence = False
+    runnable = False
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = FENCE.match(line.strip())
+        if match and not in_fence:
+            in_fence = True
+            tag, extra = match.group(1), match.group(2)
+            runnable = tag == "python" and "no-run" not in extra
+            start = number + 1
+            buffer = []
+        elif line.strip().startswith("```") and in_fence:
+            in_fence = False
+            if runnable and buffer:
+                snippets.append((start, "\n".join(buffer)))
+        elif in_fence:
+            buffer.append(line)
+    return snippets
+
+
+def run_file(path: Path) -> int:
+    snippets = extract_snippets(path.read_text())
+    if not snippets:
+        print(f"{path}: no python snippets")
+        return 0
+    namespace: dict = {"__name__": f"doc_snippet:{path.name}"}
+    for index, (line, code) in enumerate(snippets, start=1):
+        try:
+            exec(compile(code, f"{path}:snippet-{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report and fail the job
+            print(f"FAIL {path} snippet {index} (line {line}): {error!r}")
+            print("---")
+            print(code)
+            print("---")
+            return 1
+    print(f"{path}: {len(snippets)} snippet(s) OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    status = 0
+    for name in argv:
+        status |= run_file(Path(name))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
