@@ -208,6 +208,12 @@ class PQSnapshot:
             match (same PQ geometry, seed and sketch schedule).
         attach_count: live references from attached managers (refcount).
         total_attaches: lifetime attach counter for reuse accounting.
+        hold_count: live *storage* references (prefix-cache nodes holding the
+            snapshot for future consumers) — separate from ``attach_count``
+            so "who is using it" and "who is keeping it findable" stay
+            independently auditable.  Every :meth:`retain` must be balanced
+            by a :meth:`release_hold` when the holder (a cache node) is
+            evicted or replaced, or holds leak across evict/re-insert cycles.
     """
 
     quantizers: list
@@ -218,12 +224,60 @@ class PQSnapshot:
     fingerprint: object = None
     attach_count: int = 0
     total_attaches: int = 0
+    hold_count: int = 0
 
     def release(self) -> None:
         """Drop one attached-manager reference."""
         if self.attach_count <= 0:
             raise ConfigurationError("PQSnapshot.release without matching attach")
         self.attach_count -= 1
+
+    def retain(self) -> None:
+        """Take one storage reference (a cache node now holds the snapshot)."""
+        self.hold_count += 1
+
+    def release_hold(self) -> None:
+        """Drop one storage reference (the holding node was evicted/replaced)."""
+        if self.hold_count <= 0:
+            raise ConfigurationError("PQSnapshot.release_hold without matching retain")
+        self.hold_count -= 1
+
+    def nbytes(self) -> int:
+        """Modelled storage cost of the shareable payload (codes + codebooks).
+
+        PQ codes are ~1/64th of the raw KV bytes they index, which is what
+        makes spilling snapshots alongside a cold chain nearly free.
+        """
+        return int(
+            sum(np.asarray(c).nbytes for c in self.codes)
+            + sum(np.asarray(c).nbytes for c in self.codebooks)
+        )
+
+    def truncated(self, num_tokens: int) -> "PQSnapshot":
+        """A view of this snapshot covering only its first ``num_tokens``.
+
+        Everything stays shared by reference (:meth:`PQCacheManager.attach`
+        slices the codes it adopts); only the advertised coverage shrinks.
+        The prefix cache uses this when a snapshot is found on a *shallow*
+        node of a matched chain: its deeper codes belong to the producer's
+        diverging suffix and must never reach a consumer whose prompt only
+        shares the node's prefix.  Refcounts (attach/hold) live on the view
+        independently of the original.
+        """
+        if not 0 < num_tokens <= self.num_tokens:
+            raise ConfigurationError(
+                f"truncation must be in (0, {self.num_tokens}], got {num_tokens}"
+            )
+        if num_tokens == self.num_tokens:
+            return self
+        return PQSnapshot(
+            quantizers=self.quantizers,
+            codebooks=self.codebooks,
+            codes=self.codes,
+            num_tokens=int(num_tokens),
+            sketch_upto=self.sketch_upto,
+            fingerprint=self.fingerprint,
+        )
 
 
 class PQCacheManager:

@@ -11,6 +11,8 @@ from .kvcache import (
     LayerKVCache,
     PagedKVCache,
     PagedLayerKVCache,
+    SwappedBlocks,
+    SwapSpace,
     TokenSegments,
 )
 from .model import (
@@ -38,6 +40,8 @@ __all__ = [
     "LayerKVCache",
     "PagedKVCache",
     "PagedLayerKVCache",
+    "SwappedBlocks",
+    "SwapSpace",
     "TokenSegments",
     "PREFILL_ROW_BLOCK",
     "PrefillAggregates",

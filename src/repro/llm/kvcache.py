@@ -21,6 +21,17 @@ coexist:
 
 Both designs share the three-way segmentation the paper uses (initial
 tokens, middle tokens, local tokens — §3.4) via :class:`TokenSegments`.
+
+Tiered placement (GPU ↔ CPU pinned ↔ disk)
+------------------------------------------
+The block pool models *GPU* residency.  Under pool pressure the serving
+engine moves whole block chains down the memory hierarchy through a
+:class:`SwapSpace`: swap-out copies a chain's block contents into a CPU
+tier (demoting cold entries onward to a disk tier when the CPU tier fills),
+frees the pool blocks, and returns a :class:`SwappedBlocks` handle; swap-in
+allocates fresh pool blocks and restores the contents bitwise.  The same
+store backs the prefix cache's disk spill of cold chains.  Exhausting every
+tier raises :class:`~repro.errors.CapacityError`.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ __all__ = [
     "BlockTable",
     "PagedLayerKVCache",
     "PagedKVCache",
+    "SwappedBlocks",
+    "SwapSpace",
 ]
 
 
@@ -300,13 +313,16 @@ class BlockAllocator:
             return None
         return self.capacity_blocks * self.block_size
 
-    def nbytes(self, dtype_bytes: int = 2) -> int:
-        """Modelled storage cost of every live block at the given width."""
-        per_block = (
+    def block_nbytes(self, dtype_bytes: int = 2) -> int:
+        """Modelled storage cost of one block at the given element width."""
+        return (
             2 * self.num_layers * self.num_kv_heads * self.block_size
             * self.head_dim * dtype_bytes
         )
-        return self.num_allocated * per_block
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        """Modelled storage cost of every live block at the given width."""
+        return self.num_allocated * self.block_nbytes(dtype_bytes)
 
     # ---------------------------------------------------------- allocation
 
@@ -615,8 +631,321 @@ class PagedKVCache(KVCache):
 
     def pool_nbytes(self, dtype_bytes: int = 2) -> int:
         """Modelled shared-storage cost of the blocks this cache references."""
-        per_block = (
-            2 * self.num_layers * self.allocator.num_kv_heads
-            * self.allocator.block_size * self.allocator.head_dim * dtype_bytes
+        return len(self.table.block_ids) * self.allocator.block_nbytes(dtype_bytes)
+
+
+# -------------------------------------------------------------------- tiers
+
+
+@dataclass(eq=False)  # identity semantics: a handle is a unique ticket
+class SwappedBlocks:
+    """Handle to a block chain whose contents left the GPU pool.
+
+    Two kinds of chain positions coexist:
+
+    * **stored** — the block was exclusively owned by the swapped request
+      (refcount 1), so freeing it reclaims pool space; its contents are
+      copied into the handle (``keys[i]``/``values[i]``) and restored into a
+      freshly allocated block on swap-in.
+    * **pinned** — the block is *shared* (prefix cache, a forked sibling, a
+      retained output), so it stays GPU-resident regardless of this request;
+      the handle takes one extra reference (``pinned_ids[i]``), no bytes
+      move, and swap-in hands the reference straight back to the new table.
+      This keeps sharing intact across a preemption — restoring a shared
+      4k-token prefix must not duplicate it.
+
+    The handle is single-use: :meth:`SwapSpace.swap_in` consumes it.
+
+    Attributes:
+        keys: per-position key copies (``None`` at pinned positions).
+        values: per-position value copies (``None`` at pinned positions).
+        pinned_ids: per-position pinned block id (``None`` at stored ones).
+        allocator: pool the pinned references live in.
+        tier: current residency of the stored copies — ``"cpu"`` or
+            ``"disk"``.  A handle created on the CPU tier may be demoted to
+            ``"disk"`` while parked.
+    """
+
+    keys: "list[np.ndarray | None]"
+    values: "list[np.ndarray | None]"
+    pinned_ids: "list[int | None]"
+    allocator: "BlockAllocator"
+    tier: str
+
+    @property
+    def num_blocks(self) -> int:
+        """Chain length (stored + pinned positions)."""
+        return len(self.keys)
+
+    @property
+    def stored_blocks(self) -> int:
+        """Positions whose contents are parked in the swap space."""
+        return sum(1 for k in self.keys if k is not None)
+
+    @property
+    def pinned_blocks(self) -> int:
+        """Positions held as extra references on GPU-resident shared blocks."""
+        return len(self.keys) - self.stored_blocks
+
+
+@dataclass
+class SwapSpaceStats:
+    """Lifetime transfer counters of one :class:`SwapSpace` (in blocks)."""
+
+    swapped_out: int = 0
+    swapped_in: int = 0
+    demoted: int = 0
+    discarded: int = 0
+
+
+class SwapSpace:
+    """Two lower tiers of the KV hierarchy: CPU pinned memory and disk.
+
+    The GPU block pool (:class:`BlockAllocator`) is the top tier.  A chain
+    swapped out of it lands in the CPU tier when there is room; when the CPU
+    tier is full, the *oldest parked* CPU handle is demoted to disk to make
+    room (GPU → CPU → disk, strictly downward).  A chain may also be placed
+    directly on the disk tier (the prefix cache's cold-chain spill).  When
+    the target tier — after demotion — still cannot hold the chain,
+    :class:`~repro.errors.CapacityError` is raised and nothing is stored.
+
+    Capacities are expressed in blocks of the owning allocator's geometry;
+    ``None`` means unbounded (host memory and disk are both effectively
+    unbounded relative to a GPU pool, but tests and capacity planning can
+    bound them).  All arrays live in process memory either way — the *tier*
+    tag drives the byte accounting the latency model charges for PCIe and
+    NVMe traffic.
+    """
+
+    def __init__(
+        self,
+        cpu_capacity_blocks: int | None = None,
+        disk_capacity_blocks: int | None = None,
+    ) -> None:
+        if cpu_capacity_blocks is not None and cpu_capacity_blocks < 0:
+            raise ConfigurationError("cpu_capacity_blocks must be >= 0 or None")
+        if disk_capacity_blocks is not None and disk_capacity_blocks < 0:
+            raise ConfigurationError("disk_capacity_blocks must be >= 0 or None")
+        self.cpu_capacity_blocks = cpu_capacity_blocks
+        self.disk_capacity_blocks = disk_capacity_blocks
+        #: parked handles in arrival order (oldest first) — demotion order
+        self._handles: list[SwappedBlocks] = []
+        self.stats = SwapSpaceStats()
+
+    # ---------------------------------------------------------- accounting
+
+    def _tier_blocks(self, tier: str) -> int:
+        return sum(h.stored_blocks for h in self._handles if h.tier == tier)
+
+    @property
+    def cpu_blocks(self) -> int:
+        """Blocks currently parked on the CPU tier."""
+        return self._tier_blocks("cpu")
+
+    @property
+    def disk_blocks(self) -> int:
+        """Blocks currently parked on the disk tier."""
+        return self._tier_blocks("disk")
+
+    def nbytes(self, block_nbytes: int) -> int:
+        """Modelled bytes parked across both tiers."""
+        return (self.cpu_blocks + self.disk_blocks) * block_nbytes
+
+    def _tier_room(self, tier: str, capacity: int | None) -> int | None:
+        if capacity is None:
+            return None
+        return capacity - self._tier_blocks(tier)
+
+    # ------------------------------------------------------------ movement
+
+    def _make_room_on_cpu(self, needed: int) -> int:
+        """Demote oldest CPU handles to disk until ``needed`` blocks fit.
+
+        Returns the number of blocks demoted.  Raises
+        :class:`~repro.errors.CapacityError` when demotion cannot create
+        enough room (the disk tier fills up first).
+        """
+        demoted = 0
+        room = self._tier_room("cpu", self.cpu_capacity_blocks)
+        while room is not None and room < needed:
+            candidate = next(
+                (h for h in self._handles if h.tier == "cpu" and h.stored_blocks),
+                None,
+            )
+            if candidate is None:
+                raise CapacityError(
+                    f"swap space exhausted: CPU tier holds {self.cpu_blocks}/"
+                    f"{self.cpu_capacity_blocks} blocks and nothing is demotable"
+                )
+            disk_room = self._tier_room("disk", self.disk_capacity_blocks)
+            if disk_room is not None and disk_room < candidate.stored_blocks:
+                raise CapacityError(
+                    f"swap space exhausted: disk tier holds {self.disk_blocks}/"
+                    f"{self.disk_capacity_blocks} blocks, cannot absorb a "
+                    f"{candidate.stored_blocks}-block demotion"
+                )
+            candidate.tier = "disk"
+            demoted += candidate.stored_blocks
+            self.stats.demoted += candidate.stored_blocks
+            room = self._tier_room("cpu", self.cpu_capacity_blocks)
+        return demoted
+
+    def swap_out(
+        self, allocator: BlockAllocator, block_ids: "list[int]", tier: str = "cpu"
+    ) -> SwappedBlocks:
+        """Move a chain out of the pool into a lower tier.
+
+        Exclusively-owned blocks (refcount 1) are copied into the tier —
+        they are the ones whose release reclaims pool space.  *Shared*
+        blocks (refcount > 1: the prefix cache or another request keeps them
+        GPU-resident anyway) are pinned by reference instead: no bytes move
+        and swap-in returns the very same block, preserving sharing.
+
+        The caller's own pool references are *not* released here — it is
+        expected to drop them (release the :class:`BlockTable`) once the
+        handle exists, so a failed swap leaves the chain untouched.
+
+        Args:
+            allocator: the pool the blocks live in.
+            block_ids: chain to move, in order.
+            tier: ``"cpu"`` (default; demotes older entries to disk under
+                pressure) or ``"disk"`` (direct cold spill).
+
+        Returns:
+            A single-use :class:`SwappedBlocks` handle.
+
+        Raises:
+            CapacityError: when neither tier can absorb the stored copies.
+        """
+        if tier not in ("cpu", "disk"):
+            raise ConfigurationError(f"unknown swap tier {tier!r}")
+        shared = [allocator.refcount(b) > 1 for b in block_ids]
+        needed = sum(1 for s in shared if not s)
+        if tier == "cpu":
+            self._make_room_on_cpu(needed)
+        room = self._tier_room(tier, self.cpu_capacity_blocks if tier == "cpu"
+                               else self.disk_capacity_blocks)
+        if room is not None and room < needed:
+            raise CapacityError(
+                f"swap space exhausted: {tier} tier cannot hold {needed} "
+                "more blocks"
+            )
+        handle = SwappedBlocks(
+            keys=[None if s else allocator.block_keys(b).copy()
+                  for b, s in zip(block_ids, shared)],
+            values=[None if s else allocator.block_values(b).copy()
+                    for b, s in zip(block_ids, shared)],
+            pinned_ids=[b if s else None for b, s in zip(block_ids, shared)],
+            allocator=allocator,
+            tier=tier,
         )
-        return len(self.table.block_ids) * per_block
+        for block_id, is_shared in zip(block_ids, shared):
+            if is_shared:
+                allocator.incref(block_id)
+        self._handles.append(handle)
+        self.stats.swapped_out += needed
+        return handle
+
+    def swap_in(
+        self, handle: SwappedBlocks, allocator: BlockAllocator
+    ) -> "list[int]":
+        """Restore a parked chain into the pool.
+
+        Consumes the handle.  Stored positions get freshly allocated blocks
+        with the parked contents copied back; pinned positions hand their
+        (still GPU-resident) block reference straight to the caller.
+        Allocation happens first and may raise
+        :class:`~repro.errors.CapacityError` (pool full, nothing evictable);
+        already-allocated blocks are returned to the pool in that case, so a
+        failed swap-in leaves both the pool and the handle consistent.
+
+        Returns:
+            The block ids, in chain order, with one reference each owned by
+            the caller.
+        """
+        if handle not in self._handles:
+            raise ConfigurationError("swap-in of an unknown or consumed handle")
+        fresh: list[int] = []
+        try:
+            for _ in range(handle.stored_blocks):
+                fresh.append(allocator.allocate())
+        except CapacityError:
+            for block_id in fresh:
+                allocator.decref(block_id)
+            raise
+        new_ids: list[int] = []
+        fresh_iter = iter(fresh)
+        for keys, values, pinned in zip(
+            handle.keys, handle.values, handle.pinned_ids
+        ):
+            if pinned is not None:
+                new_ids.append(pinned)  # the pin reference transfers over
+                continue
+            block_id = next(fresh_iter)
+            allocator.block_keys(block_id)[...] = keys
+            allocator.block_values(block_id)[...] = values
+            new_ids.append(block_id)
+        self._handles.remove(handle)
+        self.stats.swapped_in += len(fresh)
+        return new_ids
+
+    def materialize_pins(self, handle: SwappedBlocks) -> int:
+        """Convert a parked handle's pinned positions into stored copies.
+
+        Dropping a pin releases the handle's reference on a shared block so
+        the *other* holder (typically the prefix cache) regains the power to
+        evict or spill it — the engine calls this under extreme pool
+        pressure, when keeping swapped requests' shared blocks GPU-resident
+        would block an older request.  Positions are materialised one at a
+        time until the tier runs out of room; returns how many were copied.
+        """
+        if handle not in self._handles:
+            raise ConfigurationError("unknown or consumed handle")
+        materialised = 0
+        for index, pinned in enumerate(handle.pinned_ids):
+            if pinned is None:
+                continue
+            # Re-read the tier each iteration: making room can demote this
+            # very handle from cpu to disk mid-loop.
+            if handle.tier == "cpu":
+                try:
+                    self._make_room_on_cpu(1)
+                except CapacityError:
+                    break
+            capacity = (self.cpu_capacity_blocks if handle.tier == "cpu"
+                        else self.disk_capacity_blocks)
+            room = self._tier_room(handle.tier, capacity)
+            if room is not None and room < 1:
+                break
+            handle.keys[index] = handle.allocator.block_keys(pinned).copy()
+            handle.values[index] = handle.allocator.block_values(pinned).copy()
+            handle.pinned_ids[index] = None
+            handle.allocator.decref(pinned)
+            materialised += 1
+            self.stats.swapped_out += 1
+        return materialised
+
+    def discard(self, handle: SwappedBlocks) -> None:
+        """Drop a parked chain without restoring it (abort/teardown path).
+
+        Pinned positions release their extra block reference back to the
+        pool; stored copies are simply forgotten.
+        """
+        if handle in self._handles:
+            self._handles.remove(handle)
+            for pinned in handle.pinned_ids:
+                if pinned is not None:
+                    handle.allocator.decref(pinned)
+            self.stats.discarded += handle.num_blocks
+
+    def describe(self) -> dict:
+        return {
+            "cpu_blocks": self.cpu_blocks,
+            "disk_blocks": self.disk_blocks,
+            "cpu_capacity_blocks": self.cpu_capacity_blocks,
+            "disk_capacity_blocks": self.disk_capacity_blocks,
+            "swapped_out": self.stats.swapped_out,
+            "swapped_in": self.stats.swapped_in,
+            "demoted": self.stats.demoted,
+            "discarded": self.stats.discarded,
+        }

@@ -1,7 +1,7 @@
 """GPU-CPU memory hierarchy simulation: device specs, overlap timelines and
 latency models for prefilling and decoding."""
 
-from .devices import CpuSpec, GpuSpec, HardwareSpec, InterconnectSpec
+from .devices import CpuSpec, GpuSpec, HardwareSpec, InterconnectSpec, StorageSpec
 from .latency import LatencyModel, MethodLatencyProfile, resolve_method
 from .timeline import Resource, Task, Timeline
 
@@ -10,6 +10,7 @@ __all__ = [
     "GpuSpec",
     "HardwareSpec",
     "InterconnectSpec",
+    "StorageSpec",
     "LatencyModel",
     "MethodLatencyProfile",
     "resolve_method",

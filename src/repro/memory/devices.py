@@ -11,11 +11,11 @@ overlap with what) are what the benchmarks check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
 
-__all__ = ["GpuSpec", "CpuSpec", "InterconnectSpec", "HardwareSpec"]
+__all__ = ["GpuSpec", "CpuSpec", "InterconnectSpec", "StorageSpec", "HardwareSpec"]
 
 
 @dataclass(frozen=True)
@@ -136,12 +136,49 @@ class InterconnectSpec:
 
 
 @dataclass(frozen=True)
+class StorageSpec:
+    """Local storage (NVMe SSD) backing the disk tier of the KV hierarchy.
+
+    Attributes:
+        name: label.
+        read_gbps: sustained sequential read bandwidth in GB/s.
+        write_gbps: sustained sequential write bandwidth in GB/s.
+        latency_us: per-operation fixed latency in microseconds (an NVMe
+            round-trip is orders of magnitude above a PCIe doorbell, which is
+            why disk is strictly the *cold* tier).
+    """
+
+    name: str
+    read_gbps: float
+    write_gbps: float
+    latency_us: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.read_gbps <= 0 or self.write_gbps <= 0 or self.latency_us < 0:
+            raise ConfigurationError("storage spec values must be positive")
+
+    def read_seconds(self, num_bytes: float, num_ops: int = 1) -> float:
+        """Time to read ``num_bytes`` from the device."""
+        return float(num_bytes) / (self.read_gbps * 1e9) + num_ops * self.latency_us * 1e-6
+
+    def write_seconds(self, num_bytes: float, num_ops: int = 1) -> float:
+        """Time to write ``num_bytes`` to the device."""
+        return float(num_bytes) / (self.write_gbps * 1e9) + num_ops * self.latency_us * 1e-6
+
+    @classmethod
+    def nvme_gen4(cls) -> "StorageSpec":
+        """Consumer PCIe 4.0 NVMe drive (~7/5 GB/s sequential)."""
+        return cls("nvme-gen4", read_gbps=7.0, write_gbps=5.0)
+
+
+@dataclass(frozen=True)
 class HardwareSpec:
-    """A complete host: GPU + CPU + interconnect."""
+    """A complete host: GPU + CPU + interconnect + local storage."""
 
     gpu: GpuSpec
     cpu: CpuSpec
     interconnect: InterconnectSpec
+    storage: StorageSpec = field(default_factory=StorageSpec.nvme_gen4)
 
     @classmethod
     def paper_testbed(cls) -> "HardwareSpec":

@@ -426,6 +426,67 @@ class LatencyModel:
                     )
         return timeline
 
+    # ------------------------------------------------------------- swapping
+
+    def swap_out_timeline(self, num_bytes: float, disk_bytes: float = 0.0) -> Timeline:
+        """Overlap schedule of one swap-out event (preemption / cold spill).
+
+        ``num_bytes`` leave the GPU over PCIe (D2H); of those, ``disk_bytes``
+        continue to the NVMe tier as a dependency-linked write — a chain
+        spilled straight to disk still crosses PCIe first, so the disk write
+        cannot start before the transfer delivered the bytes.  Demotions of
+        already-CPU-resident chains are modelled by calling with
+        ``num_bytes=0`` (pure disk write, no PCIe leg).
+        """
+        if num_bytes < 0 or disk_bytes < 0:
+            raise ConfigurationError("swap byte counts must be >= 0")
+        timeline = Timeline()
+        prev: tuple[str, ...] = ()
+        if num_bytes > 0:
+            timeline.add(
+                "swap-d2h", Resource.D2H,
+                self.hardware.interconnect.transfer_seconds(num_bytes),
+            )
+            prev = ("swap-d2h",)
+        if disk_bytes > 0:
+            timeline.add(
+                "swap-disk-write", Resource.DISK,
+                self.hardware.storage.write_seconds(disk_bytes), prev,
+            )
+        return timeline
+
+    def swap_in_timeline(self, num_bytes: float, disk_bytes: float = 0.0) -> Timeline:
+        """Overlap schedule of one swap-in / restore event.
+
+        ``disk_bytes`` are first read back from NVMe; the H2D transfer of all
+        ``num_bytes`` onto the GPU depends on that read (the PCIe leg cannot
+        ship bytes the drive has not produced yet).
+        """
+        if num_bytes < 0 or disk_bytes < 0:
+            raise ConfigurationError("swap byte counts must be >= 0")
+        timeline = Timeline()
+        prev: tuple[str, ...] = ()
+        if disk_bytes > 0:
+            timeline.add(
+                "swap-disk-read", Resource.DISK,
+                self.hardware.storage.read_seconds(disk_bytes),
+            )
+            prev = ("swap-disk-read",)
+        if num_bytes > 0:
+            timeline.add(
+                "swap-h2d", Resource.H2D,
+                self.hardware.interconnect.transfer_seconds(num_bytes), prev,
+            )
+        return timeline
+
+    def swap_out_seconds(self, num_bytes: float, disk_bytes: float = 0.0) -> float:
+        """Makespan of one swap-out event (what the engine clock charges)."""
+        return self.swap_out_timeline(num_bytes, disk_bytes).makespan
+
+    def swap_in_seconds(self, num_bytes: float, disk_bytes: float = 0.0) -> float:
+        """Makespan of one swap-in / restore event."""
+        return self.swap_in_timeline(num_bytes, disk_bytes).makespan
+
     # --------------------------------------------------------------- decode
 
     def decode_decomposition(self, seq_len: int, method: str = "pqcache",

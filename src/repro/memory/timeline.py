@@ -28,8 +28,9 @@ class Resource:
     CPU = "cpu"
     H2D = "h2d"   # host-to-device transfers (CPU -> GPU)
     D2H = "d2h"   # device-to-host transfers (GPU -> CPU)
+    DISK = "disk"  # NVMe reads/writes (the KV hierarchy's cold tier)
 
-    ALL = (GPU, CPU, H2D, D2H)
+    ALL = (GPU, CPU, H2D, D2H, DISK)
 
 
 @dataclass

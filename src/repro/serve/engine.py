@@ -55,6 +55,38 @@ selection depends on prefill aggregates only reuse up to a boundary where
 those aggregates were snapshotted exactly
 (``KVCachePolicy.needs_prefill_aggregates``).
 
+Preemption and tiered KV under pool pressure
+--------------------------------------------
+With a *bounded* block pool (``kv_pool_blocks``) the engine degrades
+gracefully instead of failing: before any allocation-bearing step (a prefill
+chunk, a decode append, a swap-in) it reserves the blocks that step will
+write.  When the pool cannot supply them it first asks the prefix cache to
+evict — which, with the disk spill tier, demotes cold chains to NVMe instead
+of dropping them — and then *preempts* a victim request
+(``SchedulerConfig.victim_policy``, LIFO by default).  Two victim fates
+exist (``SchedulerConfig.preemption_mode``):
+
+* ``"swap"`` — the victim's blocks are copied to the CPU tier of the
+  :class:`~repro.llm.kvcache.SwapSpace` (cold entries cascade to disk), the
+  pool blocks are freed, and on re-admission the chain is restored bitwise
+  and decoding continues exactly where it stopped.
+* ``"recompute"`` — the victim's blocks are dropped and the request is
+  re-enqueued; on re-admission it re-prefills its prompt through the normal
+  resumable-prefill machinery (often a prefix-cache hit on its own earlier
+  chain) and *replays* its already-generated tokens through the ordinary
+  decode path.  Because every stage is deterministic, the replayed logits,
+  selections and subsequent tokens are byte-identical to an uninterrupted
+  run; replayed tokens are not re-emitted or re-counted.
+
+Swap and spill traffic is charged to the simulated clock as
+dependency-linked PCIe/NVMe transfers
+(:meth:`~repro.memory.LatencyModel.swap_out_timeline` /
+:meth:`~repro.memory.LatencyModel.swap_in_timeline`) and surfaces in
+:class:`~repro.serve.EngineMetrics` (``swap_*``/``spill_*`` counters), so
+TTFT/TPOT honestly reflect pool pressure.  A :class:`CapacityError` is
+raised only when a request's demand exceeds what the pool can offer even
+with every other request preempted and every cold chain spilled.
+
 Wall-clock is *simulated*: the engine advances a clock using the analytical
 :class:`~repro.memory.LatencyModel` (prefill makespans and per-step TPOT for
 the request's method profile), so TTFT/TPOT/throughput come out in the
@@ -68,9 +100,16 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..baselines.base import KVCachePolicy
-from ..errors import ConfigurationError
+from ..errors import CapacityError, ConfigurationError
 from ..llm.generation import StepSelections
-from ..llm.kvcache import BlockAllocator, BlockTable, KVCache, PagedKVCache
+from ..llm.kvcache import (
+    BlockAllocator,
+    BlockTable,
+    KVCache,
+    PagedKVCache,
+    SwappedBlocks,
+    SwapSpace,
+)
 from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
@@ -85,8 +124,12 @@ __all__ = ["InferenceEngine"]
 class _RequestState:
     """Engine-internal mutable state of one request."""
 
-    def __init__(self, request: Request, arrival_time: float) -> None:
+    def __init__(self, request: Request, arrival_time: float, seq: int = 0) -> None:
         self.request = request
+        #: submission order — the engine's preemption priority: a request may
+        #: only victimise requests submitted after it, which guarantees the
+        #: oldest active request always progresses (no preemption livelock).
+        self.seq = seq
         self.status = RequestStatus.WAITING
         self.policy: KVCachePolicy | None = None
         self.prefill: PrefillResult | None = None
@@ -103,6 +146,10 @@ class _RequestState:
         #: compute task — charged after the first token is stamped, since it
         #: only gates the first retrieval (TT2T), not the first token.
         self.construction_tail = 0.0
+        #: swap-preemption state: the parked chain handle and the status to
+        #: restore once the blocks are swapped back in
+        self.swap_handle: SwappedBlocks | None = None
+        self.resume_status = RequestStatus.RUNNING
         self.generated: list[int] = []
         self.step_logits: list[np.ndarray] = []
         self.selections: list[StepSelections] = []
@@ -178,9 +225,21 @@ class InferenceEngine:
             accumulated-score snapshots, PQ artifacts) across requests.
         kv_block_size: tokens per KV block (prefix granularity).
         kv_pool_blocks: bound on the block pool; ``None`` grows on demand.
-            When the pool runs dry mid-admission the prefix cache evicts
-            LRU chains; an exhausted pool with nothing evictable raises
+            When the pool runs dry the engine first evicts/spills cold
+            prefix-cache chains, then preempts running requests
+            (``SchedulerConfig.preemption_mode``); a pool that cannot serve
+            a request even with everything else preempted raises
             :class:`~repro.errors.CapacityError`.
+        swap_cpu_blocks: capacity (in blocks) of the CPU swap tier backing
+            swap-preemption; ``None`` (default) is unbounded.  When the CPU
+            tier fills, its oldest parked chains demote to the disk tier.
+        swap_disk_blocks: capacity of the disk tier (swap overflow + prefix
+            spill); ``None`` is unbounded.
+        enable_disk_spill: spill cold evicted prefix-cache chains (KV blocks
+            plus their PQ-snapshot/aggregate payloads) to the disk tier
+            instead of freeing them, restoring them bitwise on later hits.
+            PQ codes are ~1/64th the KV bytes, so snapshot spill is nearly
+            free.  Only meaningful with ``enable_prefix_caching``.
         cache_decoded_blocks: also cache the blocks a request fills while
             *decoding*, so a follow-up turn embedding the answer reuses them.
             **Approximate reuse — off by default**: decoded tokens' KV was
@@ -202,6 +261,9 @@ class InferenceEngine:
         kv_block_size: int = 64,
         kv_pool_blocks: int | None = None,
         cache_decoded_blocks: bool = False,
+        swap_cpu_blocks: int | None = None,
+        swap_disk_blocks: int | None = None,
+        enable_disk_spill: bool = True,
     ) -> None:
         self.model = model
         self.scheduler: ContinuousBatchingScheduler[_RequestState] = (
@@ -214,11 +276,20 @@ class InferenceEngine:
         #: oldest finished outputs (which pin their request's KVCache and
         #: per-step logits) are evicted beyond this count; ``None`` retains
         #: everything — fine for batch jobs, set a bound for long-lived
-        #: serving loops or call :meth:`release` per request.
+        #: serving loops or call :meth:`release` per request.  Under a
+        #: *bounded* pool, retained outputs do not block progress either
+        #: way: their pool references are reclaimed automatically under
+        #: pressure (the outputs stay readable via the assembled mirrors).
         self.max_retained_outputs = max_retained_outputs
         self.block_allocator: BlockAllocator | None = None
         self.prefix_cache: PrefixCache | None = None
+        self.swap_space: SwapSpace | None = None
         self.cache_decoded_blocks = cache_decoded_blocks
+        #: prefix-cache spill counters already charged to the clock (the
+        #: spill/restore work happens inside eviction hooks and lookups, so
+        #: the engine settles its transfer time from stat deltas)
+        self._spill_settled = {"out_blocks": 0, "in_blocks": 0,
+                               "out_payload": 0, "in_payload": 0}
         if enable_prefix_caching:
             config = model.config
             self.block_allocator = BlockAllocator(
@@ -228,7 +299,14 @@ class InferenceEngine:
                 block_size=kv_block_size,
                 capacity_blocks=kv_pool_blocks,
             )
-            self.prefix_cache = PrefixCache(self.block_allocator)
+            self.swap_space = SwapSpace(
+                cpu_capacity_blocks=swap_cpu_blocks,
+                disk_capacity_blocks=swap_disk_blocks,
+            )
+            self.prefix_cache = PrefixCache(
+                self.block_allocator,
+                spill_store=self.swap_space if enable_disk_spill else None,
+            )
             self.block_allocator.eviction_hook = self.prefix_cache.evict
         self._states: dict[str, _RequestState] = {}
         self._seen_ids: set[str] = set()
@@ -242,7 +320,11 @@ class InferenceEngine:
             raise ConfigurationError(
                 f"duplicate request id {request.request_id!r}"
             )
-        state = _RequestState(request, arrival_time=self.metrics.clock)
+        state = _RequestState(
+            request,
+            arrival_time=self.metrics.clock,
+            seq=self.metrics.requests_submitted,
+        )
         self._seen_ids.add(request.request_id)
         self._states[request.request_id] = state
         self.scheduler.submit(state)
@@ -292,6 +374,27 @@ class InferenceEngine:
                 touched.append(state)
 
         for state in decision.admitted:
+            if not self.scheduler.contains_running(state):
+                # An earlier admission's memory reservation preempted this
+                # request before it was processed; it is back in the waiting
+                # queue and will be re-admitted on a later step.
+                continue
+            if state.status is RequestStatus.SWAPPED:
+                # Re-admission of a swap-preempted request: restore its block
+                # chain first, then let the chunk/decode phases pick it up.
+                # A request parked mid-prefill resumes as PREFILLING; without
+                # chunking no later phase would prefill it, so finish its
+                # monolithic prefill here.
+                if self._resume_swapped(state):
+                    touch(state)
+                    if not chunked and state.status is RequestStatus.PREFILLING:
+                        self._run_monolithic_prefill(state, new_tokens)
+                continue
+            if state.status is RequestStatus.PREEMPTED:
+                # Recompute-preempted: restart through the normal admission
+                # path (fresh policy, fresh prefill, possibly a prefix-cache
+                # hit on its own earlier chain); generated tokens replay.
+                state.status = RequestStatus.WAITING
             self._begin_prefill(state)
             touch(state)
             if not chunked:
@@ -302,13 +405,19 @@ class InferenceEngine:
                 self._complete_prefill(state, self._resolve_prefill(state), new_tokens)
 
         for state, num_tokens in decision.prefill_chunks:
+            if state.status is not RequestStatus.PREFILLING:
+                continue  # preempted (or resume failed) earlier this step
             self._run_prefill_chunk(state, num_tokens, new_tokens)
             touch(state)
 
         for state in decision.decodes:
-            touch(state)
             if not state.finished and state.status is RequestStatus.RUNNING:
+                touch(state)
                 self._run_decode_round(state, new_tokens)
+
+        # Backstop settlement: spills triggered by allocation hooks inside
+        # the model's own appends (rare — reservations normally cover them).
+        self._settle_spill_traffic()
 
         outputs: list[RequestOutput] = []
         for state in touched:
@@ -412,6 +521,12 @@ class InferenceEngine:
                 f"request {request_id!r} is not active (unknown or finished)"
             )
         self.scheduler.remove(state)
+        if state.swap_handle is not None:
+            # Aborted while swapped out: the parked chain will never be
+            # restored, so drop it from the swap space.
+            assert self.swap_space is not None
+            self.swap_space.discard(state.swap_handle)
+            state.swap_handle = None
         state.prefill_state = None  # drop the partial KVCache
         if state.paged is not None and state.prefill is None:
             # Aborted mid-prefill: the partial paged cache will never be
@@ -428,10 +543,17 @@ class InferenceEngine:
     # ------------------------------------------------------------ prefill
 
     def _begin_prefill(self, state: _RequestState) -> None:
-        """Admission bookkeeping: build the policy, resolve its profile."""
+        """Admission bookkeeping: build the policy, resolve its profile.
+
+        Also the re-entry point after recompute-preemption: the policy is
+        rebuilt from its spec (deterministically equal to the original) and
+        the prefix lookup runs again, typically hitting the chain this
+        request itself inserted before being preempted.
+        """
         state.status = RequestStatus.PREFILLING
-        state.metrics.prefill_start = self.metrics.clock
-        if state.request.policy_spec is not None:
+        if state.metrics.prefill_start is None:
+            state.metrics.prefill_start = self.metrics.clock
+        if state.request.policy_spec is not None and state.policy is None:
             state.policy = state.request.policy_spec.build()
         state.method = resolve_method(
             state.policy.name if state.policy is not None else None,
@@ -469,7 +591,21 @@ class InferenceEngine:
             policy.needs_prefill_aggregates if policy is not None else True
         )
 
-        match = self.prefix_cache.match(request.prompt_ids, fingerprint)
+        # Cap the lookup at what this request could actually attach, so a
+        # long spilled chain is never restored from disk past the usable
+        # prefix: aggregate-reading policies can resume at most before their
+        # observation window; aggregate-free ones reuse up to all but the
+        # last prompt token.
+        useful_cap = (
+            prompt_len - observation if needs_aggregates else prompt_len - 1
+        )
+        match = self.prefix_cache.match(
+            request.prompt_ids, fingerprint,
+            max_useful_tokens=max(useful_cap, 0),
+        )
+        # The lookup may have restored spilled chains from the disk tier;
+        # charge that traffic before this request's TTFT accrues.
+        self._settle_spill_traffic()
         self.metrics.prefix_cache_queries += 1
         self.metrics.prefix_prompt_tokens += prompt_len
 
@@ -573,6 +709,16 @@ class InferenceEngine:
         if state.prefill_state is None:
             state.prefill_state = self._make_prefill_state(state)
         prefix = state.prefill_state.num_processed
+        if state.paged is not None:
+            # Reserve the blocks this chunk will write before the model
+            # starts appending — under pool pressure this evicts/spills cold
+            # prefix chains and preempts younger victims, so the chunk
+            # itself can never fail half-written.  When an older request
+            # needs the pool more, this request parks itself instead.
+            take = min(num_tokens, state.prefill_state.remaining_tokens)
+            if not self._ensure_blocks(state, self._append_blocks_needed(state, take)):
+                self._preempt_victim(state)
+                return
         processed = self.model.prefill_chunk(state.prefill_state, num_tokens)
         state.chunk_lens.append(processed)
         state.metrics.prefill_chunks += 1
@@ -680,8 +826,11 @@ class InferenceEngine:
         # requests it is emitted right away; for teacher-forced requests it
         # is the externally-supplied token that the first decode round will
         # process, so TTFT is the same point on the clock (this used to be
-        # skipped, reporting TTFT as 0 for every eval-harness run).
-        state.metrics.first_token_time = self.metrics.clock
+        # skipped, reporting TTFT as 0 for every eval-harness run).  A
+        # recompute-preempted request keeps its original TTFT: the client
+        # received that token before the preemption.
+        if state.metrics.first_token_time is None:
+            state.metrics.first_token_time = self.metrics.clock
 
         if state.construction_tail > 0.0:
             # The non-hidable construction tail (chiefly the full-prompt PQ
@@ -695,6 +844,16 @@ class InferenceEngine:
 
         if state.forced is None:
             first = state.pick_token(prefill.logits)
+            if state.generated:
+                # Recompute-resume replay: the first token was emitted before
+                # the preemption; determinism requires the re-prefill to
+                # reproduce it bit for bit.
+                if first != state.generated[0]:
+                    raise ConfigurationError(
+                        "recompute replay diverged on the first token: "
+                        f"{first} != {state.generated[0]}"
+                    )
+                return
             state.generated.append(first)
             state.metrics.num_generated_tokens += 1
             self.metrics.generated_tokens += 1
@@ -710,6 +869,13 @@ class InferenceEngine:
         request = state.request
         policy = state.policy
         cache = state.prefill.kvcache
+        if state.paged is not None and not state.paged.released:
+            # One appended token may need a fresh tail block and/or a COW
+            # copy of a shared tail block; reserve before the model writes.
+            # If an older request owns the pool, park and resume later.
+            if not self._ensure_blocks(state, self._append_blocks_needed(state, 1)):
+                self._preempt_victim(state)
+                return
         token = state.next_input_token()
 
         step_selections: StepSelections = []
@@ -773,12 +939,463 @@ class InferenceEngine:
         if state.num_decoded >= request.sampling.max_new_tokens:
             self._finish(state, "length")
             return
+        if state.num_decoded < len(state.generated):
+            # Recompute-resume replay: this round re-derived a token that was
+            # already emitted before the preemption — verify determinism and
+            # do not re-emit or re-count it.
+            if next_token != state.generated[state.num_decoded]:
+                raise ConfigurationError(
+                    f"recompute replay diverged at decode step "
+                    f"{state.num_decoded}: {next_token} != "
+                    f"{state.generated[state.num_decoded]}"
+                )
+            return
         state.generated.append(next_token)
         state.metrics.num_generated_tokens += 1
         self.metrics.generated_tokens += 1
         new_tokens.setdefault(request.request_id, []).append(next_token)
         if state.is_stop(next_token):
             self._finish(state, "stop")
+
+    # --------------------------------------------------- pool pressure
+
+    def _block_nbytes(self) -> int:
+        """Modelled bytes of one pool block at the model's dtype width."""
+        assert self.block_allocator is not None
+        return self.block_allocator.block_nbytes(self.model.config.dtype_bytes)
+
+    def _append_blocks_needed(self, state: _RequestState, num_tokens: int) -> int:
+        """Pool blocks an append of ``num_tokens`` will allocate.
+
+        Mirrors :meth:`PagedKVCache._write_blocks` exactly: new tail blocks
+        as the write range crosses block boundaries, plus one copy-on-write
+        clone when the partially-filled tail block is shared with another
+        holder (the prefix cache or a forked request).
+        """
+        assert state.paged is not None
+        allocator = state.paged.allocator
+        block = allocator.block_size
+        cur = len(state.paged)
+        table = state.paged.table.block_ids
+        needed = -(-(cur + num_tokens) // block) - len(table)
+        if cur % block != 0 and len(table) > cur // block:
+            if allocator.refcount(table[cur // block]) > 1:
+                needed += 1
+        return max(needed, 0)
+
+    def _ensure_blocks(self, state: _RequestState, needed: int) -> bool:
+        """Reserve ``needed`` free pool blocks for ``state``'s next write.
+
+        Escalation order under pressure: (1) evict/spill cold prefix-cache
+        chains, (2) release the pool references of retained *finished*
+        outputs, oldest first (their assembled mirrors stay readable, and
+        blocks the prefix cache shares become evictable on the next pass),
+        (3) preempt victim requests submitted *after* ``state``
+        (``victim_policy`` order among them, skipping requests that hold no
+        pool blocks).  The age restriction is the progress guarantee: the
+        oldest active request can take blocks from everyone, so it always
+        completes, then the next oldest, and so on — two requests can never
+        preempt each other back and forth without anybody finishing.
+
+        Returns ``False`` when the demand cannot be met but an *older*
+        request is still active (the caller parks ``state``; the older
+        request will free blocks by finishing).  Raises
+        :class:`~repro.errors.CapacityError` when ``state`` is the oldest
+        active request and its demand exceeds the pool even with everything
+        else preempted and spilled — genuine infeasibility.
+        """
+        allocator = self.block_allocator
+        if (
+            needed <= 0
+            or allocator is None
+            or allocator.capacity_blocks is None
+        ):
+            return True
+        exclude: list[_RequestState] = [state]
+        while True:
+            available = allocator.num_available
+            assert available is not None
+            if available >= needed:
+                return True
+            if self.prefix_cache is not None:
+                freed = self.prefix_cache.evict(needed - available)
+                self._settle_spill_traffic()
+                if freed > 0:
+                    continue
+            if self._reclaim_retained_blocks():
+                continue
+            if self._materialize_swapped_pins(exclude=state):
+                continue
+            victim = None
+            while True:
+                candidate = self.scheduler.pick_victim(exclude=tuple(exclude))
+                if candidate is None:
+                    break
+                exclude.append(candidate)
+                if (
+                    candidate.seq > state.seq
+                    and candidate.paged is not None
+                    and candidate.paged.table.block_ids
+                    and not candidate.paged.table.released
+                ):
+                    victim = candidate
+                    break
+            if victim is None:
+                if self._degrade_swapped_to_recompute(exclude=state):
+                    continue
+                if any(
+                    other.seq < state.seq for other in self._states.values()
+                ):
+                    return False
+                raise CapacityError(
+                    f"KV pool cannot supply {needed} blocks for request "
+                    f"{state.request.request_id!r}: "
+                    f"{allocator.num_allocated}/{allocator.capacity_blocks} "
+                    "blocks in use with nothing left to evict or preempt"
+                )
+            if not self._preempt_victim(victim):
+                continue  # victim unswappable right now; try the next one
+
+    def _reclaim_retained_blocks(self) -> bool:
+        """Release one retained finished output's pool references.
+
+        Finished work is the cheapest thing to reclaim under pressure: the
+        output's assembled per-layer mirrors stay fully readable (the same
+        contract as :meth:`release`), only the shared pool references are
+        dropped.  Oldest retained output first; one at a time so the caller
+        re-checks availability (a released block shared with the prefix
+        cache merely becomes evictable/spillable on the next pass).
+        """
+        for output in self._final_outputs.values():
+            kvcache = output.prefill.kvcache if output.prefill is not None else None
+            if isinstance(kvcache, PagedKVCache) and not kvcache.released:
+                kvcache.release()
+                return True
+        return False
+
+    def _materialize_swapped_pins(
+        self, exclude: "_RequestState | None" = None
+    ) -> bool:
+        """Copy one swapped request's pinned shared blocks into the tiers.
+
+        A swap-preempted request normally keeps *shared* blocks GPU-resident
+        by reference (no copy, sharing preserved on resume).  Under extreme
+        pressure those pins can stand between an older request and the pool:
+        dropping them — after copying the contents down the hierarchy — lets
+        the other holder (typically the prefix cache) evict or spill the
+        blocks on the next escalation pass.  One handle at a time; the
+        copied bytes are billed like any swap-out.  ``exclude`` protects the
+        request the reservation is *for* — materialising its own handle
+        mid-resume would grow the very allocation it is reserving.
+        """
+        if self.swap_space is None:
+            return False
+        for state in self._states.values():
+            if state is exclude:
+                continue
+            handle = state.swap_handle
+            if handle is None or not handle.pinned_blocks:
+                continue
+            demoted_before = self.swap_space.stats.demoted
+            moved = self.swap_space.materialize_pins(handle)
+            block_bytes = self._block_nbytes()
+            nbytes = float(moved * block_bytes)
+            demoted_bytes = float(
+                (self.swap_space.stats.demoted - demoted_before) * block_bytes
+            )
+            if handle.tier == "disk":
+                demoted_bytes += nbytes
+            if nbytes > 0.0 or demoted_bytes > 0.0:
+                # Bill every transfer that actually landed — including
+                # demotions a materialisation forced before running out of
+                # tier room (moved can be 0 with demoted bytes > 0).
+                seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
+                self.metrics.clock += seconds
+                self.metrics.swap_seconds += seconds
+            if moved == 0:
+                continue
+            self.metrics.swap_out_blocks += moved
+            self.metrics.swap_out_bytes += nbytes
+            state.metrics.swap_out_bytes += nbytes
+            state.metrics.swap_seconds += seconds
+            return True
+        return False
+
+    def _preempt_victim(self, victim: _RequestState) -> bool:
+        """Preempt one running request according to the configured mode.
+
+        Recompute requires the victim's policy to be rebuildable from its
+        spec and its prompt to be re-runnable through the model; victims
+        that fail either condition (instance-wrapped policies, precomputed
+        prefills, selection-hook observers that must not fire twice) are
+        swapped instead.  When the swap tiers cannot absorb the chain the
+        victim falls back to recompute if it can; a victim that can be
+        neither swapped nor recomputed right now is left running and
+        ``False`` is returned (the caller tries another victim).
+        """
+        mode = self.scheduler.config.preemption_mode
+        recomputable = self._recomputable(victim)
+        if mode == "recompute" and recomputable:
+            self._preempt_recompute(victim)
+            return True
+        if self._preempt_swap(victim):
+            return True
+        if recomputable:
+            # Swap tiers full: dropping and replaying still relieves the pool.
+            self._preempt_recompute(victim)
+            return True
+        return False
+
+    def _preempt_swap(self, victim: _RequestState) -> bool:
+        """Swap a victim's block chain to the CPU tier and park the request.
+
+        The chain contents are copied into the swap space (cold CPU entries
+        cascading to disk), the pool references are dropped, and the request
+        moves to the front of the waiting queue in the ``SWAPPED`` state;
+        re-admission restores the chain bitwise via :meth:`_resume_swapped`.
+        The simulated clock is charged the D2H transfer plus any demotion
+        writes the swap-out forced.  Returns ``False`` — with the victim
+        untouched on the GPU, and any partial demotions still charged —
+        when the swap tiers cannot absorb the chain.
+        """
+        assert (
+            self.block_allocator is not None
+            and self.swap_space is not None
+            and victim.paged is not None
+        )
+        demoted_before = self.swap_space.stats.demoted
+        try:
+            handle = self.swap_space.swap_out(
+                self.block_allocator, victim.paged.table.block_ids, tier="cpu"
+            )
+        except CapacityError:
+            demoted_bytes = float(
+                (self.swap_space.stats.demoted - demoted_before)
+                * self._block_nbytes()
+            )
+            if demoted_bytes > 0.0:
+                # Demotions that did land before the failure really moved
+                # bytes to disk; bill them even though the swap-out aborted.
+                seconds = self.latency.swap_out_seconds(0.0, demoted_bytes)
+                self.metrics.clock += seconds
+                self.metrics.swap_seconds += seconds
+            return False
+        victim.paged.table.release()
+        victim.swap_handle = handle
+        victim.resume_status = victim.status
+        victim.status = RequestStatus.SWAPPED
+        self.scheduler.preempt(victim)
+
+        # Only the *stored* positions moved bytes — shared blocks stayed
+        # GPU-resident under their pins and cost nothing to park.
+        block_bytes = self._block_nbytes()
+        nbytes = float(handle.stored_blocks * block_bytes)
+        demoted_bytes = float(
+            (self.swap_space.stats.demoted - demoted_before) * block_bytes
+        )
+        seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
+        self.metrics.clock += seconds
+        self.metrics.preemptions += 1
+        self.metrics.preemptions_swap += 1
+        self.metrics.swap_out_blocks += handle.stored_blocks
+        self.metrics.swap_out_bytes += nbytes
+        self.metrics.swap_seconds += seconds
+        victim.metrics.preemptions += 1
+        victim.metrics.swap_out_bytes += nbytes
+        victim.metrics.swap_seconds += seconds
+        return True
+
+    @staticmethod
+    def _recomputable(state: _RequestState) -> bool:
+        """Whether a request can be rebuilt + replayed deterministically."""
+        spec = state.request.policy_spec
+        return (
+            (spec is None or spec.supports_rebuild)
+            and state.request.prefill is None
+            and state.request.selection_hook is None
+        )
+
+    @staticmethod
+    def _strip_for_recompute(state: _RequestState) -> int:
+        """Drop a request's KV and policy state ahead of a recompute restart.
+
+        Returns the number of already-processed tokens being thrown away.
+        The generated tokens are kept for the deterministic replay.
+        """
+        thrown_away = len(state.paged) if state.paged is not None else 0
+        if state.policy is not None:
+            state.policy.release_prefix()
+            state.policy = None
+        if state.paged is not None:
+            state.paged.release()
+            state.paged = None
+        state.prefill = None
+        state.prefill_state = None
+        state.cached_prefix = 0
+        state.prefix_acc = None
+        state.acc_capture = 0
+        state.construction_tail = 0.0
+        state.chunk_lens = []
+        state.chunk_seconds = 0.0
+        state.num_decoded = 0
+        state.step_logits = []
+        state.selections = []
+        state.status = RequestStatus.PREEMPTED
+        return thrown_away
+
+    def _preempt_recompute(self, victim: _RequestState) -> None:
+        """Drop a victim's KV and policy state; it will recompute on resume.
+
+        The generated tokens are kept: after re-prefilling (its own cached
+        chain usually makes that a prefix hit) the request replays them
+        through the ordinary decode path, reproducing logits and selections
+        bit for bit before new tokens are generated.
+        """
+        assert victim.paged is not None
+        thrown_away = self._strip_for_recompute(victim)
+        self.scheduler.preempt(victim)
+        self.metrics.preemptions += 1
+        self.metrics.preemptions_recompute += 1
+        victim.metrics.preemptions += 1
+        victim.metrics.recomputed_tokens += thrown_away
+
+    def _degrade_swapped_to_recompute(
+        self, exclude: "_RequestState | None" = None
+    ) -> bool:
+        """Demote one parked ``SWAPPED`` request to recompute-on-resume.
+
+        The last escalation rung before giving up: when the swap tiers have
+        no room to materialise pins, a parked request's pinned shared blocks
+        can stand between an older request and the pool.  Discarding the
+        handle releases the pins (the prefix cache regains the power to
+        spill those blocks) and frees the tier room its stored copies held;
+        the request — already in the waiting queue — restarts through the
+        deterministic recompute/replay path instead of a swap-in.
+        """
+        if self.swap_space is None:
+            return False
+        for state in self._states.values():
+            if (
+                state is exclude
+                or state.swap_handle is None
+                or not self._recomputable(state)
+            ):
+                continue
+            self.swap_space.discard(state.swap_handle)
+            state.swap_handle = None
+            thrown_away = self._strip_for_recompute(state)
+            # A degradation is a preemption event of its own (the request is
+            # preempted a second time, in the other mode), so the per-mode
+            # counters keep summing to the total.
+            self.metrics.preemptions += 1
+            self.metrics.preemptions_recompute += 1
+            state.metrics.preemptions += 1
+            state.metrics.recomputed_tokens += thrown_away
+            return True
+        return False
+
+    def _resume_swapped(self, state: _RequestState) -> bool:
+        """Swap a re-admitted request's chain back into the pool.
+
+        When an older request owns the pool, the request stays swapped and
+        parks at the *back* of the waiting queue (the older requests get a
+        chance to finish and free blocks first).  A chain whose demand
+        genuinely exceeds the pool — no older request left to defer to —
+        surfaces as a :class:`~repro.errors.CapacityError` from the
+        reservation.
+        """
+        assert (
+            state.swap_handle is not None
+            and self.swap_space is not None
+            and self.block_allocator is not None
+            and state.paged is not None
+        )
+        handle = state.swap_handle
+        # Pinned positions need no allocation — their blocks never left.
+        try:
+            reserved = self._ensure_blocks(state, handle.stored_blocks)
+        except CapacityError:
+            # Even as the oldest request the chain cannot come back — often
+            # because its *own* pinned shared blocks (a prompt chain the
+            # prefix cache fully indexed) are what fills the pool.  Degrade
+            # to recompute: dropping the pins lets the cache spill those
+            # blocks, and the deterministic replay restarts the request.  A
+            # genuinely-too-big request still fails: its recompute prefill
+            # raises the same CapacityError at the first chunk.
+            if not self._recomputable(state):
+                raise
+            self.swap_space.discard(handle)
+            state.swap_handle = None
+            thrown_away = self._strip_for_recompute(state)
+            self.metrics.preemptions += 1
+            self.metrics.preemptions_recompute += 1
+            state.metrics.preemptions += 1
+            state.metrics.recomputed_tokens += thrown_away
+            self.scheduler.preempt(state)
+            return False
+        if not reserved:
+            # An older request owns the pool: stay swapped, park at the back
+            # of the queue so others can finish and free blocks first.
+            self.scheduler.preempt(state, requeue_front=False)
+            return False
+        was_on_disk = handle.tier == "disk"
+        stored = handle.stored_blocks
+        new_ids = self.swap_space.swap_in(handle, self.block_allocator)
+        state.paged.table = BlockTable(self.block_allocator, new_ids)
+        state.swap_handle = None
+        state.status = state.resume_status
+
+        block_bytes = self._block_nbytes()
+        nbytes = float(stored * block_bytes)
+        disk_bytes = nbytes if was_on_disk else 0.0
+        seconds = self.latency.swap_in_seconds(nbytes, disk_bytes)
+        self.metrics.clock += seconds
+        self.metrics.swap_in_blocks += stored
+        self.metrics.swap_in_bytes += nbytes
+        self.metrics.swap_seconds += seconds
+        state.metrics.swap_in_bytes += nbytes
+        state.metrics.swap_seconds += seconds
+        return True
+
+    def _settle_spill_traffic(self) -> None:
+        """Charge prefix-cache spill/restore transfers to the clock.
+
+        Spills happen inside the allocator's eviction hook and restores
+        inside prefix lookups, so the engine settles their PCIe/NVMe time
+        from the cache's stat deltas: spilled KV crosses D2H then the disk
+        write; restored KV is read from disk and crosses H2D; artifact
+        payloads (accumulated scores, PQ snapshots) ride the disk leg only.
+        """
+        if self.prefix_cache is None or self.block_allocator is None:
+            return
+        stats = self.prefix_cache.stats
+        seen = self._spill_settled
+        out_blocks = stats.spilled_blocks - seen["out_blocks"]
+        in_blocks = stats.restored_blocks - seen["in_blocks"]
+        out_payload = stats.spilled_payload_bytes - seen["out_payload"]
+        in_payload = stats.restored_payload_bytes - seen["in_payload"]
+        if not (out_blocks or in_blocks or out_payload or in_payload):
+            return
+        seen["out_blocks"] = stats.spilled_blocks
+        seen["in_blocks"] = stats.restored_blocks
+        seen["out_payload"] = stats.spilled_payload_bytes
+        seen["in_payload"] = stats.restored_payload_bytes
+        block_bytes = self._block_nbytes()
+        seconds = 0.0
+        if out_blocks or out_payload:
+            kv_bytes = float(out_blocks * block_bytes)
+            seconds += self.latency.swap_out_seconds(
+                kv_bytes, kv_bytes + float(out_payload)
+            )
+            self.metrics.spill_out_bytes += kv_bytes + float(out_payload)
+        if in_blocks or in_payload:
+            kv_bytes = float(in_blocks * block_bytes)
+            seconds += self.latency.swap_in_seconds(
+                kv_bytes, kv_bytes + float(in_payload)
+            )
+            self.metrics.spill_in_bytes += kv_bytes + float(in_payload)
+        self.metrics.clock += seconds
+        self.metrics.swap_seconds += seconds
 
     # ------------------------------------------------------------- finish
 

@@ -40,6 +40,15 @@ class RequestMetrics:
         cached_prefix_tokens: prompt tokens served from the shared-prefix
             cache (0 when prefix caching is off or the lookup missed);
             these tokens incur no prefill compute or clustering cost.
+        preemptions: times this request was preempted under pool pressure.
+        swap_out_bytes: modelled bytes this request's KV moved GPU→CPU/disk
+            when it was swap-preempted.
+        swap_in_bytes: modelled bytes restored on resume.
+        swap_seconds: simulated transfer time of this request's own
+            swap-out/swap-in events (also folded into the engine clock, so
+            it shows up in every later request's queueing delay).
+        recomputed_tokens: prompt + generated tokens re-processed because of
+            recompute-preemption (0 under swap preemption).
     """
 
     arrival_time: float = 0.0
@@ -56,6 +65,11 @@ class RequestMetrics:
     comm_overlappable_bytes: float = 0.0
     comm_blocking_bytes: float = 0.0
     cached_prefix_tokens: int = 0
+    preemptions: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
+    swap_seconds: float = 0.0
+    recomputed_tokens: int = 0
 
     # ------------------------------------------------------------- derived
 
@@ -102,6 +116,11 @@ class RequestMetrics:
             "comm_overlappable_bytes": self.comm_overlappable_bytes,
             "comm_blocking_bytes": self.comm_blocking_bytes,
             "cached_prefix_tokens": self.cached_prefix_tokens,
+            "preemptions": self.preemptions,
+            "swap_out_bytes": self.swap_out_bytes,
+            "swap_in_bytes": self.swap_in_bytes,
+            "swap_seconds": self.swap_seconds,
+            "recomputed_tokens": self.recomputed_tokens,
         }
 
 
@@ -131,6 +150,21 @@ class EngineMetrics:
     prefix_cache_hits: int = 0
     prefix_cache_hit_tokens: int = 0
     prefix_prompt_tokens: int = 0
+    #: preemption / tiered-KV counters (all zero without a bounded pool):
+    #: requests preempted per mode, blocks and modelled bytes moved between
+    #: the GPU pool and the CPU/disk swap tiers, prefix chains spilled to or
+    #: restored from the disk tier, and the simulated seconds the clock
+    #: charged for all of that traffic.
+    preemptions: int = 0
+    preemptions_swap: int = 0
+    preemptions_recompute: int = 0
+    swap_out_blocks: int = 0
+    swap_in_blocks: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
+    spill_out_bytes: float = 0.0
+    spill_in_bytes: float = 0.0
+    swap_seconds: float = 0.0
 
     @property
     def requests_per_second(self) -> float:
@@ -178,4 +212,14 @@ class EngineMetrics:
             "prefix_cache_hit_tokens": self.prefix_cache_hit_tokens,
             "prefix_cache_hit_rate": self.prefix_cache_hit_rate,
             "prefix_token_hit_rate": self.prefix_token_hit_rate,
+            "preemptions": self.preemptions,
+            "preemptions_swap": self.preemptions_swap,
+            "preemptions_recompute": self.preemptions_recompute,
+            "swap_out_blocks": self.swap_out_blocks,
+            "swap_in_blocks": self.swap_in_blocks,
+            "swap_out_bytes": self.swap_out_bytes,
+            "swap_in_bytes": self.swap_in_bytes,
+            "spill_out_bytes": self.spill_out_bytes,
+            "spill_in_bytes": self.spill_in_bytes,
+            "swap_seconds": self.swap_seconds,
         }

@@ -21,6 +21,19 @@ This module provides the engine-side index that makes that reuse safe:
 * Eviction is LRU over leaf nodes: when the block pool runs dry mid-admission
   the allocator calls :meth:`PrefixCache.evict`, which walks least-recently
   used chains tail-first and drops nodes whose blocks nobody else references.
+* With a *spill store* (:class:`~repro.llm.kvcache.SwapSpace`), eviction
+  demotes cold chains to the disk tier instead of freeing them: the block
+  contents (and, by reference, the attached artifact payloads) survive on
+  NVMe, the pool block is returned, and a later match restores the chain
+  into fresh pool blocks bitwise — or *re-adopts* the inserting request's
+  own blocks for free when the same prompt comes back through ``insert``.
+  PQ snapshots ride along nearly for free (codes are ~1/64th the KV bytes).
+* Artifact payloads are reference-counted symmetrically: every node that
+  stores a :class:`~repro.core.pqcache.PQSnapshot` takes a storage hold
+  (:meth:`~repro.core.pqcache.PQSnapshot.retain`) and releases it when the
+  node is evicted or the snapshot is replaced by a deeper one, so
+  ``hold_count`` audits exactly the live cache references across arbitrary
+  evict/re-insert cycles.
 """
 
 from __future__ import annotations
@@ -31,8 +44,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
-from ..llm.kvcache import BlockAllocator
+from ..errors import CapacityError, ConfigurationError
+from ..llm.kvcache import BlockAllocator, SwapSpace
 
 __all__ = ["PrefixCache", "PrefixCacheStats", "PrefixMatch"]
 
@@ -49,7 +62,7 @@ class _Node:
 
     __slots__ = (
         "key", "parent", "children", "block_id", "depth", "token_ids",
-        "last_used", "acc_scores", "pq_snapshots",
+        "last_used", "acc_scores", "pq_snapshots", "spill_handle",
     )
 
     def __init__(
@@ -72,6 +85,14 @@ class _Node:
         self.acc_scores = None
         #: fingerprint -> PQSnapshot (sketch codebooks + codes)
         self.pq_snapshots: dict = {}
+        #: :class:`~repro.llm.kvcache.SwappedBlocks` handle while the node's
+        #: block content is parked on the disk tier (``block_id`` is invalid
+        #: then), else None
+        self.spill_handle = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.spill_handle is not None
 
     def end_pos(self, block_size: int) -> int:
         return self.depth * block_size
@@ -87,8 +108,11 @@ class PrefixMatch:
             fork them via :meth:`~repro.llm.kvcache.BlockTable.fork_from`).
         acc_boundaries: boundary → per-layer accumulated-score snapshots
             available inside the matched region.
-        pq_snapshot: deepest PQ snapshot with the requested fingerprint found
-            on the chain, or ``None``.
+        pq_snapshot: the PQ snapshot with the requested fingerprint whose
+            *valid* coverage on this chain is deepest, or ``None``.  A
+            snapshot stored on a shallow node is truncated to that node's
+            end position — its deeper codes describe the producer's own
+            diverging continuation, never this prompt.
     """
 
     matched_tokens: int
@@ -117,6 +141,21 @@ class PrefixCacheStats:
     inserted_blocks: int = 0
     evicted_blocks: int = 0
     collisions: int = 0
+    #: cold-chain blocks demoted to the disk spill tier (pool block freed,
+    #: contents kept) instead of being dropped outright
+    spilled_blocks: int = 0
+    #: spilled blocks brought back into fresh pool blocks on a later match
+    restored_blocks: int = 0
+    #: spilled nodes healed by re-insertion of the same prompt (adopting the
+    #: inserting request's identical block — no disk read needed)
+    readopted_blocks: int = 0
+    #: spilled nodes dropped permanently to relieve a full disk tier
+    dropped_spilled_blocks: int = 0
+    #: modelled artifact-payload bytes that accompanied spills / restores
+    #: (accumulated-score snapshots + PQ snapshots, counted once per
+    #: residency transition)
+    spilled_payload_bytes: int = 0
+    restored_payload_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -147,6 +186,10 @@ class PrefixCache:
             tests can force collisions and exercise the verification
             fallback.  Collisions are detected by comparing stored token ids
             and resolved as misses (first chain wins the slot).
+        spill_store: optional :class:`~repro.llm.kvcache.SwapSpace`; when
+            set, eviction spills cold chains to its disk tier (contents
+            preserved, pool block freed) and later matches restore them.
+            Without it eviction frees cold chains permanently, as before.
     """
 
     _ROOT_KEY = b"root"
@@ -155,6 +198,7 @@ class PrefixCache:
         self,
         allocator: BlockAllocator,
         hash_fn: "Callable[[bytes, np.ndarray], bytes] | None" = None,
+        spill_store: SwapSpace | None = None,
     ) -> None:
         self.allocator = allocator
         self.block_size = allocator.block_size
@@ -162,10 +206,29 @@ class PrefixCache:
         self._nodes: dict[bytes, _Node] = {}
         self._tick = 0
         self.stats = PrefixCacheStats()
+        self.spill_store = spill_store
+        #: ids of PQSnapshots whose payload is currently accounted as
+        #: disk-resident (so a snapshot shared by many spilled nodes is
+        #: charged once per residency transition, not once per node)
+        self._spilled_snapshot_ids: set[int] = set()
+        #: chain keys currently being swapped back in by a match — the
+        #: re-entrant eviction a restore's own allocation can trigger must
+        #: not remove these nodes (or discard their in-flight handles)
+        self._restoring: set[bytes] = set()
 
     def __len__(self) -> int:
-        """Number of cached blocks."""
+        """Number of cached blocks (resident + spilled)."""
         return len(self._nodes)
+
+    @property
+    def num_resident(self) -> int:
+        """Cached blocks currently backed by a pool block."""
+        return sum(1 for node in self._nodes.values() if not node.spilled)
+
+    @property
+    def num_spilled(self) -> int:
+        """Cached blocks currently parked on the disk spill tier."""
+        return len(self._nodes) - self.num_resident
 
     # --------------------------------------------------------------- match
 
@@ -191,7 +254,10 @@ class PrefixCache:
         return nodes
 
     def match(
-        self, token_ids: Sequence[int], fingerprint: object = None
+        self,
+        token_ids: Sequence[int],
+        fingerprint: object = None,
+        max_useful_tokens: "int | None" = None,
     ) -> PrefixMatch | None:
         """Longest-prefix lookup for an incoming prompt.
 
@@ -199,6 +265,13 @@ class PrefixCache:
             token_ids: the request's prompt token ids.
             fingerprint: policy fingerprint to select PQ snapshots with
                 (``None`` returns no PQ payload).
+            max_useful_tokens: upper bound on the tokens the caller can
+                actually reuse (a policy's aggregate-boundary or
+                ``len(prompt) - 1`` cap).  Nodes entirely beyond it are
+                dropped from the match *before* any spilled block is
+                restored from disk — a long cold chain must not charge NVMe
+                reads and pool allocations for blocks the caller will never
+                attach.  ``None`` matches (and restores) the full chain.
 
         Returns:
             A :class:`PrefixMatch`, or ``None`` on a complete miss.
@@ -207,22 +280,53 @@ class PrefixCache:
         self.stats.queries += 1
         self.stats.lookup_tokens += int(token_ids.size)
         nodes = self._walk(token_ids)
+        if max_useful_tokens is not None:
+            nodes = [
+                node for node in nodes
+                if node.end_pos(self.block_size) - self.block_size
+                < max_useful_tokens
+            ]
         if not nodes:
             return None
         self._tick += 1
-        acc: dict[int, list] = {}
-        best_pq = None
         for node in nodes:
             node.last_used = self._tick
+        nodes = self._restore_chain(nodes)
+        if not nodes:
+            return None
+        matched = nodes[-1].end_pos(self.block_size)
+        acc: dict[int, list] = {}
+        best_pq = None
+        best_valid = 0
+        best_end = 0
+        for node in nodes:
+            end = node.end_pos(self.block_size)
             if node.acc_scores is not None:
-                acc[node.end_pos(self.block_size)] = node.acc_scores
+                acc[end] = node.acc_scores
             if fingerprint is not None:
                 snap = node.pq_snapshots.get(fingerprint)
-                if snap is not None and (
-                    best_pq is None or snap.num_tokens > best_pq.num_tokens
-                ):
-                    best_pq = snap
-        matched = nodes[-1].end_pos(self.block_size)
+                if snap is None:
+                    continue
+                # A snapshot is only trustworthy up to the end of the node
+                # holding it: its deeper codes were built from the producer's
+                # *own* continuation, which may diverge from this prompt
+                # right after the node.  Rank candidates by that effective
+                # coverage — never by their raw length — and skip any whose
+                # usable prefix does not even cover its own sketch.
+                valid = min(snap.num_tokens, end)
+                if valid >= snap.sketch_upto and valid > best_valid:
+                    best_pq, best_valid, best_end = snap, valid, end
+        if (
+            best_pq is not None
+            and best_end < matched
+            and best_pq.num_tokens > best_valid
+        ):
+            # Found on a shallow node of a longer match: clamp the handout so
+            # a consumer can never adopt codes of the foreign continuation.
+            # (On the deepest node this is unnecessary — reuse is capped at
+            # ``matched_tokens`` anyway — and skipping it keeps the original
+            # snapshot object, with its attach accounting, in circulation.)
+            best_pq = best_pq.truncated(best_valid)
         self.stats.hits += 1
         self.stats.hit_tokens += matched
         return PrefixMatch(
@@ -231,6 +335,78 @@ class PrefixCache:
             acc_boundaries=acc,
             pq_snapshot=best_pq,
         )
+
+    def _restore_chain(self, nodes: "list[_Node]") -> "list[_Node]":
+        """Bring a matched chain's spilled nodes back into pool blocks.
+
+        Every spilled node on the chain is swapped in from the disk tier into
+        a freshly allocated block (the cache takes over the new block's
+        reference).  Allocation may evict/spill *other* cold chains through
+        the allocator's eviction hook; the chain under restoration is
+        shielded by a temporary extra reference on each already-restored
+        block so a re-entrant eviction cannot cannibalise it.  When the pool
+        cannot fit the whole chain the match is truncated at the first
+        non-restorable node (a shorter hit, never an error).
+        """
+        if all(not node.spilled for node in nodes):
+            return nodes
+        assert self.spill_store is not None
+        pinned: list[int] = []
+        restored_upto = len(nodes)
+        self._restoring = {node.key for node in nodes}
+        try:
+            for index, node in enumerate(nodes):
+                if node.key not in self._nodes:
+                    # A re-entrant eviction (fired by an earlier swap-in's
+                    # allocation, with the disk tier full) hard-removed this
+                    # node: its block id is stale — possibly already handed
+                    # back out.  Truncate the match here; the visited prefix
+                    # is pinned and safe.
+                    restored_upto = index
+                    break
+                if node.spilled:
+                    try:
+                        new_ids = self.spill_store.swap_in(
+                            node.spill_handle, self.allocator
+                        )
+                    except CapacityError:
+                        restored_upto = index
+                        break
+                    node.block_id = new_ids[0]
+                    node.spill_handle = None
+                    self.stats.restored_blocks += 1
+                    self._account_payload(node, spilled=False)
+                self.allocator.incref(node.block_id)
+                pinned.append(node.block_id)
+        finally:
+            self._restoring = set()
+            for block_id in pinned:
+                self.allocator.decref(block_id)
+        return nodes[:restored_upto]
+
+    def _account_payload(self, node: _Node, spilled: bool) -> None:
+        """Charge artifact payload bytes for one residency transition.
+
+        Accumulated-score snapshots are node-private and charged per node;
+        PQ snapshots are shared across the nodes they cover and charged once
+        per transition of the *snapshot* (tracked by identity), which models
+        spilling the artifact file once per chain rather than per block —
+        PQ codes being ~1/64th of the KV bytes, this rides along nearly free.
+        """
+        nbytes = 0
+        if node.acc_scores is not None:
+            nbytes += int(sum(np.asarray(a).nbytes for a in node.acc_scores))
+        for snap in node.pq_snapshots.values():
+            if spilled and id(snap) not in self._spilled_snapshot_ids:
+                self._spilled_snapshot_ids.add(id(snap))
+                nbytes += snap.nbytes()
+            elif not spilled and id(snap) in self._spilled_snapshot_ids:
+                self._spilled_snapshot_ids.discard(id(snap))
+                nbytes += snap.nbytes()
+        if spilled:
+            self.stats.spilled_payload_bytes += nbytes
+        else:
+            self.stats.restored_payload_bytes += nbytes
 
     # -------------------------------------------------------------- insert
 
@@ -298,6 +474,23 @@ class PrefixCache:
                     parent.children += 1
                 created += 1
                 self.stats.inserted_blocks += 1
+            elif node.spilled:
+                # The same prompt came back with its own freshly computed
+                # blocks: adopt the inserting request's block instead of
+                # reading the spilled copy back from disk — prefill is
+                # deterministic, so the contents are bitwise identical.
+                block_id = int(block_ids[index])
+                self.allocator.incref(block_id)
+                assert self.spill_store is not None
+                self.spill_store.discard(node.spill_handle)
+                node.spill_handle = None
+                node.block_id = block_id
+                self.stats.readopted_blocks += 1
+                # Re-adoption re-produces the artifact payloads from the
+                # inserting request, so no disk read is charged — just mark
+                # the snapshots RAM-resident again for future spill charges.
+                for snap in node.pq_snapshots.values():
+                    self._spilled_snapshot_ids.discard(id(snap))
             node.last_used = self._tick
             end = node.end_pos(block)
             if acc_scores is not None and end == acc_boundary:
@@ -305,6 +498,18 @@ class PrefixCache:
             if pq_snapshot is not None and pq_fingerprint is not None:
                 existing = node.pq_snapshots.get(pq_fingerprint)
                 if existing is None or pq_snapshot.num_tokens > existing.num_tokens:
+                    # Symmetric storage refcounting: the node takes a hold on
+                    # the snapshot it stores and releases the one it replaces
+                    # (eviction releases the rest), so ``hold_count`` stays
+                    # balanced across arbitrary evict/re-insert cycles.
+                    if existing is not None:
+                        existing.release_hold()
+                        if existing.hold_count == 0:
+                            # No node holds the replaced snapshot anymore:
+                            # forget its disk-residency marker before CPython
+                            # can recycle its id() for a new snapshot.
+                            self._spilled_snapshot_ids.discard(id(existing))
+                    pq_snapshot.retain()
                     node.pq_snapshots[pq_fingerprint] = pq_snapshot
             parent = node
         return created
@@ -312,14 +517,19 @@ class PrefixCache:
     # ------------------------------------------------------------ eviction
 
     def evict(self, num_blocks: int = 1) -> int:
-        """Free at least ``num_blocks`` pool blocks by dropping cold chains.
+        """Free at least ``num_blocks`` pool blocks by demoting cold chains.
 
-        Only *leaf* nodes (no cached children) are candidates — dropping an
-        interior node would orphan its descendants' chain keys — and only
-        nodes whose block nobody but the cache references actually free pool
-        space.  Candidates are taken least-recently-used first; freeing a
-        leaf may expose its parent, so the walk continues until the target is
-        met or nothing evictable remains.
+        With a spill store, a cold node's block content moves to the disk
+        tier (the node stays in the index and a later match restores it);
+        the structural leaf-only constraint does not apply because nothing
+        is removed.  Without one — or when the disk tier is full — nodes are
+        dropped outright, and then only *leaf* nodes (no cached children)
+        are candidates, since dropping an interior node would orphan its
+        descendants' chain keys.  Either way only nodes whose block nobody
+        but the cache references actually free pool space.  Candidates are
+        taken least-recently-used first; freeing a leaf may expose its
+        parent, so the walk continues until the target is met or nothing
+        evictable remains.
 
         Returns:
             Number of blocks actually returned to the allocator's free list.
@@ -331,20 +541,62 @@ class PrefixCache:
         # of a full fresh scan per freed block.
         candidates = sorted(self._nodes.values(), key=lambda n: n.last_used)
         progressed = True
+        spill_full = self.spill_store is None
         while freed < num_blocks and progressed:
             progressed = False
             for node in candidates:
                 if freed >= num_blocks:
                     break
-                if node.key not in self._nodes or node.children:
+                if node.key not in self._nodes or node.spilled:
                     continue
                 if self.allocator.refcount(node.block_id) != 1:
                     continue  # an active request still holds the block
+                if not spill_full:
+                    try:
+                        self._spill(node)
+                    except CapacityError:
+                        spill_full = True  # disk tier full: hard-evict instead
+                    else:
+                        freed += 1
+                        progressed = True
+                        continue
+                if node.children or node.key in self._restoring:
+                    continue  # must not orphan descendants / break a restore
                 self._remove(node)
                 freed += 1
                 self.stats.evicted_blocks += 1
                 progressed = True
+            if not progressed and self.spill_store is not None:
+                # Stuck with a full disk tier: every resident candidate has a
+                # *spilled* descendant blocking its hard removal.  Drop the
+                # coldest spilled leaf permanently — that frees disk room
+                # (spilling works again next pass) and exposes its parent —
+                # rather than wedging the pool on cold disk data.
+                for node in candidates:
+                    if (
+                        node.key in self._nodes
+                        and node.spilled
+                        and node.children == 0
+                        and node.key not in self._restoring
+                    ):
+                        self._remove(node)
+                        self.stats.dropped_spilled_blocks += 1
+                        spill_full = False
+                        progressed = True
+                        break
         return freed
+
+    def _spill(self, node: _Node) -> None:
+        """Demote one resident node's block content to the disk tier."""
+        assert self.spill_store is not None
+        handle = self.spill_store.swap_out(
+            self.allocator, [node.block_id], tier="disk"
+        )
+        self.allocator.decref(node.block_id)
+        node.block_id = -1
+        node.spill_handle = handle
+        self.stats.spilled_blocks += 1
+        self._account_payload(node, spilled=True)
 
     def clear(self) -> int:
         """Drop every cached node (releases all cache-held block refs)."""
@@ -360,18 +612,36 @@ class PrefixCache:
         del self._nodes[node.key]
         if node.parent is not None:
             node.parent.children -= 1
-        self.allocator.decref(node.block_id)
+        if node.spilled:
+            assert self.spill_store is not None
+            self.spill_store.discard(node.spill_handle)
+            node.spill_handle = None
+        else:
+            self.allocator.decref(node.block_id)
+        # Symmetric artifact-refcount release: the node's storage holds die
+        # with it.  Before this, repeated evict/re-insert cycles leaked one
+        # hold per cycle and ``hold_count`` could never reach zero again.
+        for snap in node.pq_snapshots.values():
+            snap.release_hold()
+            if snap.hold_count == 0:
+                self._spilled_snapshot_ids.discard(id(snap))
+        node.pq_snapshots = {}
 
     # ----------------------------------------------------------- reporting
 
     def describe(self) -> dict:
         return {
             "blocks": len(self._nodes),
+            "resident_blocks": self.num_resident,
+            "spilled_blocks_now": self.num_spilled,
             "block_size": self.block_size,
             "queries": self.stats.queries,
             "hit_rate": self.stats.hit_rate,
             "token_hit_rate": self.stats.token_hit_rate,
             "inserted_blocks": self.stats.inserted_blocks,
             "evicted_blocks": self.stats.evicted_blocks,
+            "spilled_blocks": self.stats.spilled_blocks,
+            "restored_blocks": self.stats.restored_blocks,
+            "readopted_blocks": self.stats.readopted_blocks,
             "collisions": self.stats.collisions,
         }

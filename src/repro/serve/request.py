@@ -129,6 +129,18 @@ class PolicySpec:
         spec._instance = policy
         return spec
 
+    @property
+    def supports_rebuild(self) -> bool:
+        """Whether :meth:`build` can be called again for the *same* request.
+
+        Recompute-preemption discards a request's policy state and rebuilds
+        it from the spec on resume.  Named and factory specs produce a fresh
+        equivalent policy every time; an instance-wrapping spec cannot (the
+        instance is stateful and single-use), so the engine swaps such
+        requests instead of recomputing them.
+        """
+        return self._instance is None
+
     def build(self) -> KVCachePolicy:
         """Construct (or hand over) the policy for one request."""
         if self._instance is not None:
@@ -156,14 +168,22 @@ class RequestStatus(Enum):
     ``WAITING → PREFILLING → RUNNING → FINISHED``: a request admitted into a
     batch slot first prefills its prompt (one monolithic step, or several
     chunks under chunked prefill — it stays ``PREFILLING`` between chunks),
-    then decodes (``RUNNING``) until it finishes.  :meth:`InferenceEngine
-    .abort` can finish a request early from any non-finished state (see
-    ``docs/serving.md``).
+    then decodes (``RUNNING``) until it finishes.  Under KV-pool pressure
+    the engine may *preempt* a prefilling or running request: ``SWAPPED``
+    means its blocks were copied to the CPU/disk swap tier and will be
+    restored bitwise when the request is re-admitted; ``PREEMPTED``
+    (recompute mode) means its blocks were dropped and the request will
+    re-prefill its prompt and deterministically replay its generated tokens.
+    Both states sit in the waiting queue and re-enter through admission.
+    :meth:`InferenceEngine.abort` can finish a request early from any
+    non-finished state (see ``docs/serving.md``).
     """
 
     WAITING = "waiting"
     PREFILLING = "prefilling"
     RUNNING = "running"
+    SWAPPED = "swapped"
+    PREEMPTED = "preempted"
     FINISHED = "finished"
 
 

@@ -51,11 +51,26 @@ class SchedulerConfig:
             mid-prefill requests.  ``None`` (the default) disables chunking:
             admitted requests prefill their whole prompt in the admission
             step, exactly like the pre-chunking engine.
+        preemption_mode: what happens to a victim's KV when the engine
+            preempts it under block-pool pressure.  ``"swap"`` (default)
+            copies its blocks to the CPU swap tier and restores them bitwise
+            on resume; ``"recompute"`` drops the blocks and re-enqueues the
+            request, which re-prefills its prompt and deterministically
+            replays its generated tokens on resume (cheaper in memory
+            traffic, more compute).  Requests whose policy cannot be rebuilt
+            deterministically (``PolicySpec.from_instance``) are swapped
+            even in recompute mode.
+        victim_policy: which running request is preempted first.  ``"lifo"``
+            (default) picks the most recently admitted — the one that has
+            wasted the least work, vLLM's default; ``"fifo"`` picks the
+            oldest.
     """
 
     max_batch_size: int = 8
     max_prefills_per_step: int = 2
     max_prefill_chunk_tokens: int | None = None
+    preemption_mode: str = "swap"
+    victim_policy: str = "lifo"
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -66,6 +81,12 @@ class SchedulerConfig:
             raise ConfigurationError(
                 "max_prefill_chunk_tokens must be positive (or None to disable)"
             )
+        if self.preemption_mode not in ("swap", "recompute"):
+            raise ConfigurationError(
+                "preemption_mode must be 'swap' or 'recompute'"
+            )
+        if self.victim_policy not in ("lifo", "fifo"):
+            raise ConfigurationError("victim_policy must be 'lifo' or 'fifo'")
 
     @property
     def chunked_prefill_enabled(self) -> bool:
@@ -130,6 +151,45 @@ class ContinuousBatchingScheduler(Generic[T]):
             self._waiting.remove(item)
         else:
             raise ConfigurationError("item is not scheduled")
+
+    def contains_running(self, item: T) -> bool:
+        """Whether the item currently holds a batch slot."""
+        return item in self._running
+
+    def preempt(self, item: T, requeue_front: bool = True) -> None:
+        """Move a running request back to the waiting queue.
+
+        Preempted requests go to the *front* of the queue by default so they
+        are resumed before newer arrivals (no starvation of victims);
+        ``requeue_front=False`` parks the item at the back instead — the
+        engine uses that when a resume attempt itself failed for memory, so
+        other requests get a chance to finish and free blocks first.
+        """
+        if item not in self._running:
+            raise ConfigurationError("cannot preempt an item that is not running")
+        self._running.remove(item)
+        if requeue_front:
+            self._waiting.appendleft(item)
+        else:
+            self._waiting.append(item)
+
+    def pick_victim(self, exclude: "tuple[T, ...] | list[T]" = ()) -> T | None:
+        """Choose the running request to preempt under pool pressure.
+
+        ``"lifo"`` returns the most recently admitted running request (it
+        has the least sunk work), ``"fifo"`` the oldest; items in
+        ``exclude`` (typically the request that needs the memory) are never
+        chosen.  Returns ``None`` when no running request is eligible.
+        """
+        order = (
+            reversed(self._running)
+            if self.config.victim_policy == "lifo"
+            else iter(self._running)
+        )
+        for item in order:
+            if all(item is not excluded for excluded in exclude):
+                return item
+        return None
 
     # ----------------------------------------------------------- schedule
 

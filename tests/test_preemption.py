@@ -1,0 +1,505 @@
+"""Preemption under KV-pool pressure: directed scenarios + a randomized
+scheduler fuzz harness.
+
+The fuzz harness drives 200+ seeded random schedules — mixed policies,
+shared prefixes, mid-run submissions and aborts, teacher-forced requests,
+chunked and monolithic prefill, pool sizes down to a few blocks, swap and
+recompute preemption — and asserts after every engine step:
+
+* **refcounts balanced**: every pool block's refcount equals exactly the
+  number of live holders (request block tables, retained outputs, resident
+  prefix-cache nodes) — no leaked and no double-freed block, ever;
+* **tier coherence**: every block parked in the swap space belongs to either
+  a swapped request's handle or a spilled prefix-cache node;
+* **no deadlock**: the schedule finishes within a generous step budget
+  (some request always progresses);
+* **byte-identity**: every finished request's tokens *and* per-step logits
+  are bitwise equal to the same request served by an uncontended
+  (unbounded-pool) engine, under both preemption modes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines import SelectionBudget, build_policy
+from repro.core.pqcache import PQCacheConfig
+from repro.errors import CapacityError
+from repro.llm import ModelConfig, TransformerLM
+from repro.llm.kvcache import PagedKVCache
+from repro.serve import (
+    InferenceEngine,
+    PolicySpec,
+    Request,
+    SamplingParams,
+    SchedulerConfig,
+)
+
+SEEDS_PER_CASE = 25
+FUZZ_CASES = 8  # 8 x 25 = 200 seeds
+
+#: small PQ geometry so k-means on 20-token prompts stays meaningful & fast
+PQ_CONFIG = PQCacheConfig(
+    num_partitions=2, num_bits=2, max_kmeans_iters=4,
+    gpu_cache_tokens=64, gpu_cache_block=8,
+)
+
+
+@pytest.fixture(scope="module")
+def fuzz_model():
+    config = ModelConfig(
+        num_layers=2, hidden_dim=32, num_heads=4, num_kv_heads=2,
+        ffn_dim=64, vocab_size=128, name="preempt-fuzz",
+    )
+    return TransformerLM(config, seed=7)
+
+
+def _budget():
+    return SelectionBudget(token_ratio=0.3, num_initial=2, num_local=8)
+
+
+def _policy_spec(name):
+    if name is None:
+        return None
+    if name == "pqcache":
+        return PolicySpec.named("pqcache", _budget(), pq_config=PQ_CONFIG,
+                                sketch_tokens=16)
+    return PolicySpec.named(name, _budget())
+
+
+def _make_engine(model, pool_blocks, mode, chunk, block_size=8):
+    return InferenceEngine(
+        model,
+        scheduler_config=SchedulerConfig(
+            max_batch_size=4,
+            max_prefill_chunk_tokens=chunk,
+            preemption_mode=mode,
+        ),
+        enable_prefix_caching=True,
+        kv_block_size=block_size,
+        kv_pool_blocks=pool_blocks,
+        max_retained_outputs=0,
+    )
+
+
+# ----------------------------------------------------------------- audits
+
+
+def audit_engine(engine, context=""):
+    """Assert block/tier bookkeeping is exactly balanced."""
+    alloc = engine.block_allocator
+    expected: Counter = Counter()
+    handle_blocks = 0
+    for state in engine._states.values():
+        if state.paged is not None and not state.paged.table.released:
+            for block_id in state.paged.table.block_ids:
+                expected[block_id] += 1
+        if state.swap_handle is not None:
+            # Stored positions park bytes in the swap tiers; pinned positions
+            # hold one extra reference on a GPU-resident shared block.
+            handle_blocks += state.swap_handle.stored_blocks
+            for pinned in state.swap_handle.pinned_ids:
+                if pinned is not None:
+                    expected[pinned] += 1
+    for output in engine._final_outputs.values():
+        kvcache = output.prefill.kvcache if output.prefill is not None else None
+        if isinstance(kvcache, PagedKVCache) and not kvcache.released:
+            for block_id in kvcache.table.block_ids:
+                expected[block_id] += 1
+    for node in engine.prefix_cache._nodes.values():
+        if not node.spilled:
+            expected[node.block_id] += 1
+    assert dict(expected) == alloc._refcounts, (
+        f"{context}: refcount imbalance — expected {dict(expected)}, "
+        f"allocator holds {alloc._refcounts}"
+    )
+    if alloc.capacity_blocks is not None:
+        assert alloc.num_allocated <= alloc.capacity_blocks, context
+    space = engine.swap_space
+    parked = space.cpu_blocks + space.disk_blocks
+    spilled = engine.prefix_cache.num_spilled
+    assert parked == handle_blocks + spilled, (
+        f"{context}: swap space holds {parked} blocks but requests park "
+        f"{handle_blocks} and the prefix cache spilled {spilled}"
+    )
+
+
+def _outputs_equal(out, ref):
+    assert out.token_ids == ref.token_ids
+    assert out.finish_reason == ref.finish_reason
+    if ref.logits is None:
+        assert out.logits is None
+    else:
+        assert np.array_equal(out.logits, ref.logits)
+
+
+# ------------------------------------------------------------ fuzz harness
+
+
+def _random_requests(model, rng):
+    """3-6 requests: mixed policies, shared prefixes, forced decodes."""
+    vocab = model.config.vocab_size
+    shared_pool = rng.integers(4, vocab, size=48).tolist()
+    requests = []
+    for index in range(int(rng.integers(3, 7))):
+        plen = int(rng.integers(20, 90))
+        if rng.random() < 0.4:
+            shared = min(int(rng.integers(8, 41)), plen - 1)
+            prompt = shared_pool[:shared] + rng.integers(
+                4, vocab, size=plen - shared
+            ).tolist()
+        else:
+            prompt = rng.integers(4, vocab, size=plen).tolist()
+        policy_name = [None, "pqcache", "snapkv"][int(rng.integers(0, 3))]
+        forced = None
+        max_new = int(rng.integers(2, 7))
+        if rng.random() < 0.15:
+            forced = rng.integers(4, vocab, size=int(rng.integers(2, 6))).tolist()
+        requests.append(
+            Request(
+                prompt_ids=prompt,
+                request_id=f"fuzz-{index}",
+                sampling=SamplingParams(max_new_tokens=max_new,
+                                        observation_window=8),
+                policy_spec=_policy_spec(policy_name),
+                forced_decode_ids=forced,
+            )
+        )
+    return requests
+
+
+def _min_pool_blocks(request, block_size):
+    """Blocks the request needs resident at once (prompt + decode + COW)."""
+    decoded = (
+        len(request.forced_decode_ids)
+        if request.forced_decode_ids is not None
+        else request.sampling.max_new_tokens
+    )
+    tokens = len(request.prompt_ids) + decoded + 1
+    return -(-tokens // block_size) + 1
+
+
+def run_fuzz_seed(model, seed):
+    rng = np.random.default_rng(seed)
+    block_size = 8
+    requests = _random_requests(model, rng)
+    mode = "swap" if rng.random() < 0.5 else "recompute"
+    chunk = [None, 24, 40][int(rng.integers(0, 3))]
+    floor = max(_min_pool_blocks(r, block_size) for r in requests)
+    pool = floor + int(rng.integers(0, 6))
+    context = f"seed={seed} mode={mode} chunk={chunk} pool={pool}"
+
+    # Uncontended ground truth: same engine configuration, unbounded pool.
+    reference = _make_engine(model, None, mode, chunk, block_size)
+    refs = reference.run(list(requests))
+
+    engine = _make_engine(model, pool, mode, chunk, block_size)
+    # Stagger submissions and plan a few aborts at random step indices.
+    submit_at = {0: requests[:2]}
+    for request in requests[2:]:
+        submit_at.setdefault(int(rng.integers(0, 12)), []).append(request)
+    abort_at = {}
+    for request in requests:
+        if rng.random() < 0.15:
+            abort_at[int(rng.integers(1, 20))] = request.request_id
+
+    finals = {}
+    aborted = set()
+    step_cap = 400 + 100 * len(requests)
+    for step_index in range(step_cap):
+        for request in submit_at.pop(step_index, []):
+            engine.submit(request)
+        rid = abort_at.get(step_index)
+        if rid is not None and rid in engine._states:
+            engine.abort(rid)
+            aborted.add(rid)
+            audit_engine(engine, f"{context} abort@{step_index}")
+        for output in engine.step():
+            if output.finished:
+                finals[output.request_id] = output
+        audit_engine(engine, f"{context} step={step_index}")
+        if not submit_at and not engine.has_unfinished:
+            break
+    else:
+        pytest.fail(f"{context}: engine made no progress within {step_cap} steps")
+
+    for request in requests:
+        rid = request.request_id
+        if rid in aborted:
+            continue
+        assert rid in finals, f"{context}: request {rid} never finished"
+        _outputs_equal(finals[rid], refs[rid])
+    return engine
+
+
+@pytest.mark.parametrize("case", range(FUZZ_CASES))
+def test_randomized_scheduler_fuzz(fuzz_model, case):
+    for seed in range(case * SEEDS_PER_CASE, (case + 1) * SEEDS_PER_CASE):
+        run_fuzz_seed(fuzz_model, seed)
+
+
+# -------------------------------------------------------- directed scenarios
+
+
+def _long_request(rid, rng, plen, policy=None, max_new=5):
+    return Request(
+        prompt_ids=rng.integers(4, 128, size=plen).tolist(),
+        request_id=rid,
+        sampling=SamplingParams(max_new_tokens=max_new, observation_window=8),
+        policy_spec=policy,
+    )
+
+
+class TestDirectedPreemption:
+    def test_swap_preemption_bytes_visible_and_identical(self, fuzz_model):
+        """Half-working-set pool: everything completes, swap bytes surface."""
+        rng = np.random.default_rng(1)
+        requests = [
+            _long_request(f"s{i}", rng, 100, _policy_spec(p))
+            for i, p in enumerate([None, "pqcache", None, "snapkv"])
+        ]
+        refs = _make_engine(fuzz_model, None, "swap", 32).run(list(requests))
+        # Working set: 4 requests x ~14 blocks; give roughly half.
+        engine = _make_engine(fuzz_model, 28, "swap", 32)
+        finals = engine.run(list(requests))
+        for request in requests:
+            _outputs_equal(finals[request.request_id], refs[request.request_id])
+        metrics = engine.metrics
+        assert metrics.preemptions > 0
+        assert metrics.preemptions_swap > 0
+        assert metrics.swap_out_bytes > 0 and metrics.swap_in_bytes > 0
+        assert metrics.swap_out_blocks >= metrics.swap_in_blocks > 0
+        assert metrics.swap_seconds > 0
+        assert metrics.as_dict()["swap_out_bytes"] == metrics.swap_out_bytes
+        audit_engine(engine, "swap directed")
+
+    def test_recompute_preemption_replays_identically(self, fuzz_model):
+        rng = np.random.default_rng(2)
+        requests = [
+            _long_request(f"r{i}", rng, 100, _policy_spec(p))
+            for i, p in enumerate([None, "pqcache", "snapkv", None])
+        ]
+        refs = _make_engine(fuzz_model, None, "recompute", 32).run(list(requests))
+        engine = _make_engine(fuzz_model, 28, "recompute", 32)
+        finals = engine.run(list(requests))
+        for request in requests:
+            _outputs_equal(finals[request.request_id], refs[request.request_id])
+        metrics = engine.metrics
+        assert metrics.preemptions_recompute > 0
+        assert metrics.swap_out_blocks == 0  # pure recompute, no swap traffic
+        per_request = [finals[r.request_id].metrics for r in requests]
+        assert sum(m.recomputed_tokens for m in per_request) > 0
+        audit_engine(engine, "recompute directed")
+
+    def test_single_request_exceeding_pool_raises_cleanly(self, fuzz_model):
+        rng = np.random.default_rng(3)
+        engine = _make_engine(fuzz_model, 4, "swap", 32)
+        engine.submit(_long_request("big", rng, 120))
+        with pytest.raises(CapacityError):
+            engine.run()
+        # The engine is still serviceable: abort the stuck request and a
+        # small one completes normally.
+        engine.abort("big")
+        audit_engine(engine, "post-capacity-error")
+        small = _long_request("small", rng, 20, max_new=2)
+        finals = engine.run([small])
+        assert finals["small"].finished
+        audit_engine(engine, "post-recovery")
+
+    def test_instance_policy_falls_back_to_swap_in_recompute_mode(
+        self, fuzz_model
+    ):
+        """A victim whose policy cannot be rebuilt is swapped, not dropped."""
+        rng = np.random.default_rng(4)
+        instance = build_policy("pqcache", _budget(), pq_config=PQ_CONFIG)
+        young = _long_request(
+            "young", rng, 90, PolicySpec.from_instance(instance)
+        )
+        old = _long_request("old", rng, 100)
+        reference = _make_engine(fuzz_model, None, "recompute", 32)
+        instance_ref = build_policy("pqcache", _budget(), pq_config=PQ_CONFIG)
+        refs = reference.run([
+            Request(
+                prompt_ids=list(old.prompt_ids),
+                request_id="old",
+                sampling=old.sampling,
+            ),
+            Request(
+                prompt_ids=list(young.prompt_ids),
+                request_id="young",
+                sampling=young.sampling,
+                policy_spec=PolicySpec.from_instance(instance_ref),
+            ),
+        ])
+        engine = _make_engine(fuzz_model, 16, "recompute", 32)
+        finals = engine.run([old, young])
+        assert engine.metrics.preemptions > 0
+        assert engine.metrics.preemptions_swap > 0  # the fallback fired
+        _outputs_equal(finals["young"], refs["young"])
+        _outputs_equal(finals["old"], refs["old"])
+
+    def test_abort_of_swapped_request_releases_everything(self, fuzz_model):
+        rng = np.random.default_rng(5)
+        old = _long_request("old", rng, 100)
+        young = _long_request("young", rng, 90)
+        engine = _make_engine(fuzz_model, 16, "swap", 32)
+        engine.submit(old)
+        engine.submit(young)
+        swapped = None
+        for _ in range(300):
+            engine.step()
+            swapped = next(
+                (s for s in engine._states.values()
+                 if s.swap_handle is not None), None,
+            )
+            if swapped is not None:
+                break
+            if not engine.has_unfinished:
+                break
+        assert swapped is not None, "pressure never forced a swap"
+        engine.abort(swapped.request.request_id)
+        audit_engine(engine, "post-abort-swapped")
+        assert engine.swap_space.cpu_blocks + engine.swap_space.disk_blocks \
+            == engine.prefix_cache.num_spilled
+        engine.run()  # the survivor drains normally
+        audit_engine(engine, "post-drain")
+
+    def test_default_retention_never_wedges_a_bounded_pool(self, fuzz_model):
+        """Regression: retained finished outputs must not pin the pool.
+
+        With the default ``max_retained_outputs=None`` every finished
+        output keeps its block references; once cumulative finished work
+        exceeded the pool, new requests used to die with CapacityError.
+        The escalation now releases retained outputs' pool references
+        (oldest first) while keeping the outputs readable.
+        """
+        rng = np.random.default_rng(8)
+        engine = InferenceEngine(
+            fuzz_model,
+            scheduler_config=SchedulerConfig(max_prefill_chunk_tokens=24),
+            enable_prefix_caching=True,
+            kv_block_size=8,
+            kv_pool_blocks=10,
+        )
+        prompts = [rng.integers(4, 128, size=30).tolist() for _ in range(4)]
+        for index, prompt in enumerate(prompts):
+            finals = engine.run([Request(
+                prompt_ids=prompt,
+                request_id=f"keep-{index}",
+                sampling=SamplingParams(max_new_tokens=4, observation_window=8),
+            )])
+            assert finals[f"keep-{index}"].finished
+        # Every retained output is still readable after reclamation.
+        for index in range(4):
+            output = engine.final_output(f"keep-{index}")
+            assert output.logits is not None and len(output.token_ids) > 0
+            assert output.prefill.kvcache.seq_len >= 30
+
+    def test_full_swap_tiers_fall_back_to_recompute(self, fuzz_model):
+        """Regression: a swap-out the tiers cannot absorb must not crash.
+
+        With a 1-block CPU tier and no disk tier, every chain swap-out
+        fails; rebuildable victims must fall back to recompute-preemption
+        and the schedule must still complete byte-identically.
+        """
+        rng = np.random.default_rng(9)
+        requests = [_long_request(f"t{i}", rng, 90) for i in range(3)]
+        refs = _make_engine(fuzz_model, None, "swap", 32).run(list(requests))
+        engine = InferenceEngine(
+            fuzz_model,
+            scheduler_config=SchedulerConfig(
+                max_prefill_chunk_tokens=32, preemption_mode="swap",
+            ),
+            enable_prefix_caching=True,
+            kv_block_size=8,
+            kv_pool_blocks=16,
+            max_retained_outputs=0,
+            swap_cpu_blocks=1,
+            swap_disk_blocks=0,
+        )
+        finals = engine.run(list(requests))
+        for request in requests:
+            _outputs_equal(finals[request.request_id], refs[request.request_id])
+        assert engine.metrics.preemptions_recompute > 0  # the fallback fired
+        audit_engine(engine, "swap-tier fallback")
+
+    def test_pinned_shared_prefixes_cannot_wedge_tiny_swap_tiers(
+        self, fuzz_model
+    ):
+        """Regression: swapped requests' pins must yield under pressure.
+
+        Requests sharing a long prefix swap out with most blocks *pinned*
+        (shared with the prefix cache).  With next-to-no swap-tier room the
+        pins can neither stay (they stuff the pool) nor materialise (no
+        room) — the escalation must degrade parked swapped requests to
+        recompute instead of raising CapacityError, and everything must
+        still finish byte-identically.
+        """
+        rng = np.random.default_rng(10)
+        shared = rng.integers(4, 128, size=64).tolist()
+        requests = [
+            Request(
+                prompt_ids=shared + rng.integers(4, 128, size=40).tolist(),
+                request_id=f"pin-{i}",
+                sampling=SamplingParams(max_new_tokens=5, observation_window=8),
+            )
+            for i in range(3)
+        ]
+        refs = _make_engine(fuzz_model, None, "swap", 32).run(list(requests))
+        engine = InferenceEngine(
+            fuzz_model,
+            scheduler_config=SchedulerConfig(
+                max_prefill_chunk_tokens=32, preemption_mode="swap",
+            ),
+            enable_prefix_caching=True,
+            kv_block_size=8,
+            kv_pool_blocks=18,
+            max_retained_outputs=0,
+            swap_cpu_blocks=2,
+            swap_disk_blocks=2,
+        )
+        finals = engine.run(list(requests))
+        for request in requests:
+            _outputs_equal(finals[request.request_id], refs[request.request_id])
+        assert engine.metrics.preemptions > 0
+        audit_engine(engine, "pinned tiny tiers")
+
+    def test_repeated_evict_reinsert_cycles_keep_holds_bounded(self, fuzz_model):
+        """Engine-level regression for the snapshot hold-ref leak."""
+        rng = np.random.default_rng(6)
+        prompt = rng.integers(4, 128, size=80).tolist()
+        filler = [rng.integers(4, 128, size=80).tolist() for _ in range(3)]
+        engine = _make_engine(fuzz_model, 16, "swap", 32)
+        for cycle in range(4):
+            requests = [
+                Request(
+                    prompt_ids=list(prompt),
+                    request_id=f"warm-{cycle}",
+                    sampling=SamplingParams(max_new_tokens=2,
+                                            observation_window=8),
+                    policy_spec=_policy_spec("pqcache"),
+                ),
+                Request(
+                    prompt_ids=list(filler[cycle % 3]),
+                    request_id=f"cold-{cycle}",
+                    sampling=SamplingParams(max_new_tokens=2,
+                                            observation_window=8),
+                    policy_spec=_policy_spec("pqcache"),
+                ),
+            ]
+            engine.run(requests)
+            audit_engine(engine, f"cycle {cycle}")
+        # Every stored snapshot's holds are bounded by the nodes that can
+        # hold it — the pre-fix leak grew holds by one per evict/re-insert.
+        nodes = list(engine.prefix_cache._nodes.values())
+        snapshots = {
+            id(s): s for node in nodes for s in node.pq_snapshots.values()
+        }
+        for snap in snapshots.values():
+            holders = sum(
+                1 for node in nodes if snap in node.pq_snapshots.values()
+            )
+            assert snap.hold_count == holders

@@ -150,7 +150,10 @@ class TestPrefixCacheUnit:
         second = rng.integers(4, 256, size=224).tolist()
         out2 = _serve(engine, second, None, max_new_tokens=2)
         assert out2.finished
-        assert engine.prefix_cache.stats.evicted_blocks > 0
+        # With the disk spill tier (default) the cold chain is demoted, not
+        # dropped: the pool blocks come back either way.
+        stats = engine.prefix_cache.stats
+        assert stats.evicted_blocks + stats.spilled_blocks > 0
         # With everything pinned (no release), the same pressure is fatal.
         third = rng.integers(4, 256, size=256).tolist()
         with pytest.raises(CapacityError):
@@ -422,3 +425,41 @@ class TestPQSnapshotSemantics:
         assert snap.attach_count == 0  # released when the request finished
         with pytest.raises(ConfigurationError):
             snap.release()  # unbalanced release is a caller bug
+
+    def test_shallow_foreign_snapshot_cannot_poison_consumer(self, small_model):
+        """Regression: a snapshot found on a shallow node must be clamped.
+
+        Producer A shares only one block with the consumer and then
+        diverges for hundreds of tokens — its (long) pre-refine snapshot
+        lands on the shared depth-1 node.  Producer B shares three blocks.
+        The match must never prefer A's snapshot just because it is longer:
+        its codes beyond the first block encode A's diverging suffix, and
+        adopting them would silently corrupt the consumer's PQ index.  The
+        consumer's decode output must stay byte-identical to a cold run.
+        """
+        rng = np.random.default_rng(17)
+        shared = rng.integers(4, 256, size=192).tolist()
+        producer_a = shared[:64] + rng.integers(4, 256, size=260).tolist()
+        producer_b = shared[:192] + rng.integers(4, 256, size=40).tolist()
+        consumer = shared[:192] + rng.integers(4, 256, size=80).tolist()
+
+        def spec():
+            budget = SelectionBudget(token_ratio=0.25, num_initial=4, num_local=16)
+            return PolicySpec.named("pqcache", budget, sketch_tokens=64)
+
+        def serve(engine, prompt):
+            rid = engine.submit(Request(
+                prompt_ids=list(prompt),
+                sampling=SamplingParams(max_new_tokens=6),
+                policy_spec=spec(),
+            ))
+            return engine.run()[rid]
+
+        cold = serve(_engine(small_model), consumer)
+        engine = _engine(small_model)
+        serve(engine, producer_a)
+        serve(engine, producer_b)
+        warm = serve(engine, consumer)
+        assert warm.metrics.cached_prefix_tokens == 192
+        assert warm.token_ids == cold.token_ids
+        assert np.array_equal(warm.logits, cold.logits)

@@ -1,0 +1,419 @@
+"""Tiered KV placement: SwapSpace unit tests, the latency model's swap
+transfers, the prefix cache's disk-spill tier, and the symmetric PQ-snapshot
+hold refcounting (regression for the evict/re-insert leak)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pqcache import PQSnapshot
+from repro.errors import CapacityError, ConfigurationError
+from repro.llm import ModelConfig
+from repro.llm.kvcache import BlockAllocator, PagedKVCache, SwapSpace
+from repro.memory import HardwareSpec, LatencyModel, Resource
+from repro.serve import PrefixCache
+
+
+def make_allocator(capacity=None, block_size=4, num_layers=2, h_kv=2, d_h=8):
+    return BlockAllocator(
+        num_layers, h_kv, d_h, block_size=block_size, capacity_blocks=capacity
+    )
+
+
+def fill_blocks(alloc, n, seed=0):
+    """Allocate ``n`` blocks with distinct random contents; return their ids."""
+    rng = np.random.default_rng(seed)
+    ids = []
+    for _ in range(n):
+        bid = alloc.allocate()
+        alloc.block_keys(bid)[...] = rng.normal(size=alloc.block_keys(bid).shape)
+        alloc.block_values(bid)[...] = rng.normal(size=alloc.block_values(bid).shape)
+        ids.append(bid)
+    return ids
+
+
+# ------------------------------------------------------------- swap space
+
+
+class TestSwapSpace:
+    def test_swap_out_in_round_trips_bitwise(self):
+        alloc = make_allocator()
+        ids = fill_blocks(alloc, 3)
+        keys = [alloc.block_keys(b).copy() for b in ids]
+        values = [alloc.block_values(b).copy() for b in ids]
+        space = SwapSpace()
+        handle = space.swap_out(alloc, ids)
+        for bid in ids:
+            alloc.decref(bid)
+        # Scribble over the recycled blocks to prove restore does not rely
+        # on the pool still holding the old contents.
+        for bid in fill_blocks(alloc, 3, seed=99):
+            pass
+        new_ids = space.swap_in(handle, alloc)
+        assert len(new_ids) == 3
+        for new_id, k, v in zip(new_ids, keys, values):
+            assert np.array_equal(alloc.block_keys(new_id), k)
+            assert np.array_equal(alloc.block_values(new_id), v)
+            assert alloc.refcount(new_id) == 1
+
+    def test_handle_is_single_use(self):
+        alloc = make_allocator()
+        space = SwapSpace()
+        handle = space.swap_out(alloc, fill_blocks(alloc, 1))
+        space.swap_in(handle, alloc)
+        with pytest.raises(ConfigurationError):
+            space.swap_in(handle, alloc)
+
+    def test_eviction_ordering_gpu_cpu_disk(self):
+        """Overflowing the CPU tier demotes its *oldest* handle to disk."""
+        alloc = make_allocator()
+        space = SwapSpace(cpu_capacity_blocks=3, disk_capacity_blocks=10)
+        first = space.swap_out(alloc, fill_blocks(alloc, 2, seed=1))
+        second = space.swap_out(alloc, fill_blocks(alloc, 1, seed=2))
+        assert (first.tier, second.tier) == ("cpu", "cpu")
+        third = space.swap_out(alloc, fill_blocks(alloc, 2, seed=3))
+        # first (oldest) demoted to make room; second stayed; third on CPU.
+        assert first.tier == "disk"
+        assert second.tier == "cpu"
+        assert third.tier == "cpu"
+        assert space.cpu_blocks == 3 and space.disk_blocks == 2
+        assert space.stats.demoted == 2
+
+    def test_direct_disk_spill(self):
+        alloc = make_allocator()
+        space = SwapSpace(cpu_capacity_blocks=0)
+        handle = space.swap_out(alloc, fill_blocks(alloc, 2), tier="disk")
+        assert handle.tier == "disk"
+        assert space.cpu_blocks == 0 and space.disk_blocks == 2
+
+    def test_all_tiers_exhausted_raises_cleanly(self):
+        alloc = make_allocator()
+        space = SwapSpace(cpu_capacity_blocks=2, disk_capacity_blocks=2)
+        space.swap_out(alloc, fill_blocks(alloc, 2, seed=1))          # CPU full
+        space.swap_out(alloc, fill_blocks(alloc, 2, seed=2), tier="disk")
+        before = space.describe()
+        with pytest.raises(CapacityError):
+            space.swap_out(alloc, fill_blocks(alloc, 1, seed=3))
+        # A failed swap-out stores nothing and demotes nothing it cannot fit.
+        assert space.describe()["cpu_blocks"] == before["cpu_blocks"]
+        assert space.describe()["disk_blocks"] == before["disk_blocks"]
+
+    def test_swap_in_pool_exhaustion_keeps_handle(self):
+        alloc = make_allocator(capacity=2)
+        space = SwapSpace()
+        handle = space.swap_out(alloc, fill_blocks(alloc, 2))
+        # Pool still full (refs not dropped): swap-in cannot allocate.
+        with pytest.raises(CapacityError):
+            space.swap_in(handle, alloc)
+        assert space.cpu_blocks == 2  # handle still parked
+        assert alloc.num_allocated == 2  # no leaked partial allocations
+
+    def test_shared_blocks_are_pinned_not_copied(self):
+        """Swap-out of a shared block keeps it GPU-resident by reference."""
+        alloc = make_allocator()
+        space = SwapSpace(cpu_capacity_blocks=1)  # room for 1 stored block
+        own, shared = fill_blocks(alloc, 2)
+        alloc.incref(shared)  # someone else (a prefix cache) holds it too
+        handle = space.swap_out(alloc, [own, shared])
+        assert handle.stored_blocks == 1 and handle.pinned_blocks == 1
+        assert space.cpu_blocks == 1  # the pinned block occupies no tier room
+        assert alloc.refcount(shared) == 3  # other holder + caller + pin
+        alloc.decref(own)
+        alloc.decref(shared)  # the caller releases its table
+        new_ids = space.swap_in(handle, alloc)
+        assert new_ids[1] == shared  # the very same block comes back
+        assert alloc.refcount(shared) == 2  # other holder + restored table
+        assert alloc.refcount(new_ids[0]) == 1
+
+    def test_discard_releases_pins(self):
+        alloc = make_allocator()
+        space = SwapSpace()
+        (shared,) = fill_blocks(alloc, 1)
+        alloc.incref(shared)
+        handle = space.swap_out(alloc, [shared])
+        alloc.decref(shared)  # caller's table reference
+        assert alloc.refcount(shared) == 2  # other holder + pin
+        space.discard(handle)
+        assert alloc.refcount(shared) == 1  # pin released
+
+    def test_materialize_pins_copies_and_unpins(self):
+        alloc = make_allocator()
+        space = SwapSpace()
+        (shared,) = fill_blocks(alloc, 1)
+        keys = alloc.block_keys(shared).copy()
+        alloc.incref(shared)
+        handle = space.swap_out(alloc, [shared])
+        alloc.decref(shared)
+        assert space.materialize_pins(handle) == 1
+        assert handle.pinned_blocks == 0 and handle.stored_blocks == 1
+        assert alloc.refcount(shared) == 1  # pin gone; other holder remains
+        alloc.decref(shared)  # other holder drops it; block id recycled
+        new_ids = space.swap_in(handle, alloc)
+        assert np.array_equal(alloc.block_keys(new_ids[0]), keys)
+
+    def test_discard_and_validation(self):
+        alloc = make_allocator()
+        space = SwapSpace()
+        handle = space.swap_out(alloc, fill_blocks(alloc, 2))
+        space.discard(handle)
+        assert space.cpu_blocks == 0
+        assert space.stats.discarded == 2
+        space.discard(handle)  # idempotent
+        with pytest.raises(ConfigurationError):
+            space.swap_out(alloc, [], tier="tape")
+        with pytest.raises(ConfigurationError):
+            SwapSpace(cpu_capacity_blocks=-1)
+
+
+# ---------------------------------------------------------- latency model
+
+
+class TestSwapLatency:
+    @pytest.fixture()
+    def latency(self):
+        return LatencyModel(HardwareSpec.paper_testbed(), ModelConfig.tiny())
+
+    def test_swap_out_links_pcie_then_disk(self, latency):
+        timeline = latency.swap_out_timeline(1e6, disk_bytes=5e5)
+        d2h, disk = timeline["swap-d2h"], timeline["swap-disk-write"]
+        assert d2h.resource == Resource.D2H
+        assert disk.resource == Resource.DISK
+        assert disk.depends_on == ("swap-d2h",)
+        assert disk.start >= d2h.finish
+        assert timeline.makespan == pytest.approx(d2h.duration + disk.duration)
+
+    def test_swap_in_links_disk_then_pcie(self, latency):
+        timeline = latency.swap_in_timeline(1e6, disk_bytes=1e6)
+        read, h2d = timeline["swap-disk-read"], timeline["swap-h2d"]
+        assert read.resource == Resource.DISK
+        assert h2d.resource == Resource.H2D
+        assert h2d.depends_on == ("swap-disk-read",)
+        assert h2d.start >= read.finish
+
+    def test_cpu_only_swap_has_no_disk_leg(self, latency):
+        out = latency.swap_out_timeline(1e6)
+        assert "swap-disk-write" not in out
+        assert latency.swap_out_seconds(1e6) == pytest.approx(
+            latency.hardware.interconnect.transfer_seconds(1e6)
+        )
+
+    def test_swap_bytes_validated(self, latency):
+        with pytest.raises(ConfigurationError):
+            latency.swap_out_timeline(-1.0)
+        with pytest.raises(ConfigurationError):
+            latency.swap_in_timeline(1.0, disk_bytes=-1.0)
+
+
+# ------------------------------------------------------- prefix-cache spill
+
+
+def fill_chain(alloc, tokens, seed=0):
+    """Prefill-like chain: a paged cache holding ``tokens`` with random KV."""
+    rng = np.random.default_rng(seed)
+    paged = PagedKVCache(alloc)
+    for layer in range(alloc.num_layers):
+        k = rng.normal(size=(alloc.num_kv_heads, len(tokens), alloc.head_dim))
+        paged[layer].append(k, k * 2.0)
+    return paged
+
+
+def make_snapshot(fingerprint="fp", num_tokens=8):
+    return PQSnapshot(
+        quantizers=[],
+        codebooks=[np.zeros((2, 2, 4, 4))],
+        codes=[np.zeros((num_tokens, 2, 2), dtype=np.uint8)],
+        num_tokens=num_tokens,
+        sketch_upto=num_tokens,
+        fingerprint=fingerprint,
+    )
+
+
+class TestPrefixCacheSpill:
+    def test_spill_then_restore_is_bitwise(self):
+        alloc = make_allocator(capacity=8)
+        space = SwapSpace()
+        cache = PrefixCache(alloc, spill_store=space)
+        alloc.eviction_hook = cache.evict
+        tokens = list(range(16))
+        paged = fill_chain(alloc, tokens)
+        snap = make_snapshot()
+        cache.insert(tokens, paged.table.block_ids,
+                     pq_fingerprint="fp", pq_snapshot=snap)
+        originals = {
+            b: alloc.block_keys(b).copy() for b in paged.table.block_ids
+        }
+        order = list(paged.table.block_ids)
+        paged.release()
+
+        freed = cache.evict(4)
+        assert freed == 4
+        assert cache.num_spilled == 4 and cache.num_resident == 0
+        assert space.disk_blocks == 4
+        assert cache.stats.spilled_payload_bytes >= snap.nbytes()
+
+        match = cache.match(tokens, fingerprint="fp")
+        assert match is not None and match.matched_tokens == 16
+        assert match.pq_snapshot is snap
+        assert cache.stats.restored_blocks == 4
+        assert space.disk_blocks == 0
+        for new_id, old_id in zip(match.block_ids, order):
+            assert np.array_equal(alloc.block_keys(new_id), originals[old_id])
+
+    def test_reinsert_readopts_spilled_nodes_without_disk_read(self):
+        alloc = make_allocator(capacity=8)
+        space = SwapSpace()
+        cache = PrefixCache(alloc, spill_store=space)
+        tokens = list(range(8))
+        paged = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged.table.block_ids)
+        paged.release()
+        assert cache.evict(2) == 2
+        assert cache.num_spilled == 2
+
+        # The same prompt served cold again re-inserts identical blocks.
+        paged2 = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged2.table.block_ids)
+        assert cache.num_spilled == 0
+        assert cache.stats.readopted_blocks == 2
+        assert cache.stats.restored_blocks == 0  # no disk read happened
+        assert space.disk_blocks == 0  # stale spilled copies discarded
+
+    def test_disk_exhaustion_falls_back_to_hard_eviction(self):
+        alloc = make_allocator(capacity=8)
+        space = SwapSpace(disk_capacity_blocks=1)
+        cache = PrefixCache(alloc, spill_store=space)
+        tokens = list(range(16))
+        paged = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged.table.block_ids)
+        paged.release()
+        freed = cache.evict(4)
+        assert freed == 4
+        assert cache.stats.spilled_blocks == 1      # disk absorbed one block
+        assert cache.stats.evicted_blocks == 3      # the rest dropped outright
+
+    def test_reentrant_eviction_mid_restore_never_aliases(self):
+        """Regression: restoring a chain must not cannibalise that chain.
+
+        With the disk tier full, the allocation inside a spilled node's
+        restore fires the eviction hook.  Before the fix the fallback could
+        hard-remove a *later* node of the very chain being restored and
+        recycle its block id for the restore itself — the match then
+        returned a chain whose tail aliased the restored head's data.  The
+        chain under restoration is now shielded: under a packed pool the
+        lookup degrades to a miss with the chain intact, and succeeds
+        bitwise once the pool has room again.
+        """
+        alloc = make_allocator(capacity=3)
+        space = SwapSpace(disk_capacity_blocks=1)
+        cache = PrefixCache(alloc, spill_store=space)
+        alloc.eviction_hook = cache.evict
+        tokens = list(range(8))  # 2 blocks
+        paged = fill_chain(alloc, tokens)
+        first_keys = alloc.block_keys(paged.table.block_ids[0]).copy()
+        second_keys = alloc.block_keys(paged.table.block_ids[1]).copy()
+        cache.insert(tokens, paged.table.block_ids)
+        paged.release()
+        assert cache.evict(1) == 1          # head spilled; disk tier now full
+        assert cache.num_spilled == 1
+        hogs = [alloc.allocate(), alloc.allocate()]  # pool completely full
+
+        # No room to restore the head and its own chain is off-limits to the
+        # re-entrant eviction: a clean miss, nothing removed, nothing aliased.
+        assert cache.match(tokens) is None
+        assert len(cache) == 2 and cache.num_spilled == 1
+
+        for bid in hogs:
+            alloc.decref(bid)
+        match = cache.match(tokens)
+        assert match is not None and match.matched_tokens == 8
+        assert np.array_equal(alloc.block_keys(match.block_ids[0]), first_keys)
+        assert np.array_equal(alloc.block_keys(match.block_ids[1]), second_keys)
+
+    def test_truncated_restore_degrades_to_shorter_match(self):
+        """A pool too tight to restore the whole chain yields a shorter hit."""
+        alloc = make_allocator(capacity=4)
+        space = SwapSpace()
+        cache = PrefixCache(alloc, spill_store=space)
+        tokens = list(range(16))
+        paged = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged.table.block_ids)
+        paged.release()
+        assert cache.evict(4) == 4
+        # Fill the pool so that only 2 blocks can come back.
+        hog = [alloc.allocate(), alloc.allocate()]
+        match = cache.match(tokens)
+        assert match is not None
+        assert match.matched_tokens == 8  # 2 of 4 blocks restored
+        assert cache.stats.restored_blocks == 2
+        for bid in hog:
+            alloc.decref(bid)
+
+
+# --------------------------------------------- snapshot hold refcounting
+
+
+class TestSnapshotHoldRefcounts:
+    def test_holds_balanced_across_evict_reinsert_cycles(self):
+        """Regression: eviction must release storage holds symmetrically.
+
+        Each insert retains one hold per covering node; each hard eviction
+        of a node releases it.  Over repeated evict/re-insert cycles the
+        hold count must return to exactly the live-node count instead of
+        drifting upward (the pre-fix leak) or underflowing.
+        """
+        alloc = make_allocator(capacity=8)
+        cache = PrefixCache(alloc)  # no spill store: hard eviction path
+        tokens = list(range(8))     # 2 blocks
+        snap = make_snapshot(num_tokens=8)
+        for cycle in range(5):
+            paged = fill_chain(alloc, tokens, seed=cycle)
+            cache.insert(tokens, paged.table.block_ids,
+                         pq_fingerprint="fp", pq_snapshot=snap)
+            assert snap.hold_count == 2, f"cycle {cycle}"
+            paged.release()
+            assert cache.evict(2) == 2
+            assert len(cache) == 0
+            assert snap.hold_count == 0, f"cycle {cycle}"
+
+    def test_replacement_releases_previous_hold(self):
+        alloc = make_allocator(capacity=8)
+        cache = PrefixCache(alloc)
+        tokens = list(range(8))
+        shallow = make_snapshot(num_tokens=4)
+        deep = make_snapshot(num_tokens=8)
+        paged = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged.table.block_ids,
+                     pq_fingerprint="fp", pq_snapshot=shallow)
+        assert shallow.hold_count == 2
+        cache.insert(tokens, paged.table.block_ids,
+                     pq_fingerprint="fp", pq_snapshot=deep)
+        assert shallow.hold_count == 0  # replaced on both nodes
+        assert deep.hold_count == 2
+        # A shallower snapshot never replaces a deeper one.
+        cache.insert(tokens, paged.table.block_ids,
+                     pq_fingerprint="fp", pq_snapshot=shallow)
+        assert deep.hold_count == 2 and shallow.hold_count == 0
+        paged.release()
+        cache.clear()
+        assert deep.hold_count == 0
+
+    def test_spilled_nodes_keep_their_holds(self):
+        alloc = make_allocator(capacity=8)
+        cache = PrefixCache(alloc, spill_store=SwapSpace())
+        tokens = list(range(8))
+        snap = make_snapshot(num_tokens=8)
+        paged = fill_chain(alloc, tokens)
+        cache.insert(tokens, paged.table.block_ids,
+                     pq_fingerprint="fp", pq_snapshot=snap)
+        paged.release()
+        assert cache.evict(2) == 2
+        assert cache.num_spilled == 2
+        assert snap.hold_count == 2  # spilled nodes still hold the snapshot
+        cache.clear()
+        assert snap.hold_count == 0
+
+    def test_release_hold_underflow_raises(self):
+        snap = make_snapshot()
+        with pytest.raises(ConfigurationError):
+            snap.release_hold()
