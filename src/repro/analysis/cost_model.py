@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..core.pqcache import PQCacheConfig
 from ..llm.config import ModelConfig
-from ..memory.devices import InterconnectSpec
+from ..memory.devices import InterconnectSpec, StorageSpec
 
 __all__ = ["KVCacheCostModel", "ComplexityModel"]
 
@@ -23,10 +23,16 @@ _GIB = float(1024 ** 3)
 
 @dataclass(frozen=True)
 class KVCacheCostModel:
-    """Memory/transfer accounting for a model's KVCache."""
+    """Memory/transfer accounting for a model's KVCache.
+
+    ``storage`` is optional: capacity planning for a single instance only
+    needs the interconnect, but cluster-level planning (cross-worker chain
+    migration, disk spill) also prices the NVMe leg.
+    """
 
     model: ModelConfig
     interconnect: InterconnectSpec
+    storage: "StorageSpec | None" = None
 
     def kvcache_gib(self, seq_len: int, batch_size: int = 1) -> float:
         """KVCache size in GiB for a batch of sequences."""
@@ -36,6 +42,27 @@ class KVCacheCostModel:
         """Time to move the whole KVCache across the interconnect once."""
         num_bytes = self.model.kvcache_bytes(seq_len, batch_size)
         return self.interconnect.transfer_seconds(num_bytes)
+
+    def migration_seconds(
+        self, seq_len: int, batch_size: int = 1, from_disk: bool = False
+    ) -> float:
+        """Time to migrate a chain's KV to another worker once.
+
+        The PCIe leg always applies (the bytes enter the target GPU's
+        pool); ``from_disk`` adds the owning worker's NVMe read of a
+        spilled chain, serialised before the transfer — the same
+        dependency shape :meth:`~repro.memory.LatencyModel.migration_timeline`
+        bills inside the serving cluster.
+        """
+        num_bytes = self.model.kvcache_bytes(seq_len, batch_size)
+        seconds = self.interconnect.transfer_seconds(num_bytes)
+        if from_disk:
+            if self.storage is None:
+                raise ValueError(
+                    "from_disk migration accounting needs a StorageSpec"
+                )
+            seconds += self.storage.read_seconds(num_bytes)
+        return seconds
 
     def fits_in_gpu(self, seq_len: int, batch_size: int, gpu_memory_gib: float) -> bool:
         """Whether the KVCache alone fits in ``gpu_memory_gib``."""

@@ -925,6 +925,35 @@ class SwapSpace:
             self.stats.swapped_out += 1
         return materialised
 
+    def peek(
+        self, handle: SwappedBlocks
+    ) -> "tuple[list[np.ndarray], list[np.ndarray]]":
+        """Read a parked chain's contents without consuming the handle.
+
+        This is the export side of cross-worker chain migration: the owning
+        worker's spilled prefix chain is read (modelled as an NVMe read —
+        the caller bills it) and copied into another worker's pool, while
+        the local parked copy stays valid.  Stored positions return copies
+        of the parked arrays; pinned positions read the live (GPU-resident)
+        block through the allocator.
+
+        Returns:
+            ``(keys, values)`` lists, one ``(num_layers, h_kv, block_size,
+            d_h)`` array per chain position, in chain order.
+        """
+        if handle not in self._handles:
+            raise ConfigurationError("peek of an unknown or consumed handle")
+        keys: list[np.ndarray] = []
+        values: list[np.ndarray] = []
+        for k, v, pinned in zip(handle.keys, handle.values, handle.pinned_ids):
+            if pinned is not None:
+                keys.append(handle.allocator.block_keys(pinned).copy())
+                values.append(handle.allocator.block_values(pinned).copy())
+            else:
+                keys.append(k.copy())
+                values.append(v.copy())
+        return keys, values
+
     def discard(self, handle: SwappedBlocks) -> None:
         """Drop a parked chain without restoring it (abort/teardown path).
 

@@ -487,6 +487,27 @@ class LatencyModel:
         """Makespan of one swap-in / restore event."""
         return self.swap_in_timeline(num_bytes, disk_bytes).makespan
 
+    def migration_timeline(
+        self, kv_bytes: float, disk_bytes: float = 0.0
+    ) -> Timeline:
+        """Overlap schedule of one cross-worker prefix-chain migration.
+
+        Shipping a cached chain from the worker that owns it to the worker a
+        request was routed to has exactly the swap-in shape: the owning
+        worker's NVMe produces ``disk_bytes`` (the spilled KV plus artifact
+        payloads), then all ``kv_bytes`` cross PCIe into the target GPU's
+        block pool as a dependency-linked H2D transfer.  The cluster
+        frontend charges the makespan to the *target* worker's clock, so a
+        migrated request's TTFT honestly includes the transfer it waited on.
+        """
+        return self.swap_in_timeline(kv_bytes, disk_bytes)
+
+    def migration_seconds(
+        self, kv_bytes: float, disk_bytes: float = 0.0
+    ) -> float:
+        """Makespan of one cross-worker chain migration."""
+        return self.migration_timeline(kv_bytes, disk_bytes).makespan
+
     # --------------------------------------------------------------- decode
 
     def decode_decomposition(self, seq_len: int, method: str = "pqcache",

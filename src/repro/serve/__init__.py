@@ -23,9 +23,24 @@ Typical use::
 """
 
 from ..llm.generation import StepSelections
+from .cluster import (
+    ClusterFrontend,
+    ClusterMetrics,
+    FingerprintDirectory,
+    Placement,
+    Router,
+    Worker,
+)
 from .engine import InferenceEngine
 from .metrics import EngineMetrics, RequestMetrics
-from .prefix_cache import PrefixCache, PrefixCacheStats, PrefixMatch
+from .prefix_cache import (
+    ExportedChain,
+    ExportedChainNode,
+    PrefixCache,
+    PrefixCacheStats,
+    PrefixMatch,
+    chain_block_keys,
+)
 from .request import (
     PolicySpec,
     Request,
@@ -38,11 +53,20 @@ from .scheduler import ContinuousBatchingScheduler, SchedulerConfig, SchedulingD
 
 __all__ = [
     "InferenceEngine",
+    "ClusterFrontend",
+    "ClusterMetrics",
+    "FingerprintDirectory",
+    "Placement",
+    "Router",
+    "Worker",
     "EngineMetrics",
     "RequestMetrics",
     "PrefixCache",
     "PrefixCacheStats",
     "PrefixMatch",
+    "ExportedChain",
+    "ExportedChainNode",
+    "chain_block_keys",
     "PolicySpec",
     "Request",
     "RequestOutput",

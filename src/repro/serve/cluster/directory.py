@@ -1,0 +1,166 @@
+"""Shared prefix-fingerprint directory of a worker fleet.
+
+The directory is the cluster's only cross-worker view of cached prefixes:
+every worker's :class:`~repro.serve.PrefixCache` publishes its residency
+transitions (insert / spill / restore / evict) through a
+:class:`DirectoryPublisher` observer, keyed by the same chain hashes the
+cache indexes on (``H(key_{i-1}, tokens_i)``, see
+:func:`~repro.serve.prefix_cache.chain_block_keys`).  The router can then
+score candidate workers by longest-matching-prefix coverage without ever
+touching worker internals — it hashes the incoming prompt with the public
+helper and reads coverage off the directory.
+
+Entries carry a residency status per ``(key, worker)``:
+
+* ``"resident"`` — the block is in the worker's GPU pool; routing there
+  attaches it for free.
+* ``"spilled"`` — the block is parked on the worker's disk tier; routing
+  there triggers a local NVMe restore, and ``migrate_on_miss`` routing may
+  instead ship the chain to a less-loaded worker.
+
+The directory is a plain in-process index: workers publish synchronously,
+and correctness never depends on it — a stale or empty directory only
+degrades routing quality (requests land on colder workers), never bytes,
+because every placement runs the same deterministic engine code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["FingerprintDirectory", "DirectoryPublisher", "PrefixCoverage"]
+
+RESIDENT = "resident"
+SPILLED = "spilled"
+
+
+@dataclass
+class PrefixCoverage:
+    """One worker's leading-prefix coverage of a prompt's chain keys.
+
+    Attributes:
+        resident_blocks: consecutive leading blocks resident in the
+            worker's GPU pool — the reuse a request attaches at zero cost.
+        known_blocks: consecutive leading blocks the worker holds in *any*
+            tier (resident or spilled); the excess over ``resident_blocks``
+            would come back through a disk restore or a migration.
+    """
+
+    resident_blocks: int = 0
+    known_blocks: int = 0
+
+
+class DirectoryPublisher:
+    """Observer adapter binding one worker's cache events to the directory.
+
+    Installed as ``PrefixCache.observer``; each hook forwards the node's
+    chain key with this worker's id and the resulting residency status.
+    """
+
+    def __init__(self, directory: "FingerprintDirectory", worker_id: int) -> None:
+        self.directory = directory
+        self.worker_id = worker_id
+
+    def on_insert(self, key: bytes) -> None:
+        self.directory.record(key, self.worker_id, RESIDENT)
+
+    def on_restore(self, key: bytes) -> None:
+        self.directory.record(key, self.worker_id, RESIDENT)
+
+    def on_spill(self, key: bytes) -> None:
+        self.directory.record(key, self.worker_id, SPILLED)
+
+    def on_evict(self, key: bytes) -> None:
+        self.directory.drop(key, self.worker_id)
+
+
+class FingerprintDirectory:
+    """Cluster-wide index: chain key → per-worker residency status."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, dict[int, str]] = {}
+        #: lifetime event counters, for reporting
+        self.events = {"insert": 0, "spill": 0, "restore": 0, "evict": 0}
+
+    def __len__(self) -> int:
+        """Number of distinct chain keys known to the fleet."""
+        return len(self._entries)
+
+    def publisher(self, worker_id: int) -> DirectoryPublisher:
+        """Observer for one worker's cache (install as its ``observer``)."""
+        return DirectoryPublisher(self, worker_id)
+
+    # ------------------------------------------------------------- updates
+
+    def record(self, key: bytes, worker_id: int, status: str) -> None:
+        """Publish a block's residency on one worker."""
+        entry = self._entries.setdefault(key, {})
+        previous = entry.get(worker_id)
+        entry[worker_id] = status
+        if previous is None:
+            self.events["insert"] += 1
+        elif status == SPILLED and previous == RESIDENT:
+            self.events["spill"] += 1
+        elif status == RESIDENT and previous == SPILLED:
+            self.events["restore"] += 1
+
+    def drop(self, key: bytes, worker_id: int) -> None:
+        """Remove one worker's claim on a block (eviction)."""
+        entry = self._entries.get(key)
+        if entry is None or worker_id not in entry:
+            return
+        del entry[worker_id]
+        self.events["evict"] += 1
+        if not entry:
+            del self._entries[key]
+
+    # ------------------------------------------------------------- queries
+
+    def status(self, key: bytes, worker_id: int) -> "str | None":
+        """Residency of one block on one worker (``None`` = not held)."""
+        return self._entries.get(key, {}).get(worker_id)
+
+    def holders(self, key: bytes) -> dict[int, str]:
+        """All workers holding a block, with their residency status."""
+        return dict(self._entries.get(key, {}))
+
+    def coverage(self, keys: Sequence[bytes]) -> dict[int, PrefixCoverage]:
+        """Per-worker leading-prefix coverage of an ordered key chain.
+
+        Walks the prompt's chain keys in order and, for every worker that
+        holds at least the first block, counts how many *consecutive
+        leading* blocks it holds resident and in any tier.  Consecutive
+        matters: a worker holding blocks {0, 2} of a prompt covers one
+        block, not two — block 1's KV is missing, so prefill must resume
+        there anyway.  A spilled block ends the resident streak but not the
+        known streak (the chain is still whole on that worker's tiers).
+        """
+        covered: dict[int, PrefixCoverage] = {}
+        resident_alive: set[int] = set()
+        known_alive: set[int] = set()
+        for index, key in enumerate(keys):
+            holders = self._entries.get(key)
+            if not holders:
+                break
+            if index == 0:
+                for worker_id in holders:
+                    covered[worker_id] = PrefixCoverage()
+                    known_alive.add(worker_id)
+                    if holders[worker_id] == RESIDENT:
+                        resident_alive.add(worker_id)
+            else:
+                known_alive &= set(holders)
+                resident_alive &= {
+                    w for w, status in holders.items() if status == RESIDENT
+                }
+            for worker_id in known_alive:
+                covered[worker_id].known_blocks = index + 1
+            for worker_id in resident_alive:
+                covered[worker_id].resident_blocks = index + 1
+            if not known_alive:
+                break
+        return covered
+
+    def describe(self) -> dict:
+        return {"keys": len(self), **self.events}

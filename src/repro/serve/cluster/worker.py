@@ -1,0 +1,62 @@
+"""One serving replica of the cluster: an engine wired into the directory.
+
+A :class:`Worker` *is* an :class:`~repro.serve.InferenceEngine` — same
+pool/scheduler/clock/prefix-cache core, same byte-identical admit → prefill
+→ decode loop — plus a worker id, a fingerprint-directory publisher hooked
+onto its prefix cache, and the load signal the router balances on.  Keeping
+the worker a plain engine subclass is what makes the cluster's byte-identity
+invariant structural: placement decides *which* engine runs a request, and
+every engine runs it identically.
+"""
+
+from __future__ import annotations
+
+from ...llm.model import TransformerLM
+from ..engine import InferenceEngine
+from .directory import FingerprintDirectory
+
+__all__ = ["Worker"]
+
+
+class Worker(InferenceEngine):
+    """A cluster replica: one engine publishing its prefix residency.
+
+    Args:
+        worker_id: stable index of this replica in the fleet.
+        model: shared transformer substrate (weights are read-only, so all
+            workers can share one instance).
+        directory: fleet fingerprint directory to publish prefix-cache
+            residency events into; ``None`` runs the worker unpublished
+            (the router then sees it as always-cold).
+        **engine_kwargs: forwarded to :class:`~repro.serve.InferenceEngine`
+            (scheduler config, pool bounds, prefix caching, swap tiers...).
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: TransformerLM,
+        directory: "FingerprintDirectory | None" = None,
+        **engine_kwargs,
+    ) -> None:
+        super().__init__(model, **engine_kwargs)
+        self.worker_id = worker_id
+        self.directory = directory
+        if directory is not None and self.prefix_cache is not None:
+            self.prefix_cache.observer = directory.publisher(worker_id)
+
+    @property
+    def load(self) -> int:
+        """Queued plus active requests — the router's balancing signal."""
+        return self.num_waiting + self.num_running
+
+    def describe(self) -> dict:
+        """Per-worker reporting row (hit rates, load, clock)."""
+        return {
+            "worker_id": self.worker_id,
+            "load": self.load,
+            "clock": self.metrics.clock,
+            "requests_finished": self.metrics.requests_finished,
+            "prefix_cache_hit_rate": self.metrics.prefix_cache_hit_rate,
+            "prefix_token_hit_rate": self.metrics.prefix_token_hit_rate,
+        }

@@ -100,115 +100,32 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..baselines.base import KVCachePolicy
-from ..errors import CapacityError, ConfigurationError
+from ..errors import ConfigurationError
 from ..llm.generation import StepSelections
 from ..llm.kvcache import (
     BlockAllocator,
     BlockTable,
     KVCache,
     PagedKVCache,
-    SwappedBlocks,
     SwapSpace,
 )
 from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
-from .metrics import EngineMetrics, RequestMetrics
+from .metrics import EngineMetrics
 from .prefix_cache import PrefixCache
+from .pressure import PoolPressureMixin
 from .request import Request, RequestOutput, RequestStatus
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from .state import RequestState
 
 __all__ = ["InferenceEngine"]
 
-
-class _RequestState:
-    """Engine-internal mutable state of one request."""
-
-    def __init__(self, request: Request, arrival_time: float, seq: int = 0) -> None:
-        self.request = request
-        #: submission order — the engine's preemption priority: a request may
-        #: only victimise requests submitted after it, which guarantees the
-        #: oldest active request always progresses (no preemption livelock).
-        self.seq = seq
-        self.status = RequestStatus.WAITING
-        self.policy: KVCachePolicy | None = None
-        self.prefill: PrefillResult | None = None
-        self.prefill_state: PrefillState | None = None
-        self.chunk_lens: list[int] = []
-        self.chunk_seconds: float = 0.0
-        self.method: str = "full"
-        #: paged-KV state (prefix caching only)
-        self.paged: PagedKVCache | None = None
-        self.cached_prefix = 0
-        self.prefix_acc: list[np.ndarray] | None = None
-        self.acc_capture = 0
-        #: construction time (refine & friends) extending past the last
-        #: compute task — charged after the first token is stamped, since it
-        #: only gates the first retrieval (TT2T), not the first token.
-        self.construction_tail = 0.0
-        #: swap-preemption state: the parked chain handle and the status to
-        #: restore once the blocks are swapped back in
-        self.swap_handle: SwappedBlocks | None = None
-        self.resume_status = RequestStatus.RUNNING
-        self.generated: list[int] = []
-        self.step_logits: list[np.ndarray] = []
-        self.selections: list[StepSelections] = []
-        self.num_decoded = 0
-        self.finish_reason: str | None = None
-        self.metrics = RequestMetrics(
-            arrival_time=arrival_time,
-            num_prompt_tokens=len(request.prompt_ids),
-        )
-        forbidden = np.asarray(request.sampling.forbidden_ids, dtype=np.int64)
-        self._forbidden = forbidden
-        self._stop_ids = frozenset(request.sampling.stop_token_ids)
-
-    # ------------------------------------------------------------- helpers
-
-    @property
-    def forced(self) -> list[int] | None:
-        return self.request.forced_decode_ids
-
-    @property
-    def finished(self) -> bool:
-        return self.status == RequestStatus.FINISHED
-
-    @property
-    def remaining_prefill_tokens(self) -> int:
-        """Prompt tokens still to prefill (the scheduler's chunk protocol).
-
-        Cache-hit tokens are excluded: a request resumed from a shared
-        prefix only demands chunk budget for its divergent suffix.
-        """
-        if self.prefill is not None or self.request.prefill is not None:
-            return 0
-        if self.prefill_state is not None:
-            return self.prefill_state.remaining_tokens
-        return len(self.request.prompt_ids) - self.cached_prefix
-
-    def pick_token(self, logits: np.ndarray) -> int:
-        """Masked greedy argmax — the same rule the legacy loop used."""
-        if self._forbidden.size:
-            logits = logits.copy()
-            logits[self._forbidden] = -np.inf
-        return int(np.argmax(logits))
-
-    def is_stop(self, token: int) -> bool:
-        return token in self._stop_ids
-
-    def next_input_token(self) -> int:
-        """Token the next decode round must process."""
-        if self.forced is not None:
-            return self.forced[self.num_decoded]
-        return self.generated[self.num_decoded]
-
-    def stacked_logits(self, vocab_size: int) -> np.ndarray:
-        if not self.step_logits:
-            return np.zeros((0, vocab_size))
-        return np.stack(self.step_logits, axis=0)
+#: backwards-compatible alias — the state class moved to :mod:`.state`
+_RequestState = RequestState
 
 
-class InferenceEngine:
+class InferenceEngine(PoolPressureMixin):
     """Continuous-batching serving engine over the PQCache policy stack.
 
     Args:
@@ -266,7 +183,7 @@ class InferenceEngine:
         enable_disk_spill: bool = True,
     ) -> None:
         self.model = model
-        self.scheduler: ContinuousBatchingScheduler[_RequestState] = (
+        self.scheduler: ContinuousBatchingScheduler[RequestState] = (
             ContinuousBatchingScheduler(scheduler_config)
         )
         self.latency = latency_model or LatencyModel(
@@ -308,7 +225,7 @@ class InferenceEngine:
                 spill_store=self.swap_space if enable_disk_spill else None,
             )
             self.block_allocator.eviction_hook = self.prefix_cache.evict
-        self._states: dict[str, _RequestState] = {}
+        self._states: dict[str, RequestState] = {}
         self._seen_ids: set[str] = set()
         self._final_outputs: dict[str, RequestOutput] = {}
 
@@ -320,7 +237,7 @@ class InferenceEngine:
             raise ConfigurationError(
                 f"duplicate request id {request.request_id!r}"
             )
-        state = _RequestState(
+        state = RequestState(
             request,
             arrival_time=self.metrics.clock,
             seq=self.metrics.requests_submitted,
@@ -367,9 +284,9 @@ class InferenceEngine:
         new_tokens: dict[str, list[int]] = {}
         chunked = self.scheduler.config.chunked_prefill_enabled
 
-        touched: list[_RequestState] = []
+        touched: list[RequestState] = []
 
-        def touch(state: _RequestState) -> None:
+        def touch(state: RequestState) -> None:
             if state not in touched:
                 touched.append(state)
 
@@ -542,7 +459,7 @@ class InferenceEngine:
 
     # ------------------------------------------------------------ prefill
 
-    def _begin_prefill(self, state: _RequestState) -> None:
+    def _begin_prefill(self, state: RequestState) -> None:
         """Admission bookkeeping: build the policy, resolve its profile.
 
         Also the re-entry point after recompute-preemption: the policy is
@@ -562,7 +479,7 @@ class InferenceEngine:
         if self.prefix_cache is not None and state.request.prefill is None:
             self._setup_prefix(state)
 
-    def _setup_prefix(self, state: _RequestState) -> None:
+    def _setup_prefix(self, state: RequestState) -> None:
         """Prefix-cache lookup + paged-KVCache construction for one request.
 
         Decides the reuse length ``R``:
@@ -656,12 +573,12 @@ class InferenceEngine:
         ):
             state.acc_capture = capture
 
-    def _resolve_prefill(self, state: _RequestState) -> PrefillResult:
+    def _resolve_prefill(self, state: RequestState) -> PrefillResult:
         """Prefill result of a request that needs no (more) model work."""
         assert state.request.prefill is not None
         return state.request.prefill
 
-    def _make_prefill_state(self, state: _RequestState) -> PrefillState:
+    def _make_prefill_state(self, state: RequestState) -> PrefillState:
         """Begin the model-side prefill, resuming from a cached prefix."""
         request = state.request
         kwargs: dict = {}
@@ -679,7 +596,7 @@ class InferenceEngine:
         )
 
     def _run_monolithic_prefill(
-        self, state: _RequestState, new_tokens: dict[str, list[int]]
+        self, state: RequestState, new_tokens: dict[str, list[int]]
     ) -> None:
         """Legacy unchunked path: the whole prompt in the admission step."""
         request = state.request
@@ -702,7 +619,7 @@ class InferenceEngine:
         self._complete_prefill(state, prefill, new_tokens)
 
     def _run_prefill_chunk(
-        self, state: _RequestState, num_tokens: int, new_tokens: dict[str, list[int]]
+        self, state: RequestState, num_tokens: int, new_tokens: dict[str, list[int]]
     ) -> None:
         """Advance a chunked-prefill request by one scheduled chunk."""
         request = state.request
@@ -770,7 +687,7 @@ class InferenceEngine:
 
     def _complete_prefill(
         self,
-        state: _RequestState,
+        state: RequestState,
         prefill: PrefillResult,
         new_tokens: dict[str, list[int]],
     ) -> None:
@@ -864,7 +781,7 @@ class InferenceEngine:
 
     # ------------------------------------------------------------- decode
 
-    def _run_decode_round(self, state: _RequestState, new_tokens: dict[str, list[int]]) -> None:
+    def _run_decode_round(self, state: RequestState, new_tokens: dict[str, list[int]]) -> None:
         assert state.prefill is not None
         request = state.request
         policy = state.policy
@@ -957,449 +874,9 @@ class InferenceEngine:
         if state.is_stop(next_token):
             self._finish(state, "stop")
 
-    # --------------------------------------------------- pool pressure
-
-    def _block_nbytes(self) -> int:
-        """Modelled bytes of one pool block at the model's dtype width."""
-        assert self.block_allocator is not None
-        return self.block_allocator.block_nbytes(self.model.config.dtype_bytes)
-
-    def _append_blocks_needed(self, state: _RequestState, num_tokens: int) -> int:
-        """Pool blocks an append of ``num_tokens`` will allocate.
-
-        Mirrors :meth:`PagedKVCache._write_blocks` exactly: new tail blocks
-        as the write range crosses block boundaries, plus one copy-on-write
-        clone when the partially-filled tail block is shared with another
-        holder (the prefix cache or a forked request).
-        """
-        assert state.paged is not None
-        allocator = state.paged.allocator
-        block = allocator.block_size
-        cur = len(state.paged)
-        table = state.paged.table.block_ids
-        needed = -(-(cur + num_tokens) // block) - len(table)
-        if cur % block != 0 and len(table) > cur // block:
-            if allocator.refcount(table[cur // block]) > 1:
-                needed += 1
-        return max(needed, 0)
-
-    def _ensure_blocks(self, state: _RequestState, needed: int) -> bool:
-        """Reserve ``needed`` free pool blocks for ``state``'s next write.
-
-        Escalation order under pressure: (1) evict/spill cold prefix-cache
-        chains, (2) release the pool references of retained *finished*
-        outputs, oldest first (their assembled mirrors stay readable, and
-        blocks the prefix cache shares become evictable on the next pass),
-        (3) preempt victim requests submitted *after* ``state``
-        (``victim_policy`` order among them, skipping requests that hold no
-        pool blocks).  The age restriction is the progress guarantee: the
-        oldest active request can take blocks from everyone, so it always
-        completes, then the next oldest, and so on — two requests can never
-        preempt each other back and forth without anybody finishing.
-
-        Returns ``False`` when the demand cannot be met but an *older*
-        request is still active (the caller parks ``state``; the older
-        request will free blocks by finishing).  Raises
-        :class:`~repro.errors.CapacityError` when ``state`` is the oldest
-        active request and its demand exceeds the pool even with everything
-        else preempted and spilled — genuine infeasibility.
-        """
-        allocator = self.block_allocator
-        if (
-            needed <= 0
-            or allocator is None
-            or allocator.capacity_blocks is None
-        ):
-            return True
-        exclude: list[_RequestState] = [state]
-        while True:
-            available = allocator.num_available
-            assert available is not None
-            if available >= needed:
-                return True
-            if self.prefix_cache is not None:
-                freed = self.prefix_cache.evict(needed - available)
-                self._settle_spill_traffic()
-                if freed > 0:
-                    continue
-            if self._reclaim_retained_blocks():
-                continue
-            if self._materialize_swapped_pins(exclude=state):
-                continue
-            victim = None
-            while True:
-                candidate = self.scheduler.pick_victim(exclude=tuple(exclude))
-                if candidate is None:
-                    break
-                exclude.append(candidate)
-                if (
-                    candidate.seq > state.seq
-                    and candidate.paged is not None
-                    and candidate.paged.table.block_ids
-                    and not candidate.paged.table.released
-                ):
-                    victim = candidate
-                    break
-            if victim is None:
-                if self._degrade_swapped_to_recompute(exclude=state):
-                    continue
-                if any(
-                    other.seq < state.seq for other in self._states.values()
-                ):
-                    return False
-                raise CapacityError(
-                    f"KV pool cannot supply {needed} blocks for request "
-                    f"{state.request.request_id!r}: "
-                    f"{allocator.num_allocated}/{allocator.capacity_blocks} "
-                    "blocks in use with nothing left to evict or preempt"
-                )
-            if not self._preempt_victim(victim):
-                continue  # victim unswappable right now; try the next one
-
-    def _reclaim_retained_blocks(self) -> bool:
-        """Release one retained finished output's pool references.
-
-        Finished work is the cheapest thing to reclaim under pressure: the
-        output's assembled per-layer mirrors stay fully readable (the same
-        contract as :meth:`release`), only the shared pool references are
-        dropped.  Oldest retained output first; one at a time so the caller
-        re-checks availability (a released block shared with the prefix
-        cache merely becomes evictable/spillable on the next pass).
-        """
-        for output in self._final_outputs.values():
-            kvcache = output.prefill.kvcache if output.prefill is not None else None
-            if isinstance(kvcache, PagedKVCache) and not kvcache.released:
-                kvcache.release()
-                return True
-        return False
-
-    def _materialize_swapped_pins(
-        self, exclude: "_RequestState | None" = None
-    ) -> bool:
-        """Copy one swapped request's pinned shared blocks into the tiers.
-
-        A swap-preempted request normally keeps *shared* blocks GPU-resident
-        by reference (no copy, sharing preserved on resume).  Under extreme
-        pressure those pins can stand between an older request and the pool:
-        dropping them — after copying the contents down the hierarchy — lets
-        the other holder (typically the prefix cache) evict or spill the
-        blocks on the next escalation pass.  One handle at a time; the
-        copied bytes are billed like any swap-out.  ``exclude`` protects the
-        request the reservation is *for* — materialising its own handle
-        mid-resume would grow the very allocation it is reserving.
-        """
-        if self.swap_space is None:
-            return False
-        for state in self._states.values():
-            if state is exclude:
-                continue
-            handle = state.swap_handle
-            if handle is None or not handle.pinned_blocks:
-                continue
-            demoted_before = self.swap_space.stats.demoted
-            moved = self.swap_space.materialize_pins(handle)
-            block_bytes = self._block_nbytes()
-            nbytes = float(moved * block_bytes)
-            demoted_bytes = float(
-                (self.swap_space.stats.demoted - demoted_before) * block_bytes
-            )
-            if handle.tier == "disk":
-                demoted_bytes += nbytes
-            if nbytes > 0.0 or demoted_bytes > 0.0:
-                # Bill every transfer that actually landed — including
-                # demotions a materialisation forced before running out of
-                # tier room (moved can be 0 with demoted bytes > 0).
-                seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
-                self.metrics.clock += seconds
-                self.metrics.swap_seconds += seconds
-            if moved == 0:
-                continue
-            self.metrics.swap_out_blocks += moved
-            self.metrics.swap_out_bytes += nbytes
-            state.metrics.swap_out_bytes += nbytes
-            state.metrics.swap_seconds += seconds
-            return True
-        return False
-
-    def _preempt_victim(self, victim: _RequestState) -> bool:
-        """Preempt one running request according to the configured mode.
-
-        Recompute requires the victim's policy to be rebuildable from its
-        spec and its prompt to be re-runnable through the model; victims
-        that fail either condition (instance-wrapped policies, precomputed
-        prefills, selection-hook observers that must not fire twice) are
-        swapped instead.  When the swap tiers cannot absorb the chain the
-        victim falls back to recompute if it can; a victim that can be
-        neither swapped nor recomputed right now is left running and
-        ``False`` is returned (the caller tries another victim).
-        """
-        mode = self.scheduler.config.preemption_mode
-        recomputable = self._recomputable(victim)
-        if mode == "recompute" and recomputable:
-            self._preempt_recompute(victim)
-            return True
-        if self._preempt_swap(victim):
-            return True
-        if recomputable:
-            # Swap tiers full: dropping and replaying still relieves the pool.
-            self._preempt_recompute(victim)
-            return True
-        return False
-
-    def _preempt_swap(self, victim: _RequestState) -> bool:
-        """Swap a victim's block chain to the CPU tier and park the request.
-
-        The chain contents are copied into the swap space (cold CPU entries
-        cascading to disk), the pool references are dropped, and the request
-        moves to the front of the waiting queue in the ``SWAPPED`` state;
-        re-admission restores the chain bitwise via :meth:`_resume_swapped`.
-        The simulated clock is charged the D2H transfer plus any demotion
-        writes the swap-out forced.  Returns ``False`` — with the victim
-        untouched on the GPU, and any partial demotions still charged —
-        when the swap tiers cannot absorb the chain.
-        """
-        assert (
-            self.block_allocator is not None
-            and self.swap_space is not None
-            and victim.paged is not None
-        )
-        demoted_before = self.swap_space.stats.demoted
-        try:
-            handle = self.swap_space.swap_out(
-                self.block_allocator, victim.paged.table.block_ids, tier="cpu"
-            )
-        except CapacityError:
-            demoted_bytes = float(
-                (self.swap_space.stats.demoted - demoted_before)
-                * self._block_nbytes()
-            )
-            if demoted_bytes > 0.0:
-                # Demotions that did land before the failure really moved
-                # bytes to disk; bill them even though the swap-out aborted.
-                seconds = self.latency.swap_out_seconds(0.0, demoted_bytes)
-                self.metrics.clock += seconds
-                self.metrics.swap_seconds += seconds
-            return False
-        victim.paged.table.release()
-        victim.swap_handle = handle
-        victim.resume_status = victim.status
-        victim.status = RequestStatus.SWAPPED
-        self.scheduler.preempt(victim)
-
-        # Only the *stored* positions moved bytes — shared blocks stayed
-        # GPU-resident under their pins and cost nothing to park.
-        block_bytes = self._block_nbytes()
-        nbytes = float(handle.stored_blocks * block_bytes)
-        demoted_bytes = float(
-            (self.swap_space.stats.demoted - demoted_before) * block_bytes
-        )
-        seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
-        self.metrics.clock += seconds
-        self.metrics.preemptions += 1
-        self.metrics.preemptions_swap += 1
-        self.metrics.swap_out_blocks += handle.stored_blocks
-        self.metrics.swap_out_bytes += nbytes
-        self.metrics.swap_seconds += seconds
-        victim.metrics.preemptions += 1
-        victim.metrics.swap_out_bytes += nbytes
-        victim.metrics.swap_seconds += seconds
-        return True
-
-    @staticmethod
-    def _recomputable(state: _RequestState) -> bool:
-        """Whether a request can be rebuilt + replayed deterministically."""
-        spec = state.request.policy_spec
-        return (
-            (spec is None or spec.supports_rebuild)
-            and state.request.prefill is None
-            and state.request.selection_hook is None
-        )
-
-    @staticmethod
-    def _strip_for_recompute(state: _RequestState) -> int:
-        """Drop a request's KV and policy state ahead of a recompute restart.
-
-        Returns the number of already-processed tokens being thrown away.
-        The generated tokens are kept for the deterministic replay.
-        """
-        thrown_away = len(state.paged) if state.paged is not None else 0
-        if state.policy is not None:
-            state.policy.release_prefix()
-            state.policy = None
-        if state.paged is not None:
-            state.paged.release()
-            state.paged = None
-        state.prefill = None
-        state.prefill_state = None
-        state.cached_prefix = 0
-        state.prefix_acc = None
-        state.acc_capture = 0
-        state.construction_tail = 0.0
-        state.chunk_lens = []
-        state.chunk_seconds = 0.0
-        state.num_decoded = 0
-        state.step_logits = []
-        state.selections = []
-        state.status = RequestStatus.PREEMPTED
-        return thrown_away
-
-    def _preempt_recompute(self, victim: _RequestState) -> None:
-        """Drop a victim's KV and policy state; it will recompute on resume.
-
-        The generated tokens are kept: after re-prefilling (its own cached
-        chain usually makes that a prefix hit) the request replays them
-        through the ordinary decode path, reproducing logits and selections
-        bit for bit before new tokens are generated.
-        """
-        assert victim.paged is not None
-        thrown_away = self._strip_for_recompute(victim)
-        self.scheduler.preempt(victim)
-        self.metrics.preemptions += 1
-        self.metrics.preemptions_recompute += 1
-        victim.metrics.preemptions += 1
-        victim.metrics.recomputed_tokens += thrown_away
-
-    def _degrade_swapped_to_recompute(
-        self, exclude: "_RequestState | None" = None
-    ) -> bool:
-        """Demote one parked ``SWAPPED`` request to recompute-on-resume.
-
-        The last escalation rung before giving up: when the swap tiers have
-        no room to materialise pins, a parked request's pinned shared blocks
-        can stand between an older request and the pool.  Discarding the
-        handle releases the pins (the prefix cache regains the power to
-        spill those blocks) and frees the tier room its stored copies held;
-        the request — already in the waiting queue — restarts through the
-        deterministic recompute/replay path instead of a swap-in.
-        """
-        if self.swap_space is None:
-            return False
-        for state in self._states.values():
-            if (
-                state is exclude
-                or state.swap_handle is None
-                or not self._recomputable(state)
-            ):
-                continue
-            self.swap_space.discard(state.swap_handle)
-            state.swap_handle = None
-            thrown_away = self._strip_for_recompute(state)
-            # A degradation is a preemption event of its own (the request is
-            # preempted a second time, in the other mode), so the per-mode
-            # counters keep summing to the total.
-            self.metrics.preemptions += 1
-            self.metrics.preemptions_recompute += 1
-            state.metrics.preemptions += 1
-            state.metrics.recomputed_tokens += thrown_away
-            return True
-        return False
-
-    def _resume_swapped(self, state: _RequestState) -> bool:
-        """Swap a re-admitted request's chain back into the pool.
-
-        When an older request owns the pool, the request stays swapped and
-        parks at the *back* of the waiting queue (the older requests get a
-        chance to finish and free blocks first).  A chain whose demand
-        genuinely exceeds the pool — no older request left to defer to —
-        surfaces as a :class:`~repro.errors.CapacityError` from the
-        reservation.
-        """
-        assert (
-            state.swap_handle is not None
-            and self.swap_space is not None
-            and self.block_allocator is not None
-            and state.paged is not None
-        )
-        handle = state.swap_handle
-        # Pinned positions need no allocation — their blocks never left.
-        try:
-            reserved = self._ensure_blocks(state, handle.stored_blocks)
-        except CapacityError:
-            # Even as the oldest request the chain cannot come back — often
-            # because its *own* pinned shared blocks (a prompt chain the
-            # prefix cache fully indexed) are what fills the pool.  Degrade
-            # to recompute: dropping the pins lets the cache spill those
-            # blocks, and the deterministic replay restarts the request.  A
-            # genuinely-too-big request still fails: its recompute prefill
-            # raises the same CapacityError at the first chunk.
-            if not self._recomputable(state):
-                raise
-            self.swap_space.discard(handle)
-            state.swap_handle = None
-            thrown_away = self._strip_for_recompute(state)
-            self.metrics.preemptions += 1
-            self.metrics.preemptions_recompute += 1
-            state.metrics.preemptions += 1
-            state.metrics.recomputed_tokens += thrown_away
-            self.scheduler.preempt(state)
-            return False
-        if not reserved:
-            # An older request owns the pool: stay swapped, park at the back
-            # of the queue so others can finish and free blocks first.
-            self.scheduler.preempt(state, requeue_front=False)
-            return False
-        was_on_disk = handle.tier == "disk"
-        stored = handle.stored_blocks
-        new_ids = self.swap_space.swap_in(handle, self.block_allocator)
-        state.paged.table = BlockTable(self.block_allocator, new_ids)
-        state.swap_handle = None
-        state.status = state.resume_status
-
-        block_bytes = self._block_nbytes()
-        nbytes = float(stored * block_bytes)
-        disk_bytes = nbytes if was_on_disk else 0.0
-        seconds = self.latency.swap_in_seconds(nbytes, disk_bytes)
-        self.metrics.clock += seconds
-        self.metrics.swap_in_blocks += stored
-        self.metrics.swap_in_bytes += nbytes
-        self.metrics.swap_seconds += seconds
-        state.metrics.swap_in_bytes += nbytes
-        state.metrics.swap_seconds += seconds
-        return True
-
-    def _settle_spill_traffic(self) -> None:
-        """Charge prefix-cache spill/restore transfers to the clock.
-
-        Spills happen inside the allocator's eviction hook and restores
-        inside prefix lookups, so the engine settles their PCIe/NVMe time
-        from the cache's stat deltas: spilled KV crosses D2H then the disk
-        write; restored KV is read from disk and crosses H2D; artifact
-        payloads (accumulated scores, PQ snapshots) ride the disk leg only.
-        """
-        if self.prefix_cache is None or self.block_allocator is None:
-            return
-        stats = self.prefix_cache.stats
-        seen = self._spill_settled
-        out_blocks = stats.spilled_blocks - seen["out_blocks"]
-        in_blocks = stats.restored_blocks - seen["in_blocks"]
-        out_payload = stats.spilled_payload_bytes - seen["out_payload"]
-        in_payload = stats.restored_payload_bytes - seen["in_payload"]
-        if not (out_blocks or in_blocks or out_payload or in_payload):
-            return
-        seen["out_blocks"] = stats.spilled_blocks
-        seen["in_blocks"] = stats.restored_blocks
-        seen["out_payload"] = stats.spilled_payload_bytes
-        seen["in_payload"] = stats.restored_payload_bytes
-        block_bytes = self._block_nbytes()
-        seconds = 0.0
-        if out_blocks or out_payload:
-            kv_bytes = float(out_blocks * block_bytes)
-            seconds += self.latency.swap_out_seconds(
-                kv_bytes, kv_bytes + float(out_payload)
-            )
-            self.metrics.spill_out_bytes += kv_bytes + float(out_payload)
-        if in_blocks or in_payload:
-            kv_bytes = float(in_blocks * block_bytes)
-            seconds += self.latency.swap_in_seconds(
-                kv_bytes, kv_bytes + float(in_payload)
-            )
-            self.metrics.spill_in_bytes += kv_bytes + float(in_payload)
-        self.metrics.clock += seconds
-        self.metrics.swap_seconds += seconds
-
     # ------------------------------------------------------------- finish
 
-    def _cache_decoded_blocks(self, state: _RequestState) -> None:
+    def _cache_decoded_blocks(self, state: RequestState) -> None:
         """Extend the request's cached chain with its decoded tokens.
 
         Opt-in (``cache_decoded_blocks``): a follow-up turn's prompt usually
@@ -1425,7 +902,7 @@ class InferenceEngine:
         chain_ids = list(state.request.prompt_ids) + [int(t) for t in decoded]
         self.prefix_cache.insert(chain_ids, state.paged.table.block_ids)
 
-    def _finish(self, state: _RequestState, reason: str) -> None:
+    def _finish(self, state: RequestState, reason: str) -> None:
         state.status = RequestStatus.FINISHED
         state.finish_reason = reason
         state.metrics.finish_time = self.metrics.clock
@@ -1448,7 +925,7 @@ class InferenceEngine:
             return 0.0
         return float(gpu_cache.stats.step_hit_rate)
 
-    def _make_output(self, state: _RequestState, fresh: list[int]) -> RequestOutput:
+    def _make_output(self, state: RequestState, fresh: list[int]) -> RequestOutput:
         final = state.finished
         return RequestOutput(
             request_id=state.request.request_id,

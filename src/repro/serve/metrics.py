@@ -9,7 +9,7 @@ hardware terms (TTFT, TPOT, PCIe bytes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 __all__ = ["RequestMetrics", "EngineMetrics"]
 
@@ -101,6 +101,10 @@ class RequestMetrics:
             return 0.0
         return self.attended_tokens / self.decode_steps
 
+    def snapshot(self) -> "RequestMetrics":
+        """Point-in-time copy, safe to retain while the request keeps running."""
+        return replace(self)
+
     def as_dict(self) -> dict:
         return {
             "ttft": self.ttft,
@@ -135,6 +139,13 @@ class EngineMetrics:
     through the lookup path.  The cache's own
     :class:`~repro.serve.PrefixCacheStats` counts raw index matches, which
     can exceed these when a policy's constraints cap the reuse.
+
+    Counters are *snapshotable and mergeable* so a fleet of engines can be
+    aggregated: :meth:`snapshot` returns a frozen point-in-time copy,
+    :meth:`merge` folds another instance in (counters sum; ``clock`` takes
+    the max, because parallel engines' clocks overlap in wall time — the
+    fleet makespan is the slowest worker, not the sum), and :meth:`reset`
+    zeroes the instance in place for windowed reporting.
     """
 
     clock: float = 0.0
@@ -165,6 +176,36 @@ class EngineMetrics:
     spill_out_bytes: float = 0.0
     spill_in_bytes: float = 0.0
     swap_seconds: float = 0.0
+
+    # -------------------------------------------------- snapshot / merge
+
+    def snapshot(self) -> "EngineMetrics":
+        """Point-in-time copy (the live instance keeps accumulating)."""
+        return replace(self)
+
+    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
+        """Fold ``other``'s counters into this instance (returns ``self``).
+
+        Every counter is summed; ``clock`` takes the maximum, since two
+        engines running in parallel overlap in wall time — a fleet's
+        aggregated clock is its slowest worker's.  Merge snapshots (or
+        deltas of snapshots) when aggregating live engines so a counter is
+        never folded in twice.
+        """
+        for spec in fields(self):
+            if spec.name == "clock":
+                self.clock = max(self.clock, other.clock)
+            else:
+                value = getattr(self, spec.name) + getattr(other, spec.name)
+                setattr(self, spec.name, value)
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter in place (windowed-reporting support)."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
+    # ------------------------------------------------------------ derived
 
     @property
     def requests_per_second(self) -> float:

@@ -47,7 +47,14 @@ import numpy as np
 from ..errors import CapacityError, ConfigurationError
 from ..llm.kvcache import BlockAllocator, SwapSpace
 
-__all__ = ["PrefixCache", "PrefixCacheStats", "PrefixMatch"]
+__all__ = [
+    "PrefixCache",
+    "PrefixCacheStats",
+    "PrefixMatch",
+    "ExportedChain",
+    "ExportedChainNode",
+    "chain_block_keys",
+]
 
 
 def _default_hash(parent_key: bytes, tokens: np.ndarray) -> bytes:
@@ -55,6 +62,32 @@ def _default_hash(parent_key: bytes, tokens: np.ndarray) -> bytes:
     digest.update(parent_key)
     digest.update(tokens.astype(np.int64).tobytes())
     return digest.digest()
+
+
+def chain_block_keys(
+    token_ids: Sequence[int],
+    block_size: int,
+    hash_fn: "Callable[[bytes, np.ndarray], bytes] | None" = None,
+) -> list[bytes]:
+    """Chain keys of a prompt's full blocks, in order.
+
+    This is the *public* form of the cache's internal hashing: block ``i``'s
+    key is ``H(key_{i-1}, tokens_i)`` starting from the root sentinel, so the
+    returned keys are exactly the ones :class:`PrefixCache` publishes through
+    its observer events.  A router can therefore score candidate workers'
+    prefix coverage against a shared fingerprint directory without touching
+    any worker's cache internals.
+    """
+    token_ids = np.asarray(list(token_ids), dtype=np.int64)
+    hash_fn = hash_fn or _default_hash
+    keys: list[bytes] = []
+    key = PrefixCache._ROOT_KEY
+    pos = 0
+    while pos + block_size <= token_ids.size:
+        key = hash_fn(key, token_ids[pos: pos + block_size])
+        keys.append(key)
+        pos += block_size
+    return keys
 
 
 class _Node:
@@ -122,6 +155,67 @@ class PrefixMatch:
 
 
 @dataclass
+class ExportedChainNode:
+    """One block of an exported chain: tokens, KV contents, payloads.
+
+    ``keys``/``values`` are bitwise copies of the block's storage (shape
+    ``(num_layers, h_kv, block_size, d_h)``); ``from_disk`` records whether
+    the source node was spilled (the exporter read it off the NVMe tier — a
+    migration bills that leg).  Artifact payloads travel by reference, like
+    every other sharing path in the cache.
+    """
+
+    token_ids: np.ndarray
+    keys: np.ndarray
+    values: np.ndarray
+    from_disk: bool
+    acc_scores: "list | None" = None
+    pq_snapshots: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExportedChain:
+    """A prefix chain packaged for migration to another worker's cache.
+
+    Produced by :meth:`PrefixCache.export_chain` on the owning worker and
+    consumed by :meth:`PrefixCache.import_chain` on the target; the contents
+    are exact copies, so an import followed by a match reproduces the source
+    chain bitwise.
+    """
+
+    block_size: int
+    nodes: "list[ExportedChainNode]" = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.nodes) * self.block_size
+
+    @property
+    def disk_blocks(self) -> int:
+        """Blocks the exporter read from the source's disk spill tier."""
+        return sum(1 for node in self.nodes if node.from_disk)
+
+    def payload_nbytes(self) -> int:
+        """Modelled artifact-payload bytes riding along (acc + PQ, deduped)."""
+        nbytes = 0
+        seen: set[int] = set()
+        for node in self.nodes:
+            if node.acc_scores is not None:
+                nbytes += int(
+                    sum(np.asarray(a).nbytes for a in node.acc_scores)
+                )
+            for snap in node.pq_snapshots.values():
+                if id(snap) not in seen:
+                    seen.add(id(snap))
+                    nbytes += snap.nbytes()
+        return nbytes
+
+
+@dataclass
 class PrefixCacheStats:
     """*Index-level* counters: what the hash-chain lookups matched.
 
@@ -156,6 +250,11 @@ class PrefixCacheStats:
     #: residency transition)
     spilled_payload_bytes: int = 0
     restored_payload_bytes: int = 0
+    #: cross-worker migration traffic: blocks copied out of this cache for
+    #: another worker, and blocks written into this cache from another
+    #: worker's exported chain (new nodes + healed spilled nodes)
+    exported_blocks: int = 0
+    imported_blocks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -190,6 +289,16 @@ class PrefixCache:
             set, eviction spills cold chains to its disk tier (contents
             preserved, pool block freed) and later matches restore them.
             Without it eviction frees cold chains permanently, as before.
+
+    Attributes:
+        observer: optional residency-event subscriber (duck-typed; the
+            cluster layer's fingerprint directory is the canonical one).
+            Called with the node's chain key on every residency transition:
+            ``on_insert(key)`` when a block enters the index resident,
+            ``on_spill(key)`` when its content demotes to the disk tier,
+            ``on_restore(key)`` when a spilled block becomes resident again
+            (disk restore, re-adoption, or migration import), and
+            ``on_evict(key)`` when the node leaves the index entirely.
     """
 
     _ROOT_KEY = b"root"
@@ -207,6 +316,7 @@ class PrefixCache:
         self._tick = 0
         self.stats = PrefixCacheStats()
         self.spill_store = spill_store
+        self.observer = None
         #: ids of PQSnapshots whose payload is currently accounted as
         #: disk-resident (so a snapshot shared by many spilled nodes is
         #: charged once per residency transition, not once per node)
@@ -229,6 +339,11 @@ class PrefixCache:
     def num_spilled(self) -> int:
         """Cached blocks currently parked on the disk spill tier."""
         return len(self._nodes) - self.num_resident
+
+    def _notify(self, event: str, key: bytes) -> None:
+        """Publish one residency event to the observer (if any)."""
+        if self.observer is not None:
+            getattr(self.observer, "on_" + event)(key)
 
     # --------------------------------------------------------------- match
 
@@ -376,6 +491,7 @@ class PrefixCache:
                     node.spill_handle = None
                     self.stats.restored_blocks += 1
                     self._account_payload(node, spilled=False)
+                    self._notify("restore", node.key)
                 self.allocator.incref(node.block_id)
                 pinned.append(node.block_id)
         finally:
@@ -474,6 +590,7 @@ class PrefixCache:
                     parent.children += 1
                 created += 1
                 self.stats.inserted_blocks += 1
+                self._notify("insert", key)
             elif node.spilled:
                 # The same prompt came back with its own freshly computed
                 # blocks: adopt the inserting request's block instead of
@@ -491,6 +608,7 @@ class PrefixCache:
                 # the snapshots RAM-resident again for future spill charges.
                 for snap in node.pq_snapshots.values():
                     self._spilled_snapshot_ids.discard(id(snap))
+                self._notify("restore", key)
             node.last_used = self._tick
             end = node.end_pos(block)
             if acc_scores is not None and end == acc_boundary:
@@ -513,6 +631,129 @@ class PrefixCache:
                     node.pq_snapshots[pq_fingerprint] = pq_snapshot
             parent = node
         return created
+
+    # ----------------------------------------------------------- migration
+
+    def export_chain(self, token_ids: Sequence[int]) -> "ExportedChain | None":
+        """Package this cache's longest chain matching a prompt for migration.
+
+        A pure read: resident blocks are copied out of the pool, spilled
+        blocks are read off the disk tier through
+        :meth:`~repro.llm.kvcache.SwapSpace.peek` (the parked copy stays
+        valid — the source keeps its chain), and artifact payloads travel by
+        reference.  The caller bills the transfer: ``disk_blocks`` of the
+        result crossed the source's NVMe, every block crosses PCIe into the
+        importing worker's pool.
+
+        Returns ``None`` when the prompt matches nothing.
+        """
+        token_ids = np.asarray(list(token_ids), dtype=np.int64)
+        nodes = self._walk(token_ids)
+        if not nodes:
+            return None
+        exported = ExportedChain(block_size=self.block_size)
+        for node in nodes:
+            if node.spilled:
+                assert self.spill_store is not None
+                keys, values = self.spill_store.peek(node.spill_handle)
+                key_block, value_block = keys[0], values[0]
+            else:
+                key_block = self.allocator.block_keys(node.block_id).copy()
+                value_block = self.allocator.block_values(node.block_id).copy()
+            exported.nodes.append(
+                ExportedChainNode(
+                    token_ids=node.token_ids.copy(),
+                    keys=key_block,
+                    values=value_block,
+                    from_disk=node.spilled,
+                    acc_scores=node.acc_scores,
+                    pq_snapshots=dict(node.pq_snapshots),
+                )
+            )
+            self.stats.exported_blocks += 1
+        return exported
+
+    def import_chain(self, exported: ExportedChain) -> int:
+        """Adopt another worker's exported chain into this cache.
+
+        Walks the chain like :meth:`insert`, but the blocks are allocated
+        *here* and written bitwise from the exported copies: missing nodes
+        are created, locally *spilled* nodes are healed with the migrated
+        bytes (cheaper than a local disk read that the caller would have to
+        bill separately), and already-resident nodes are left untouched.
+        Artifact payloads attach with the same deepest-wins + retain()
+        semantics as :meth:`insert`, so sharing snapshots across workers
+        keeps ``hold_count`` auditable.
+
+        Allocation pressure truncates rather than fails: a
+        :class:`~repro.errors.CapacityError` mid-import leaves a valid
+        shorter prefix in the index (everything already written stays).
+
+        Returns:
+            Number of blocks actually written into this cache's pool.
+        """
+        if exported.block_size != self.block_size:
+            raise ConfigurationError(
+                f"imported chain has block size {exported.block_size}, "
+                f"this cache uses {self.block_size}"
+            )
+        self._tick += 1
+        key = self._ROOT_KEY
+        parent: _Node | None = None
+        written = 0
+        for record in exported.nodes:
+            tokens = np.asarray(record.token_ids, dtype=np.int64)
+            key = self._hash(key, tokens)
+            node = self._nodes.get(key)
+            if node is not None and not np.array_equal(node.token_ids, tokens):
+                self.stats.collisions += 1
+                break
+            if node is None or node.spilled:
+                try:
+                    block_id = self.allocator.allocate()
+                except CapacityError:
+                    break  # a shorter imported prefix is still a valid chain
+                if parent is not None and parent.key not in self._nodes:
+                    # The allocator's eviction hook reclaimed the chain head
+                    # mid-import (a pool this tight cannot host the chain);
+                    # attaching a child to a removed parent would leave
+                    # unreachable index entries, so stop at the valid prefix.
+                    self.allocator.decref(block_id)
+                    break
+                self.allocator.block_keys(block_id)[...] = record.keys
+                self.allocator.block_values(block_id)[...] = record.values
+                if node is None:
+                    depth = (parent.depth if parent is not None else 0) + 1
+                    node = _Node(key, parent, block_id, depth, tokens.copy())
+                    self._nodes[key] = node
+                    if parent is not None:
+                        parent.children += 1
+                    self.stats.inserted_blocks += 1
+                    self._notify("insert", key)
+                else:
+                    assert self.spill_store is not None
+                    self.spill_store.discard(node.spill_handle)
+                    node.spill_handle = None
+                    node.block_id = block_id
+                    for snap in node.pq_snapshots.values():
+                        self._spilled_snapshot_ids.discard(id(snap))
+                    self._notify("restore", key)
+                written += 1
+                self.stats.imported_blocks += 1
+            node.last_used = self._tick
+            if record.acc_scores is not None and node.acc_scores is None:
+                node.acc_scores = record.acc_scores
+            for fingerprint, snapshot in record.pq_snapshots.items():
+                existing = node.pq_snapshots.get(fingerprint)
+                if existing is None or snapshot.num_tokens > existing.num_tokens:
+                    if existing is not None:
+                        existing.release_hold()
+                        if existing.hold_count == 0:
+                            self._spilled_snapshot_ids.discard(id(existing))
+                    snapshot.retain()
+                    node.pq_snapshots[fingerprint] = snapshot
+            parent = node
+        return written
 
     # ------------------------------------------------------------ eviction
 
@@ -597,6 +838,7 @@ class PrefixCache:
         node.spill_handle = handle
         self.stats.spilled_blocks += 1
         self._account_payload(node, spilled=True)
+        self._notify("spill", node.key)
 
     def clear(self) -> int:
         """Drop every cached node (releases all cache-held block refs)."""
@@ -626,6 +868,7 @@ class PrefixCache:
             if snap.hold_count == 0:
                 self._spilled_snapshot_ids.discard(id(snap))
         node.pq_snapshots = {}
+        self._notify("evict", node.key)
 
     # ----------------------------------------------------------- reporting
 

@@ -21,9 +21,12 @@ from .suites import (
     longbench_suite,
 )
 from .traces import (
+    ArrivalEvent,
     AttentionTrace,
+    bursty_arrivals,
     collect_decode_attention,
     mass_concentration,
+    poisson_arrivals,
     power_law_exponent,
 )
 
@@ -47,8 +50,11 @@ __all__ = [
     "infinitebench_suite",
     "longbench_qa_suite",
     "longbench_suite",
+    "ArrivalEvent",
     "AttentionTrace",
+    "bursty_arrivals",
     "collect_decode_attention",
     "mass_concentration",
+    "poisson_arrivals",
     "power_law_exponent",
 ]

@@ -1,0 +1,613 @@
+"""Tests for the multi-worker serving cluster (repro.serve.cluster).
+
+The load-bearing contract is **byte-identity**: for any placement policy and
+worker count, every request's tokens AND logits equal a single-worker run —
+placement (and migration) move only the simulated clock.  Around it:
+fingerprint-directory coverage semantics, router scoring/tie-breaking/
+fallback, spilled-chain export/import round-trips, and fleet metric
+aggregation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SelectionBudget
+from repro.errors import ConfigurationError
+from repro.serve import (
+    EngineMetrics,
+    InferenceEngine,
+    PolicySpec,
+    Request,
+    SamplingParams,
+    chain_block_keys,
+)
+from repro.serve.cluster import (
+    ROUTING_POLICIES,
+    ClusterFrontend,
+    FingerprintDirectory,
+    Router,
+    Worker,
+)
+from repro.serve.cluster.directory import RESIDENT, SPILLED
+
+BUDGET = SelectionBudget(token_ratio=0.2, comm_ratio=1.0 / 64.0,
+                         num_initial=4, num_local=16)
+
+#: policy matrix from the issue: dense baseline + the paper's method + three
+#: published baselines (None means no policy_spec — full attention).
+CLUSTER_POLICIES = (None, "pqcache", "snapkv", "h2o", "sparq")
+
+PROMPT_LENS = (120, 152, 184)
+
+
+def make_prompts(tiny_config, lengths=PROMPT_LENS, seed=9):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(4, tiny_config.vocab_size, size=n).tolist()
+            for n in lengths]
+
+
+def make_requests(prompts, policy_name, max_new_tokens=3, prefix="r"):
+    spec = None if policy_name is None else (
+        lambda: PolicySpec.named(policy_name, BUDGET))
+    return [
+        Request(request_id=f"{prefix}{i}", prompt_ids=prompt,
+                sampling=SamplingParams(max_new_tokens=max_new_tokens),
+                policy_spec=spec() if spec else None)
+        for i, prompt in enumerate(prompts)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint directory
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintDirectory:
+    KEYS = [b"k0", b"k1", b"k2", b"k3"]
+
+    def test_coverage_counts_consecutive_leading_blocks_only(self):
+        directory = FingerprintDirectory()
+        for key in (self.KEYS[0], self.KEYS[2]):  # hole at block 1
+            directory.record(key, worker_id=0, status=RESIDENT)
+        coverage = directory.coverage(self.KEYS)
+        assert coverage[0].resident_blocks == 1
+        assert coverage[0].known_blocks == 1
+
+    def test_spilled_block_ends_resident_streak_not_known_streak(self):
+        directory = FingerprintDirectory()
+        directory.record(self.KEYS[0], 1, RESIDENT)
+        directory.record(self.KEYS[1], 1, SPILLED)
+        directory.record(self.KEYS[2], 1, RESIDENT)
+        coverage = directory.coverage(self.KEYS)
+        assert coverage[1].resident_blocks == 1
+        assert coverage[1].known_blocks == 3
+
+    def test_missing_block_ends_both_streaks(self):
+        directory = FingerprintDirectory()
+        directory.record(self.KEYS[0], 0, RESIDENT)
+        directory.record(self.KEYS[1], 0, SPILLED)
+        # KEYS[2] unheld; KEYS[3] held again but unreachable
+        directory.record(self.KEYS[3], 0, RESIDENT)
+        coverage = directory.coverage(self.KEYS)
+        assert coverage[0].resident_blocks == 1
+        assert coverage[0].known_blocks == 2
+
+    def test_coverage_is_per_worker(self):
+        directory = FingerprintDirectory()
+        for key in self.KEYS[:3]:
+            directory.record(key, 0, RESIDENT)
+        directory.record(self.KEYS[0], 1, RESIDENT)
+        coverage = directory.coverage(self.KEYS)
+        assert coverage[0].resident_blocks == 3
+        assert coverage[1].resident_blocks == 1
+
+    def test_drop_removes_holder_and_empty_entries(self):
+        directory = FingerprintDirectory()
+        directory.record(self.KEYS[0], 0, RESIDENT)
+        directory.record(self.KEYS[0], 1, RESIDENT)
+        directory.drop(self.KEYS[0], 0)
+        assert directory.holders(self.KEYS[0]) == {1: RESIDENT}
+        directory.drop(self.KEYS[0], 1)
+        assert len(directory) == 0
+        # dropping an unknown key is a no-op, not an error
+        directory.drop(b"nope", 3)
+
+    def test_publisher_translates_observer_events(self):
+        directory = FingerprintDirectory()
+        publisher = directory.publisher(worker_id=5)
+        publisher.on_insert(b"a")
+        assert directory.status(b"a", 5) == RESIDENT
+        publisher.on_spill(b"a")
+        assert directory.status(b"a", 5) == SPILLED
+        publisher.on_restore(b"a")
+        assert directory.status(b"a", 5) == RESIDENT
+        publisher.on_evict(b"a")
+        assert directory.status(b"a", 5) is None
+        assert directory.events["insert"] == 1
+        assert directory.events["evict"] == 1
+
+
+class TestDirectoryTracksEngine:
+    def test_worker_publishes_inserts_spills_restores(self, model, tiny_config):
+        directory = FingerprintDirectory()
+        worker = Worker(0, model, directory=directory,
+                        enable_prefix_caching=True)
+        prompt = make_prompts(tiny_config, (200,))[0]
+        worker.run(make_requests([prompt], None, prefix="a"))
+        worker.release("a0")
+        assert directory.events["insert"] > 0
+        resident = [k for k in list(directory._entries)
+                    if directory.status(k, 0) == RESIDENT]
+        assert len(resident) == len(directory)
+
+        cache = worker.prefix_cache
+        freed = cache.evict(cache.num_resident)
+        assert freed > 0 and cache.num_spilled == freed
+        assert directory.events["spill"] == freed
+        spilled = [k for k in list(directory._entries)
+                   if directory.status(k, 0) == SPILLED]
+        assert len(spilled) == freed
+
+        # a fresh match restores the chain → restore events flip it back
+        worker.run(make_requests([prompt], None, prefix="b"))
+        assert directory.events["restore"] == freed
+        assert cache.num_spilled == 0
+
+
+# ---------------------------------------------------------------------------
+# Router placement
+# ---------------------------------------------------------------------------
+
+
+class _FakeWorker:
+    def __init__(self, worker_id, load=0):
+        self.worker_id = worker_id
+        self.load = load
+
+
+class TestRouterPlacement:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            Router("fastest")
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            Router("round_robin").place([1, 2], [])
+
+    def test_round_robin_cycles(self):
+        router = Router("round_robin")
+        workers = [_FakeWorker(i) for i in range(3)]
+        picks = [router.place([1], workers).worker_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_breaks_ties_toward_lowest_id(self):
+        workers = [_FakeWorker(0, load=2), _FakeWorker(1, load=1),
+                   _FakeWorker(2, load=1)]
+        placement = Router("least_loaded").place([1], workers)
+        assert placement.worker_id == 1
+
+    def _directory_with_chain(self, prompt, block_size, worker_blocks):
+        """Directory where worker w holds the first n leading blocks
+        (worker_blocks: {worker_id: (n, status)})."""
+        keys = chain_block_keys(prompt, block_size, None)
+        directory = FingerprintDirectory()
+        for worker_id, (n, status) in worker_blocks.items():
+            for key in keys[:n]:
+                directory.record(key, worker_id, status)
+        return directory
+
+    def test_cache_aware_prefers_longest_resident_prefix(self):
+        prompt = list(range(4, 260))
+        directory = self._directory_with_chain(
+            prompt, 64, {0: (1, RESIDENT), 1: (3, RESIDENT)})
+        workers = [_FakeWorker(0, load=0), _FakeWorker(1, load=5),
+                   _FakeWorker(2, load=0)]
+        placement = Router("cache_aware").place(
+            prompt, workers, directory=directory, block_size=64)
+        assert placement.worker_id == 1  # longest match beats lighter load
+        assert placement.matched_tokens == 3 * 64
+
+    def test_cache_aware_tie_breaks_toward_least_loaded(self):
+        prompt = list(range(4, 260))
+        directory = self._directory_with_chain(
+            prompt, 64, {0: (2, RESIDENT), 2: (2, RESIDENT)})
+        workers = [_FakeWorker(0, load=4), _FakeWorker(1, load=0),
+                   _FakeWorker(2, load=1)]
+        placement = Router("cache_aware").place(
+            prompt, workers, directory=directory, block_size=64)
+        assert placement.worker_id == 2
+
+    def test_cache_aware_falls_back_to_least_loaded_on_miss(self):
+        prompt = list(range(4, 260))
+        workers = [_FakeWorker(0, load=3), _FakeWorker(1, load=1)]
+        placement = Router("cache_aware").place(
+            prompt, workers, directory=FingerprintDirectory(), block_size=64)
+        assert placement.worker_id == 1
+        assert placement.matched_tokens == 0
+        assert placement.migrate_from is None
+
+    def test_cache_aware_spilled_only_falls_back_without_migration(self):
+        prompt = list(range(4, 260))
+        directory = self._directory_with_chain(prompt, 64, {0: (3, SPILLED)})
+        workers = [_FakeWorker(0, load=5), _FakeWorker(1, load=0)]
+        placement = Router("cache_aware").place(
+            prompt, workers, directory=directory, block_size=64)
+        assert placement.worker_id == 1
+        assert placement.migrate_from is None
+
+    def test_migrate_on_miss_targets_spilled_owner(self):
+        prompt = list(range(4, 260))
+        directory = self._directory_with_chain(prompt, 64, {0: (3, SPILLED)})
+        workers = [_FakeWorker(0, load=5), _FakeWorker(1, load=0)]
+        placement = Router("cache_aware", migrate_on_miss=True).place(
+            prompt, workers, directory=directory, block_size=64)
+        assert placement.worker_id == 1
+        assert placement.migrate_from == 0
+        assert placement.migrate_tokens == 3 * 64
+
+    def test_no_migration_when_owner_is_the_fallback_target(self):
+        prompt = list(range(4, 260))
+        directory = self._directory_with_chain(prompt, 64, {1: (2, SPILLED)})
+        workers = [_FakeWorker(0, load=5), _FakeWorker(1, load=0)]
+        placement = Router("cache_aware", migrate_on_miss=True).place(
+            prompt, workers, directory=directory, block_size=64)
+        assert placement.worker_id == 1
+        assert placement.migrate_from is None  # local restore is cheaper
+
+    def test_cache_aware_without_block_size_degrades_to_least_loaded(self):
+        workers = [_FakeWorker(0, load=1), _FakeWorker(1, load=0)]
+        placement = Router("cache_aware").place(
+            [1, 2, 3], workers, directory=FingerprintDirectory(),
+            block_size=None)
+        assert placement.worker_id == 1
+
+
+# ---------------------------------------------------------------------------
+# Chain export / import
+# ---------------------------------------------------------------------------
+
+
+class TestChainExportImport:
+    def _warm_engine(self, model, prompt, request_id="w0"):
+        engine = InferenceEngine(model, enable_prefix_caching=True)
+        engine.run(make_requests([prompt], None, prefix=request_id))
+        engine.release(f"{request_id}0")
+        return engine
+
+    def test_export_miss_returns_none(self, model, tiny_config):
+        engine = self._warm_engine(model, make_prompts(tiny_config, (200,))[0])
+        assert engine.prefix_cache.export_chain(list(range(4, 100))) is None
+
+    def test_round_trip_is_bitwise(self, model, tiny_config):
+        prompt = make_prompts(tiny_config, (200,))[0]
+        source = self._warm_engine(model, prompt)
+        exported = source.prefix_cache.export_chain(prompt)
+        assert exported is not None and exported.num_blocks > 0
+
+        target = InferenceEngine(model, enable_prefix_caching=True)
+        written = target.prefix_cache.import_chain(exported)
+        assert written == exported.num_blocks
+        # exporting back from the target must reproduce the same bytes
+        back = target.prefix_cache.export_chain(prompt)
+        assert back is not None and back.num_blocks == exported.num_blocks
+        for a, b in zip(exported.nodes, back.nodes):
+            assert np.array_equal(a.token_ids, b.token_ids)
+            assert np.array_equal(a.keys, b.keys)
+            assert np.array_equal(a.values, b.values)
+
+    def test_export_of_spilled_chain_leaves_source_intact(
+        self, model, tiny_config
+    ):
+        prompt = make_prompts(tiny_config, (200,))[0]
+        source = self._warm_engine(model, prompt)
+        cache = source.prefix_cache
+        cache.evict(cache.num_resident)
+        assert cache.num_spilled > 0
+        exported = cache.export_chain(prompt)
+        assert exported is not None
+        assert exported.disk_blocks == cache.num_spilled  # still parked
+
+    def test_import_truncates_under_capacity_pressure(self, model, tiny_config):
+        prompt = make_prompts(tiny_config, (200,))[0]
+        source = self._warm_engine(model, prompt)
+        exported = source.prefix_cache.export_chain(prompt)
+        assert exported.num_blocks >= 2
+        # a hookless allocator exposes the raw CapacityError path
+        config = tiny_config
+        from repro.llm.kvcache import BlockAllocator
+        from repro.serve import PrefixCache
+        allocator = BlockAllocator(config.num_layers, config.num_kv_heads,
+                                   config.head_dim, block_size=64,
+                                   capacity_blocks=1)
+        cache = PrefixCache(allocator)
+        written = cache.import_chain(exported)
+        assert written == 1  # a valid shorter prefix, not a failure
+        assert len(cache) == 1
+
+    def test_import_under_engine_pressure_stays_consistent(
+        self, model, tiny_config
+    ):
+        """With the engine's eviction hook wired, a too-small pool may spill
+        or reclaim imported blocks mid-import; whatever survives must be a
+        reachable chain that still serves byte-identical requests."""
+        prompt = make_prompts(tiny_config, (200,))[0]
+        source = self._warm_engine(model, prompt)
+        exported = source.prefix_cache.export_chain(prompt)
+        target = InferenceEngine(model, enable_prefix_caching=True,
+                                 kv_pool_blocks=1)
+        written = target.prefix_cache.import_chain(exported)
+        assert 0 <= written <= exported.num_blocks
+        # every surviving index entry is reachable from the chain root
+        cache = target.prefix_cache
+        for node in cache._nodes.values():
+            walk = node
+            while walk.parent is not None:
+                assert walk.parent.key in cache._nodes
+                walk = walk.parent
+        # and a lookup over the imported prompt doesn't trip on stale state
+        cache.match(prompt)
+
+    def test_imported_chain_serves_prefix_hits(self, model, tiny_config):
+        prompt = make_prompts(tiny_config, (200,))[0]
+        source = self._warm_engine(model, prompt)
+        exported = source.prefix_cache.export_chain(prompt)
+
+        cold = InferenceEngine(model, enable_prefix_caching=True)
+        warm = InferenceEngine(model, enable_prefix_caching=True)
+        warm.prefix_cache.import_chain(exported)
+        followup = prompt + list(range(4, 44))
+        out_cold = cold.run(make_requests([followup], None, prefix="c"))["c0"]
+        out_warm = warm.run(make_requests([followup], None, prefix="c"))["c0"]
+        assert warm.metrics.prefix_cache_hit_tokens > 0
+        assert out_warm.token_ids == out_cold.token_ids
+        assert np.array_equal(out_warm.logits, out_cold.logits)
+
+
+# ---------------------------------------------------------------------------
+# Cluster byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _reference_outputs(model, tiny_config, policy_name):
+    """Single-engine outputs for the standard prompt set under one policy."""
+    engine = InferenceEngine(model)
+    prompts = make_prompts(tiny_config)
+    return engine.run(make_requests(prompts, policy_name))
+
+
+class TestClusterByteIdentity:
+    _refs = {}
+
+    def _reference(self, model, tiny_config, policy_name):
+        if policy_name not in self._refs:
+            self._refs[policy_name] = _reference_outputs(
+                model, tiny_config, policy_name)
+        return self._refs[policy_name]
+
+    @pytest.mark.parametrize("policy_name", CLUSTER_POLICIES)
+    @pytest.mark.parametrize("placement", ROUTING_POLICIES)
+    @pytest.mark.parametrize("num_workers", (1, 2, 4))
+    def test_placement_changes_only_the_clock(
+        self, model, tiny_config, policy_name, placement, num_workers
+    ):
+        reference = self._reference(model, tiny_config, policy_name)
+        cluster = ClusterFrontend(model, num_workers=num_workers,
+                                  placement=placement)
+        prompts = make_prompts(tiny_config)
+        outputs = cluster.run(make_requests(prompts, policy_name))
+        assert outputs.keys() == reference.keys()
+        for request_id, ref in reference.items():
+            out = outputs[request_id]
+            assert out.token_ids == ref.token_ids
+            assert np.array_equal(out.logits, ref.logits)
+
+    def test_migrated_chain_request_is_byte_identical(self, model, tiny_config):
+        prompt = make_prompts(tiny_config, (200,))[0]
+        followup = prompt + list(range(4, 74))
+
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="cache_aware",
+                                  migrate_on_miss=True)
+        cluster.run(make_requests([prompt], None, prefix="warm"))
+        cluster.release("warm0")
+        owner = cluster.workers[0]
+        owner.prefix_cache.evict(owner.prefix_cache.num_resident)
+        assert owner.prefix_cache.num_spilled > 0
+        # load the owner so least-loaded fallback picks the other worker
+        owner.submit(make_requests(
+            [make_prompts(tiny_config, (150,), seed=3)[0]], None,
+            max_new_tokens=48, prefix="fill")[0])
+
+        cluster.submit(make_requests([followup], None, prefix="f")[0])
+        placement = cluster.placements[-1]
+        assert placement.worker_id == 1
+        assert placement.migrate_from == 0
+        outputs = cluster.run()
+        assert cluster.metrics.migrations == 1
+        assert cluster.metrics.migrated_blocks > 0
+        assert cluster.metrics.migration_seconds > 0
+        # the migrated chain actually served the request on the target
+        assert outputs["f0"].metrics.cached_prefix_tokens > 0
+
+        single = InferenceEngine(model)
+        ref = single.run(make_requests([followup], None, prefix="f"))["f0"]
+        assert outputs["f0"].token_ids == ref.token_ids
+        assert np.array_equal(outputs["f0"].logits, ref.logits)
+
+    @pytest.mark.parametrize("placement", ROUTING_POLICIES)
+    def test_fuzz_mid_run_submits_and_aborts(
+        self, model, tiny_config, placement
+    ):
+        """Randomized interleaving: requests trickle in mid-run and a subset
+        is aborted; every surviving request stays byte-identical to a
+        sequential single-engine run."""
+        rng = np.random.default_rng(42)
+        lengths = rng.integers(100, 200, size=8).tolist()
+        prompts = make_prompts(tiny_config, lengths, seed=21)
+        policies = [None if i % 2 == 0 else "pqcache"
+                    for i in range(len(prompts))]
+        aborted = {"r2", "r5"}
+
+        reference = {}
+        for i, (prompt, policy_name) in enumerate(zip(prompts, policies)):
+            engine = InferenceEngine(model)
+            reference.update(engine.run(make_requests(
+                [prompt], policy_name, max_new_tokens=4, prefix=f"r{i}--")))
+
+        cluster = ClusterFrontend(model, num_workers=3, placement=placement)
+        pending = [
+            Request(request_id=f"r{i}", prompt_ids=prompt,
+                    sampling=SamplingParams(max_new_tokens=4),
+                    policy_spec=(None if policy_name is None
+                                 else PolicySpec.named(policy_name, BUDGET)))
+            for i, (prompt, policy_name) in enumerate(zip(prompts, policies))
+        ]
+        finals = {}
+        step = 0
+        aborts_done = set()
+        # two requests up front, the rest submitted/aborted mid-run
+        for _ in range(2):
+            cluster.submit(pending.pop(0))
+        while cluster.has_unfinished or pending:
+            if pending and rng.random() < 0.6:
+                cluster.submit(pending.pop(0))
+            for output in cluster.step():
+                if output.finished:
+                    finals[output.request_id] = output
+            step += 1
+            if step >= 3:
+                for request_id in aborted - aborts_done:
+                    if (request_id in cluster._assignment
+                            and request_id not in finals):
+                        cluster.abort(request_id)
+                        aborts_done.add(request_id)
+
+        survivors = {rid: out for rid, out in finals.items()
+                     if out.finish_reason == "length"}
+        # every non-aborted request must survive (an aborted one may also
+        # finish first if its abort raced its last decode step)
+        must_survive = {f"r{i}" for i in range(len(prompts))} - aborts_done
+        assert must_survive <= set(survivors)
+        for request_id, out in survivors.items():
+            ref = reference[f"{request_id}--0"]
+            assert out.token_ids == ref.token_ids
+            assert np.array_equal(out.logits, ref.logits)
+
+
+# ---------------------------------------------------------------------------
+# Frontend plumbing + fleet metrics
+# ---------------------------------------------------------------------------
+
+
+class TestClusterFrontend:
+    def test_rejects_zero_workers(self, model):
+        with pytest.raises(ConfigurationError):
+            ClusterFrontend(model, num_workers=0)
+
+    def test_rejects_duplicate_request_ids(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2)
+        request = make_requests(make_prompts(tiny_config, (120,)), None)[0]
+        cluster.submit(request)
+        with pytest.raises(ConfigurationError):
+            cluster.submit(Request(request_id=request.request_id,
+                                   prompt_ids=[4, 5, 6],
+                                   sampling=SamplingParams(max_new_tokens=1)))
+        cluster.run()
+
+    def test_worker_of_unknown_request_raises(self, model):
+        cluster = ClusterFrontend(model, num_workers=2)
+        with pytest.raises(ConfigurationError):
+            cluster.worker_of("ghost")
+
+    def test_output_routing_and_release(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="round_robin")
+        requests = make_requests(make_prompts(tiny_config), None)
+        finals = cluster.run(requests)
+        for request in requests:
+            via_lookup = cluster.final_output(request.request_id)
+            assert via_lookup.token_ids == finals[request.request_id].token_ids
+            cluster.release(request.request_id)
+
+    def test_describe_shape(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2)
+        cluster.run(make_requests(make_prompts(tiny_config, (120,)), None))
+        report = cluster.describe()
+        assert report["num_workers"] == 2
+        assert report["placement"] == "cache_aware"
+        assert len(report["workers"]) == 2
+        assert {"fleet", "migration", "directory"} <= report.keys()
+
+    def test_add_request_alias(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2)
+        request = make_requests(make_prompts(tiny_config, (120,)), None)[0]
+        cluster.add_request(request)
+        finals = cluster.run()
+        assert request.request_id in finals
+
+    def test_caching_disabled_fleet_degrades_to_load_balancing(
+        self, model, tiny_config
+    ):
+        """cache_aware without prefix caching has no directory signal or
+        block size — it degrades to least-loaded and stays byte-identical."""
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  enable_prefix_caching=False)
+        assert cluster.block_size is None
+        prompts = make_prompts(tiny_config)
+        outputs = cluster.run(make_requests(prompts, None))
+        reference = InferenceEngine(model).run(make_requests(prompts, None))
+        for request_id, ref in reference.items():
+            assert outputs[request_id].token_ids == ref.token_ids
+            assert np.array_equal(outputs[request_id].logits, ref.logits)
+        assert len(cluster.directory) == 0
+
+    def test_unpublished_worker_runs_standalone(self, model, tiny_config):
+        """A Worker without a directory is a plain engine (always-cold to
+        any router, but fully functional)."""
+        worker = Worker(7, model, enable_prefix_caching=True)
+        assert worker.directory is None
+        outputs = worker.run(make_requests(make_prompts(tiny_config, (120,)),
+                                           None))
+        assert worker.load == 0
+        assert worker.describe()["worker_id"] == 7
+        assert len(outputs) == 1
+
+    def test_fleet_metrics_merge(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="round_robin")
+        cluster.run(make_requests(make_prompts(tiny_config), None))
+        fleet = cluster.fleet_metrics()
+        per_worker = [w.metrics for w in cluster.workers]
+        assert fleet.requests_finished == sum(
+            m.requests_finished for m in per_worker) == len(PROMPT_LENS)
+        assert fleet.generated_tokens == sum(m.generated_tokens for m in per_worker)
+        # replicas overlap in wall time: fleet clock is the max, not the sum
+        assert fleet.clock == max(m.clock for m in per_worker)
+        assert fleet.clock < sum(m.clock for m in per_worker)
+
+
+class TestEngineMetricsOps:
+    def test_snapshot_is_independent(self):
+        metrics = EngineMetrics()
+        metrics.generated_tokens = 7
+        snap = metrics.snapshot()
+        metrics.generated_tokens = 99
+        assert snap.generated_tokens == 7
+
+    def test_merge_sums_counters_and_maxes_clock(self):
+        a = EngineMetrics()
+        a.generated_tokens, a.clock, a.requests_finished = 5, 2.0, 1
+        b = EngineMetrics()
+        b.generated_tokens, b.clock, b.requests_finished = 3, 6.0, 2
+        merged = a.merge(b)
+        assert merged is a
+        assert a.generated_tokens == 8
+        assert a.requests_finished == 3
+        assert a.clock == 6.0
+
+    def test_reset_restores_defaults(self):
+        metrics = EngineMetrics()
+        metrics.generated_tokens, metrics.clock = 11, 3.5
+        metrics.reset()
+        assert metrics.generated_tokens == 0
+        assert metrics.clock == 0.0
