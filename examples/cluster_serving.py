@@ -115,6 +115,24 @@ def main() -> None:
     print(f"directory: {len(cluster.directory)} fingerprints, "
           f"events {cluster.directory.events}")
 
+    # Fused decode-round shape + host wall-time breakdown across the fleet:
+    # every worker batches its RUNNING requests into one model round per
+    # step, so mean batch size tracks how much decode concurrency the
+    # routing actually produced.
+    histogram = ", ".join(
+        f"{bucket}: {count}"
+        for bucket, count in fleet.decode_batch_size_histogram.items()
+        if count
+    )
+    print(f"decode rounds: {fleet.decode_batch_rounds} fused batches, "
+          f"mean size {fleet.mean_decode_batch_size:.2f} ({histogram})")
+    print(f"decode stage wall-time: select {fleet.decode_select_seconds:.4f}s "
+          f"(score {fleet.decode_score_seconds:.4f}s, "
+          f"top-k {fleet.decode_topk_seconds:.4f}s), "
+          f"gather {fleet.decode_gather_seconds:.4f}s, "
+          f"attention {fleet.decode_attention_seconds:.4f}s, "
+          f"maintenance {fleet.decode_maintenance_seconds:.4f}s")
+
 
 if __name__ == "__main__":
     main()

@@ -13,6 +13,12 @@ InfLLM), plus Full and Oracle — is expressed as a :class:`KVCachePolicy`:
   in attention (per KV head), or ``None`` for full attention.
 * :meth:`KVCachePolicy.on_decode_step` lets stateful policies update
   themselves after a new token has been appended to the cache.
+* :meth:`KVCachePolicy.select_batch` / :meth:`KVCachePolicy.on_decode_step_batch`
+  are the fused-decode-round counterparts: the serving engine groups the
+  RUNNING requests that share a policy class and hands them over together, so
+  a policy can run one cross-request grouped kernel instead of one kernel per
+  request.  The defaults fall back to the per-request methods item by item —
+  overrides must stay byte-identical to that fallback.
 * :meth:`KVCachePolicy.step_communication_bytes` reports the CPU→GPU traffic
   a real deployment would incur for one decode step at a given sequence
   length, which feeds the latency models.
@@ -114,6 +120,9 @@ class KVCachePolicy(abc.ABC):
         #: per-step record of the middle-token indices each KV head selected
         #: in the *last* layer processed, useful for cache-trace replay.
         self.last_selected_middle: list[np.ndarray] | None = None
+        #: maintenance descriptor set by :meth:`on_decode_step` overrides and
+        #: drained by the engine via :meth:`consume_maintenance`.
+        self._pending_maintenance: dict | None = None
 
     # ----------------------------------------------------------- lifecycle
 
@@ -155,6 +164,19 @@ class KVCachePolicy(abc.ABC):
 
     def on_decode_step(self, cache: KVCache) -> None:
         """Called after each decode step appended a new token to the cache."""
+
+    def consume_maintenance(self) -> dict | None:
+        """Return and clear the maintenance work the last decode step did.
+
+        Policies that run periodic index maintenance inside
+        :meth:`on_decode_step` (e.g. PQCache's ``refresh_every`` codebook
+        refresh) record a description here — ``{"kind": ..., "tokens": ...,
+        "iterations": ...}`` — which the serving engine pops after the hook
+        and bills as a timeline task.  Default: no maintenance.
+        """
+        pending = self._pending_maintenance
+        self._pending_maintenance = None
+        return pending
 
     # -------------------------------------------------------- prefix reuse
 
@@ -213,6 +235,47 @@ class KVCachePolicy(abc.ABC):
     ) -> list[np.ndarray] | np.ndarray | None:
         """Token indices to attend to for this layer (per KV head)."""
 
+    # ----------------------------------------------------- batch selection
+
+    @classmethod
+    def select_batch(
+        cls,
+        layer_index: int,
+        items: "list[tuple[KVCachePolicy, np.ndarray, KVCache]]",
+        timings: "dict[str, float] | None" = None,
+    ) -> "list[list[np.ndarray] | np.ndarray | None]":
+        """Select for several same-class requests in one fused decode round.
+
+        ``items`` holds one ``(policy, query, cache)`` triple per request,
+        in engine batch order.  The default simply loops :meth:`select`;
+        subclasses override it with cross-request grouped kernels (e.g.
+        PQCache's grouped ADC scoring).  Overrides MUST return, per item,
+        exactly what that item's :meth:`select` would return — the fused
+        decode path's byte-identity guarantee rests on it — including side
+        effects (``last_selected_middle``, GPU-cache accounting).
+
+        ``timings`` is an optional accumulator for host wall-clock stage
+        seconds (keys ``"score"`` / ``"topk"``); overrides with separable
+        scoring stages add into it, the default loop leaves it untouched.
+        """
+        return [
+            policy.select(layer_index, query, cache)
+            for policy, query, cache in items
+        ]
+
+    @classmethod
+    def on_decode_step_batch(
+        cls, items: "list[tuple[KVCachePolicy, KVCache]]"
+    ) -> None:
+        """Post-append update for several same-class requests at once.
+
+        ``items`` holds one ``(policy, cache)`` pair per request, in engine
+        batch order.  Default loops :meth:`on_decode_step`; overrides must
+        leave every policy in the exact state the per-item loop would.
+        """
+        for policy, cache in items:
+            policy.on_decode_step(cache)
+
     # ------------------------------------------------------------- helpers
 
     def _require_config(self) -> ModelConfig:
@@ -252,6 +315,52 @@ class KVCachePolicy(abc.ABC):
             np.asarray(m, dtype=np.int64) for m in middle_per_head
         ]
         return assembled
+
+    @staticmethod
+    def _assemble_batch(
+        items: "list[tuple[KVCachePolicy, list[np.ndarray], TokenSegments]]",
+    ) -> "list[list[np.ndarray]]":
+        """Batched :meth:`_assemble` across requests for one fused round.
+
+        ``items`` holds one ``(policy, middle_per_head, segments)`` triple
+        per request.  ``(request, head)`` selections of equal assembled
+        length are stacked and sorted with one ``np.sort(axis=1)`` call per
+        length group; duplicates are then masked out per row — exactly the
+        sort + adjacent-difference mask ``np.unique`` applies to a 1-D
+        array, so each entry is bitwise identical to what that policy's own
+        :meth:`_assemble` would produce (``last_selected_middle`` included).
+        """
+        results: "list[list[np.ndarray] | None]" = [None] * len(items)
+        entries: "list[tuple[int, int]]" = []
+        concatenated: "list[np.ndarray]" = []
+        for pos, (policy, middle_per_head, segments) in enumerate(items):
+            config = policy._require_config()
+            init = segments.initial_indices
+            local = segments.local_indices
+            for head in range(config.num_kv_heads):
+                middle = np.asarray(middle_per_head[head], dtype=np.int64)
+                entries.append((pos, head))
+                concatenated.append(np.concatenate([init, middle, local]))
+            results[pos] = [None] * config.num_kv_heads  # type: ignore[list-item]
+            policy.last_selected_middle = [
+                np.asarray(m, dtype=np.int64) for m in middle_per_head
+            ]
+        lengths = np.array([row.size for row in concatenated], dtype=np.int64)
+        for t in np.unique(lengths):
+            rows = np.flatnonzero(lengths == t)
+            if t == 0:
+                for r in rows:
+                    pos, head = entries[r]
+                    results[pos][head] = concatenated[r]
+                continue
+            stacked = np.sort(np.stack([concatenated[r] for r in rows]), axis=1)
+            keep = np.empty(stacked.shape, dtype=bool)
+            keep[:, 0] = True
+            keep[:, 1:] = stacked[:, 1:] != stacked[:, :-1]
+            for row_pos, r in enumerate(rows):
+                pos, head = entries[r]
+                results[pos][head] = stacked[row_pos][keep[row_pos]]
+        return results  # type: ignore[return-value]
 
     @staticmethod
     def _topk(scores: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:

@@ -30,6 +30,42 @@ __all__ = [
 ]
 
 
+class _DroppingPolicy(KVCachePolicy):
+    """Shared select path of the dropping baselines.
+
+    Every dropping method resolves a per-layer *static-ish* middle set (empty
+    for StreamingLLM, the retained/selected sets for H2O/SnapKV/PyramidKV)
+    and assembles it with the current initial/local segments.  Expressing
+    that as one :meth:`_select_middle` hook lets the base provide both the
+    per-request :meth:`select` and the fused-round :meth:`select_batch`
+    (grouped sort-dedup via :meth:`KVCachePolicy._assemble_batch`) without
+    duplicating the geometry handling per method.
+    """
+
+    def _select_middle(
+        self, layer_index: int, config: ModelConfig
+    ) -> list[np.ndarray]:
+        """Middle-token indices per KV head for ``layer_index``."""
+        raise NotImplementedError
+
+    def select(self, layer_index: int, query: np.ndarray, cache: KVCache):
+        config = self._require_config()
+        segments = self.budget.segments(len(cache[layer_index]))
+        return self._assemble(self._select_middle(layer_index, config), segments)
+
+    @classmethod
+    def select_batch(cls, layer_index, items, timings=None):
+        """Grouped assemble across requests — bitwise equal to the loop."""
+        prepared = []
+        for policy, _query, cache in items:
+            config = policy._require_config()
+            segments = policy.budget.segments(len(cache[layer_index]))
+            prepared.append(
+                (policy, policy._select_middle(layer_index, config), segments)
+            )
+        return KVCachePolicy._assemble_batch(prepared)
+
+
 def _compensated_budget(budget: SelectionBudget, prompt_len: int, enabled: bool) -> int:
     """Middle-token budget, optionally enlarged by the communication ratio.
 
@@ -46,7 +82,7 @@ def _compensated_budget(budget: SelectionBudget, prompt_len: int, enabled: bool)
     return base + extra
 
 
-class StreamingLLMPolicy(KVCachePolicy):
+class StreamingLLMPolicy(_DroppingPolicy):
     """Attention sinks + sliding window (LM-Infinite / StreamingLLM).
 
     Keeps only the initial tokens and the most recent ``num_local`` tokens;
@@ -57,15 +93,13 @@ class StreamingLLMPolicy(KVCachePolicy):
     name = "streaming-llm"
     is_dropping = True
 
-    def select(self, layer_index: int, query: np.ndarray, cache: KVCache):
-        config = self._require_config()
-        seq_len = len(cache[layer_index])
-        segments = self.budget.segments(seq_len)
-        empty = [np.empty(0, dtype=np.int64) for _ in range(config.num_kv_heads)]
-        return self._assemble(empty, segments)
+    def _select_middle(
+        self, layer_index: int, config: ModelConfig
+    ) -> list[np.ndarray]:
+        return [np.empty(0, dtype=np.int64) for _ in range(config.num_kv_heads)]
 
 
-class H2OPolicy(KVCachePolicy):
+class H2OPolicy(_DroppingPolicy):
     """Heavy-Hitter Oracle: retain tokens with the largest accumulated
     attention scores observed so far.
 
@@ -112,14 +146,12 @@ class H2OPolicy(KVCachePolicy):
             self._retained.append(per_head_idx)
             self._scores.append(per_head_score)
 
-    def select(self, layer_index: int, query: np.ndarray, cache: KVCache):
-        config = self._require_config()
-        seq_len = len(cache[layer_index])
-        segments = self.budget.segments(seq_len)
+    def _select_middle(
+        self, layer_index: int, config: ModelConfig
+    ) -> list[np.ndarray]:
         if not self._retained:
             raise ConfigurationError("H2O policy used before prefill")
-        middle = [self._retained[layer_index][h] for h in range(config.num_kv_heads)]
-        return self._assemble(middle, segments)
+        return [self._retained[layer_index][h] for h in range(config.num_kv_heads)]
 
     def on_decode_step(self, cache: KVCache) -> None:
         """Greedy heavy-hitter update after a token was generated.
@@ -159,7 +191,7 @@ class H2OPolicy(KVCachePolicy):
                 self._scores[layer_index][head] = scores
 
 
-class SnapKVPolicy(KVCachePolicy):
+class SnapKVPolicy(_DroppingPolicy):
     """SnapKV: choose important tokens from the prompt's final-segment
     attention, with pooling to keep neighbourhoods together.
 
@@ -219,12 +251,10 @@ class SnapKVPolicy(KVCachePolicy):
                 per_head.append(np.sort(self._topk(pooled, middle, layer_k)))
             self._selected.append(per_head)
 
-    def select(self, layer_index: int, query: np.ndarray, cache: KVCache):
-        config = self._require_config()
-        seq_len = len(cache[layer_index])
-        segments = self.budget.segments(seq_len)
-        middle = [self._selected[layer_index][h] for h in range(config.num_kv_heads)]
-        return self._assemble(middle, segments)
+    def _select_middle(
+        self, layer_index: int, config: ModelConfig
+    ) -> list[np.ndarray]:
+        return [self._selected[layer_index][h] for h in range(config.num_kv_heads)]
 
 
 class PyramidKVPolicy(SnapKVPolicy):

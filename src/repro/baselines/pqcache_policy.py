@@ -37,7 +37,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.adaptive import AdaptiveIterationPlanner
-from ..core.pqcache import PQCacheConfig, PQCacheManager, PQSnapshot
+from ..core.pqcache import (
+    PQCacheConfig,
+    PQCacheManager,
+    PQSnapshot,
+    append_tokens_grouped,
+    topk_middle_grouped,
+)
+from ..errors import ConfigurationError
 from ..llm.config import ModelConfig
 from ..llm.kvcache import KVCache
 from ..llm.model import PrefillResult
@@ -63,6 +70,14 @@ class PQCachePolicy(KVCachePolicy):
         refine_iters: Lloyd iteration cap of the final refinement pass;
             ``None`` uses the config's ``max_kmeans_iters`` (or the planner's
             budget when a planner is set).
+        refresh_every: ParisKV-style drift handling — every ``N`` decode
+            steps the codebooks are re-refined over all currently-encoded
+            keys (:meth:`PQCacheManager.refine`, warm-started from the
+            current centroids) so retrieval quality tracks the drifting key
+            distribution as generation appends tokens.  The serving engine
+            bills each refresh as a clustering timeline task via
+            :meth:`~repro.baselines.base.KVCachePolicy.consume_maintenance`.
+            ``None`` (default) disables refreshing.
     """
 
     name = "pqcache"
@@ -81,8 +96,11 @@ class PQCachePolicy(KVCachePolicy):
         incremental: bool = True,
         sketch_tokens: int = 256,
         refine_iters: int | None = None,
+        refresh_every: int | None = None,
     ) -> None:
         super().__init__(budget)
+        if refresh_every is not None and int(refresh_every) <= 0:
+            raise ConfigurationError("refresh_every must be a positive integer")
         self.pq_config = pq_config or PQCacheConfig()
         #: optional adaptive iteration planner (paper §3.3); when present the
         #: K-Means budget is derived from the prompt length instead of the
@@ -91,8 +109,10 @@ class PQCachePolicy(KVCachePolicy):
         self.incremental = incremental
         self.sketch_tokens = int(sketch_tokens)
         self.refine_iters = refine_iters
+        self.refresh_every = None if refresh_every is None else int(refresh_every)
         self.manager: PQCacheManager | None = None
         self._encoded_until = 0
+        self._steps_since_refresh = 0
         self._prefix_snapshot: PQSnapshot | None = None
         self._attached_snapshot: PQSnapshot | None = None
 
@@ -254,17 +274,45 @@ class PQCachePolicy(KVCachePolicy):
         if self.manager is None:
             return
         config = self._require_config()
+        start, middle_end = self._pending_encode_range(cache)
+        if start < middle_end:
+            for layer_index in range(config.num_layers):
+                keys = cache[layer_index].keys[:, start:middle_end, :]
+                self.manager.append_tokens(layer_index, keys)
+            self._encoded_until = middle_end
+        self._maybe_refresh(cache)
+
+    def _pending_encode_range(self, cache: KVCache) -> tuple[int, int]:
+        """Token range ``[start, middle_end)`` awaiting PQ codes, if any."""
         segments = self.budget.segments(cache.seq_len)
         middle_end = (
             int(segments.middle_indices[-1]) + 1 if segments.middle_indices.size else 0
         )
-        start = self._encoded_until
-        if start >= middle_end:
+        return self._encoded_until, middle_end
+
+    def _maybe_refresh(self, cache: KVCache) -> None:
+        """Count one decode step and re-refine codebooks every N steps."""
+        if self.refresh_every is None or self.manager is None:
             return
-        for layer_index in range(config.num_layers):
-            keys = cache[layer_index].keys[:, start:middle_end, :]
-            self.manager.append_tokens(layer_index, keys)
-        self._encoded_until = middle_end
+        if not self.manager.is_built:
+            return
+        self._steps_since_refresh += 1
+        if self._steps_since_refresh < self.refresh_every:
+            return
+        self._steps_since_refresh = 0
+        refine_iters = self.refine_iters
+        if refine_iters is None:
+            refine_iters = self._max_iters(self.prompt_len)
+        before = self.manager.total_kmeans_iterations
+        self.manager.refine(cache, max_iters=refine_iters)
+        config = self._require_config()
+        jobs = config.num_layers * config.num_kv_heads * self.pq_config.num_partitions
+        iterations = (self.manager.total_kmeans_iterations - before) / max(jobs, 1)
+        self._pending_maintenance = {
+            "kind": "pq_refresh",
+            "tokens": int(self.manager.num_codes(0)),
+            "iterations": float(iterations),
+        }
 
     # ----------------------------------------------------------- selection
 
@@ -293,6 +341,83 @@ class PQCachePolicy(KVCachePolicy):
             )
             self.manager.record_fetch(union)
         return self._assemble(selected, segments)
+
+    # ------------------------------------------------------ batch selection
+
+    @classmethod
+    def select_batch(cls, layer_index, items, timings=None):
+        """Cross-request ADC scoring + top-k for one fused decode round.
+
+        All requests' ``(h_kv, n_middle)`` scoring problems are handed to
+        :func:`~repro.core.pqcache.topk_middle_grouped`, which concatenates
+        same-shape requests along the head axis and scores each group with
+        one vectorized gather — bitwise identical to looping
+        :meth:`select`, including the per-request GPU-cache bookkeeping and
+        ``last_selected_middle`` side effects.
+        """
+        jobs = []
+        metas = []
+        for policy, query, cache in items:
+            policy._require_config()
+            assert policy.manager is not None, "on_prefill must run before select"
+            seq_len = len(cache[layer_index])
+            segments = policy.budget.segments(seq_len)
+            k = policy.budget.middle_budget(policy.prompt_len)
+            kv_queries = policy._kv_queries(query)
+            jobs.append((policy.manager, layer_index, kv_queries, segments, k))
+            metas.append((policy, segments))
+        grouped = topk_middle_grouped(jobs, timings=timings)
+        results = []
+        for (policy, segments), selected in zip(metas, grouped):
+            manager = policy.manager
+            if manager.gpu_cache is not None and selected:
+                if layer_index == 0:
+                    manager.gpu_cache.begin_step()
+                union = (
+                    np.unique(np.concatenate([s for s in selected if s.size]))
+                    if any(s.size for s in selected)
+                    else np.empty(0, dtype=np.int64)
+                )
+                manager.record_fetch(union)
+            results.append(policy._assemble(selected, segments))
+        return results
+
+    @classmethod
+    def on_decode_step_batch(cls, items):
+        """Cross-request post-append PQ encoding for one fused decode round.
+
+        Requests with pending middle tokens share one
+        :meth:`~repro.core.pq.ProductQuantizer.encode_batch` call per layer
+        (via :func:`~repro.core.pqcache.append_tokens_grouped`); each
+        policy's code buffer, ``_encoded_until`` and refresh counter end up
+        exactly as the per-item :meth:`on_decode_step` loop would leave
+        them — per-request state is fully isolated, so running the appends
+        layer-major across requests cannot change any request's codes.
+        """
+        pending = []
+        for policy, cache in items:
+            if policy.manager is None:
+                continue
+            config = policy._require_config()
+            start, middle_end = policy._pending_encode_range(cache)
+            if start < middle_end:
+                pending.append((policy, cache, start, middle_end, config.num_layers))
+        if pending:
+            num_layers = max(entry[4] for entry in pending)
+            for layer_index in range(num_layers):
+                append_tokens_grouped(
+                    [
+                        (policy.manager, layer_index,
+                         cache[layer_index].keys[:, start:middle_end, :])
+                        for policy, cache, start, middle_end, layers in pending
+                        if layer_index < layers
+                    ]
+                )
+            for policy, _, _, middle_end, _ in pending:
+                policy._encoded_until = middle_end
+        for policy, cache in items:
+            if policy.manager is not None:
+                policy._maybe_refresh(cache)
 
     # -------------------------------------------------------- communication
 
@@ -326,6 +451,7 @@ class PQCachePolicy(KVCachePolicy):
                 "pq_bits": self.pq_config.num_bits,
                 "gpu_cache_tokens": self.pq_config.gpu_cache_tokens,
                 "adaptive_planner": self.planner is not None,
+                "refresh_every": self.refresh_every,
             }
         )
         return info

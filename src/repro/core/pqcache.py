@@ -58,6 +58,7 @@ reuse.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -68,7 +69,13 @@ from ..utils import as_rng, topk_indices
 from .gpu_cache import BlockGpuCache
 from .pq import PQConfig, ProductQuantizer, stack_codebooks
 
-__all__ = ["PQCacheConfig", "PQCacheManager", "PQSnapshot"]
+__all__ = [
+    "PQCacheConfig",
+    "PQCacheManager",
+    "PQSnapshot",
+    "append_tokens_grouped",
+    "topk_middle_grouped",
+]
 
 
 @dataclass(frozen=True)
@@ -734,3 +741,127 @@ class PQCacheManager:
         )
         topk_fetch = k * model.num_kv_heads * 2 * model.head_dim * model.dtype_bytes
         return {"overlappable": float(codes), "blocking": float(topk_fetch)}
+
+
+# --------------------------------------------------------------------------
+# Cross-request grouped collectives for the fused decode round
+# --------------------------------------------------------------------------
+#
+# One engine decode round serves many RUNNING requests, each with its own
+# PQCacheManager.  The collectives below are the batch entry points the
+# fused decode round dispatches to, and both are bitwise identical to
+# looping the per-manager methods.  ``append_tokens_grouped`` concatenates
+# same-geometry requests along the *head* axis and issues one compute-bound
+# encode kernel per group (stacking heads only adds independent rows —
+# encode's batched matmul runs one identically-shaped BLAS call per
+# (head, sub-space) slice).  ``topk_middle_grouped`` keeps scoring and top-k
+# per member: ADC scoring is a memory-bound table gather whose cost does not
+# shrink by stacking heads, so the fused win there is cache locality (top-k
+# runs on freshly scored rows) and the shared stage-timing accounting.
+
+
+def topk_middle_grouped(
+    items: "list[tuple[PQCacheManager, int, np.ndarray, TokenSegments, int]]",
+    timings: "dict[str, float] | None" = None,
+) -> "list[list[np.ndarray]]":
+    """Batched :meth:`PQCacheManager.topk_middle` across requests.
+
+    Args:
+        items: one ``(manager, layer_index, kv_queries, segments, k)`` tuple
+            per request, in engine batch order.
+        timings: optional accumulator for host wall-clock stage seconds —
+            ``"score"`` (grouped ADC table lookups) and ``"topk"``
+            (per-head top-k index extraction) are added into it.
+
+    Returns:
+        Per item, exactly what ``manager.topk_middle(layer_index,
+        kv_queries, segments, k)`` would return (bitwise).
+    """
+    results: "list[list[np.ndarray] | None]" = [None] * len(items)
+    for pos, (manager, layer_index, kv_queries, segments, k) in enumerate(items):
+        manager._require_built()
+        h_kv = manager.model_config.num_kv_heads
+        middle = segments.middle_indices
+        if middle.size == 0 or k <= 0:
+            results[pos] = [np.empty(0, dtype=np.int64) for _ in range(h_kv)]
+            continue
+        codes = manager._codes[layer_index].view()  # (n, h_kv, m)
+        valid = middle[middle < codes.shape[0]]
+        if valid.size == 0:
+            results[pos] = [np.empty(0, dtype=np.int64) for _ in range(h_kv)]
+            continue
+        # Same contiguous-slice fast path as topk_middle.
+        if int(valid[-1]) - int(valid[0]) + 1 == valid.size:
+            middle_codes = codes[int(valid[0]) : int(valid[-1]) + 1]
+        else:
+            middle_codes = codes[valid]
+        # Score per member with the per-head 1-D ``take`` kernel, top-k while
+        # the member's score rows are still cache-hot.  Concatenating the
+        # batch's heads into one ``score_batch_grouped`` call was measured
+        # slower at long contexts: the gather is memory-bound either way, and
+        # the concatenation adds a multi-megabyte copy of the transposed code
+        # views plus strided 2-D gathers over it.
+        score_start = perf_counter()
+        scores = ProductQuantizer.score_batch(
+            manager._codebooks[layer_index],
+            np.asarray(kv_queries, dtype=np.float64),
+            middle_codes.transpose(1, 0, 2),
+        )  # (h_kv, n_valid)
+        topk_start = perf_counter()
+        k_eff = min(int(k), valid.size)
+        results[pos] = [
+            valid[topk_indices(scores[head], k_eff)] for head in range(h_kv)
+        ]
+        if timings is not None:
+            timings["score"] = (
+                timings.get("score", 0.0) + topk_start - score_start
+            )
+            timings["topk"] = (
+                timings.get("topk", 0.0) + perf_counter() - topk_start
+            )
+    return results  # type: ignore[return-value]
+
+
+def append_tokens_grouped(
+    items: "list[tuple[PQCacheManager, int, np.ndarray]]",
+) -> None:
+    """Batched :meth:`PQCacheManager.append_tokens` across requests.
+
+    Args:
+        items: one ``(manager, layer_index, keys)`` tuple per request with
+            ``keys`` shaped ``(num_kv_heads, n_new, head_dim)``; requests
+            with the same ``(n_new, geometry)`` share one
+            :meth:`ProductQuantizer.encode_batch` call.  Leaves every
+            manager's code buffer bitwise identical to the per-manager loop.
+    """
+    groups: dict = {}
+    for manager, layer_index, keys in items:
+        manager._require_built()
+        keys = np.asarray(keys, dtype=np.float64)
+        h_kv = manager.model_config.num_kv_heads
+        if keys.ndim != 3 or keys.shape[0] != h_kv:
+            raise ConfigurationError(
+                f"keys must have shape ({h_kv}, n_new, "
+                f"{manager.model_config.head_dim}), got {keys.shape}"
+            )
+        if keys.shape[1] == 0:
+            continue
+        codebooks = manager._codebooks[layer_index]
+        key = (keys.shape[1],) + codebooks.shape[1:]
+        groups.setdefault(key, []).append((manager, layer_index, codebooks, keys))
+    for members in groups.values():
+        if len(members) == 1:
+            manager, layer_index, codebooks, keys = members[0]
+            codes = ProductQuantizer.encode_batch(codebooks, keys)
+            manager._codes[layer_index].extend(codes.transpose(1, 0, 2))
+            continue
+        all_codebooks = np.concatenate([m[2] for m in members], axis=0)
+        all_keys = np.concatenate([m[3] for m in members], axis=0)
+        codes = ProductQuantizer.encode_batch(all_codebooks, all_keys)
+        offset = 0
+        for manager, layer_index, codebooks, _ in members:
+            h = codebooks.shape[0]
+            manager._codes[layer_index].extend(
+                codes[offset : offset + h].transpose(1, 0, 2)
+            )
+            offset += h

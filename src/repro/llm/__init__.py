@@ -16,7 +16,9 @@ from .kvcache import (
     TokenSegments,
 )
 from .model import (
+    DECODE_ROW_BLOCK,
     PREFILL_ROW_BLOCK,
+    BatchSelector,
     PrefillAggregates,
     PrefillResult,
     PrefillState,
@@ -43,7 +45,9 @@ __all__ = [
     "SwappedBlocks",
     "SwapSpace",
     "TokenSegments",
+    "DECODE_ROW_BLOCK",
     "PREFILL_ROW_BLOCK",
+    "BatchSelector",
     "PrefillAggregates",
     "PrefillResult",
     "PrefillState",

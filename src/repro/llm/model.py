@@ -45,6 +45,12 @@ prefill path is therefore written to be independent of how rows are batched:
 Row-wise operations (RMSNorm, SiLU, RoPE, residual adds) only reduce along
 the fixed feature axis and are invariant as-is.
 
+Decode rounds get the same treatment at request granularity: decode-time
+dense ops run on fixed ``(DECODE_ROW_BLOCK, d)`` zero-padded operands (see
+:func:`_decode_rows`), so a request's decode step is bitwise identical
+whether it runs alone through :meth:`TransformerLM.decode_step` or packed
+with other requests into one :meth:`TransformerLM.decode_step_batch` round.
+
 The model is random-initialised: no pretrained weights exist offline.  Its
 purpose is to exercise the true code paths (per-head keys with RoPE, GQA
 grouping, caches, latency accounting) and to provide logit-fidelity
@@ -54,19 +60,22 @@ comparisons between attention policies, not to produce fluent text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError, DimensionError
 from ..utils import as_rng, softmax
-from .attention import expand_kv_heads
+from .attention import decode_attention, expand_kv_heads
 from .config import ModelConfig
 from .kvcache import KVCache
 from .layers import Linear, RMSNorm, SwiGLU
 from .rope import apply_rope
 
 __all__ = [
+    "BatchSelector",
+    "DECODE_ROW_BLOCK",
     "LayerWeights",
     "PrefillAggregates",
     "PrefillResult",
@@ -81,6 +90,12 @@ __all__ = [
 #: to exactly this many rows, so a token's projection is computed from an
 #: identically-shaped ``matmul`` regardless of chunk boundaries.
 PREFILL_ROW_BLOCK = 256
+
+#: Row-block size of the fixed-shape dense operands used during decoding.
+#: Every decode-time projection/FFN ``matmul`` runs on exactly this many rows
+#: (zero-padded), whether the engine decodes requests one at a time or fuses
+#: a whole batch into one round — see :func:`_decode_rows`.
+DECODE_ROW_BLOCK = 8
 
 
 def _blocked_rows(fn, rows: np.ndarray, global_start: int) -> np.ndarray:
@@ -107,6 +122,37 @@ def _blocked_rows(fn, rows: np.ndarray, global_start: int) -> np.ndarray:
             padded[offset: offset + take] = rows[pos: pos + take]
             pieces.append(fn(padded)[offset: offset + take])
         pos += take
+    if len(pieces) == 1:
+        return pieces[0]
+    return np.concatenate(pieces, axis=0)
+
+
+def _decode_rows(fn, rows: np.ndarray) -> np.ndarray:
+    """Apply a row-wise dense op on fixed ``(DECODE_ROW_BLOCK, d)`` operands.
+
+    BLAS ``matmul`` results for one row change with the operand's row count
+    (the reason prefill projections run on the :data:`PREFILL_ROW_BLOCK`
+    grid), but within a *fixed* operand shape each row's result is bitwise
+    independent of both its offset in the block and the other rows' contents
+    — GEMM computes every output row from its own input row only, with a
+    per-element accumulation order fixed by the operand shapes.  The decode
+    paths rely on exactly that: the per-request loop runs each token's row
+    alone in a zero-padded block, the fused round packs up to
+    :data:`DECODE_ROW_BLOCK` requests' rows into the same shape (streaming
+    each weight matrix once per round instead of once per request), and both
+    see identical per-row results.
+    """
+    block = DECODE_ROW_BLOCK
+    b = rows.shape[0]
+    pieces: list[np.ndarray] = []
+    for pos in range(0, b, block):
+        take = min(block, b - pos)
+        if take == block:
+            pieces.append(fn(rows[pos: pos + block]))
+        else:
+            padded = np.zeros((block, rows.shape[1]), dtype=np.float64)
+            padded[:take] = rows[pos: pos + take]
+            pieces.append(fn(padded)[:take])
     if len(pieces) == 1:
         return pieces[0]
     return np.concatenate(pieces, axis=0)
@@ -299,6 +345,14 @@ class PrefillState:
 # either None (attend to everything) or a per-KV-head list of token indices.
 Selector = Callable[[int, np.ndarray, "KVCache"], Sequence[np.ndarray] | np.ndarray | None]
 
+# A batch selector receives (layer_index, per-request queries, per-request
+# caches) and returns one selection per request, each in the same format a
+# plain :data:`Selector` would return for that request.
+BatchSelector = Callable[
+    [int, "list[np.ndarray]", "list[KVCache]"],
+    "list[Sequence[np.ndarray] | np.ndarray | None]",
+]
+
 
 class TransformerLM:
     """Random-initialised decoder-only language model.
@@ -376,22 +430,39 @@ class TransformerLM:
         total += sum(layer.num_parameters for layer in self.layers)
         return total
 
-    def _project_qkv(
-        self, layer: LayerWeights, hidden: np.ndarray, positions: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Project normed hidden states into per-head Q, K, V with RoPE."""
+    def _decode_project_qkv(
+        self,
+        layer: LayerWeights,
+        hidden_rows: np.ndarray,
+        positions: "Sequence[np.ndarray]",
+    ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray]]":
+        """Per-request Q/K/V for a decode round, on the fixed decode block.
+
+        ``hidden_rows`` stacks one ``(d,)`` last-token hidden state per
+        request; projections run through :func:`_decode_rows`, so a row's
+        results are bitwise identical whether it is projected alone (the
+        per-request loop) or alongside the rest of a fused batch.  RMSNorm
+        and RoPE reduce along per-row axes only and are batch-invariant
+        as-is.
+
+        Returns one ``(q, k, v)`` triple per request, each head-major with a
+        single token: ``q`` is ``(num_heads, 1, head_dim)``, ``k``/``v`` are
+        ``(num_kv_heads, 1, head_dim)``.
+        """
         cfg = self.config
-        s = hidden.shape[0]
-        normed = layer.attn_norm(hidden)
-        q = layer.q_proj(normed).reshape(s, cfg.num_heads, cfg.head_dim)
-        k = layer.k_proj(normed).reshape(s, cfg.num_kv_heads, cfg.head_dim)
-        v = layer.v_proj(normed).reshape(s, cfg.num_kv_heads, cfg.head_dim)
-        q = q.transpose(1, 0, 2)  # (h, s, d_h)
-        k = k.transpose(1, 0, 2)  # (h_kv, s, d_h)
-        v = v.transpose(1, 0, 2)
-        q = apply_rope(q, positions, base=self.rope_base)
-        k = apply_rope(k, positions, base=self.rope_base)
-        return q, k, v
+        normed = layer.attn_norm(hidden_rows)
+        q_all = _decode_rows(layer.q_proj, normed)
+        k_all = _decode_rows(layer.k_proj, normed)
+        v_all = _decode_rows(layer.v_proj, normed)
+        triples = []
+        for i, position in enumerate(positions):
+            q = q_all[i].reshape(1, cfg.num_heads, cfg.head_dim).transpose(1, 0, 2)
+            k = k_all[i].reshape(1, cfg.num_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+            v = v_all[i].reshape(1, cfg.num_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+            q = apply_rope(q, position, base=self.rope_base)
+            k = apply_rope(k, position, base=self.rope_base)
+            triples.append((q, k, v))
+        return triples
 
     # ------------------------------------------------------------- prefill
 
@@ -730,10 +801,9 @@ class TransformerLM:
         cfg = self.config
         position = np.asarray([cache.seq_len])
         hidden = self.embedding[int(token_id)][None, :]  # (1, d)
-        group = cfg.gqa_group_size
 
         for layer_index, layer in enumerate(self.layers):
-            q, k, v = self._project_qkv(layer, hidden, position)
+            ((q, k, v),) = self._decode_project_qkv(layer, hidden, [position])
             layer_cache = cache[layer_index]
             layer_cache.append(k[:, 0, :], v[:, 0, :])
             query = q[:, 0, :]  # (h, d_h)
@@ -742,30 +812,167 @@ class TransformerLM:
             if selector is not None:
                 selected = selector(layer_index, query, cache)
 
-            keys = layer_cache.keys
-            values = layer_cache.values
-            seq = keys.shape[1]
-            if selected is None:
-                per_head = [np.arange(seq, dtype=np.int64)] * cfg.num_kv_heads
-            elif isinstance(selected, (list, tuple)):
-                per_head = [np.asarray(idx, dtype=np.int64) for idx in selected]
-            else:
-                per_head = [np.asarray(selected, dtype=np.int64)] * cfg.num_kv_heads
+            attn_out = decode_attention(
+                query, layer_cache.keys, layer_cache.values, selected
+            )
 
-            attn_out = np.zeros((cfg.num_heads, cfg.head_dim), dtype=np.float64)
-            for kv_head, indices in enumerate(per_head):
-                if indices.size == 0:
-                    continue
-                k_sel = keys[kv_head, indices, :]
-                v_sel = values[kv_head, indices, :]
-                for g in range(group):
-                    q_head = kv_head * group + g
-                    logits = (k_sel @ query[q_head]) / np.sqrt(cfg.head_dim)
-                    weights = softmax(logits)
-                    attn_out[q_head] = weights @ v_sel
-
-            hidden = hidden + layer.o_proj(attn_out.reshape(1, cfg.hidden_dim))
-            hidden = hidden + layer.ffn(layer.ffn_norm(hidden))
+            hidden = hidden + _decode_rows(
+                layer.o_proj, attn_out.reshape(1, cfg.hidden_dim)
+            )
+            hidden = hidden + _decode_rows(layer.ffn, layer.ffn_norm(hidden))
 
         final = self.final_norm(hidden[0])
         return self.lm_head @ final
+
+    def decode_step_batch(
+        self,
+        token_ids: Sequence[int],
+        caches: "Sequence[KVCache]",
+        selector: BatchSelector | None = None,
+        timings: "dict[str, float] | None" = None,
+    ) -> "list[np.ndarray]":
+        """Process one generated token for *each* request in one fused round.
+
+        Bitwise identical to calling :meth:`decode_step` once per request, in
+        order: every dense op (projections, o_proj, FFN) packs the requests'
+        rows into the same fixed-shape :func:`_decode_rows` blocks the
+        per-request path pads with zeros — each row's result is independent
+        of its block-mates — norms/RoPE/lm_head reduce along per-request axes
+        only, and attention extends
+        :func:`~repro.llm.attention.decode_attention`'s length-grouping across
+        ``(request, kv_head)`` entries — the non-optimized einsum contraction
+        makes each entry's result independent of which other entries share its
+        group.  The win is weight reuse: one padded GEMM per dense op per
+        layer streams each weight matrix once per *round* instead of once per
+        request, plus one einsum per distinct selection length per layer
+        instead of one per request per layer.
+
+        Args:
+            token_ids: last generated token id of each request.
+            caches: one KVCache per request (appended in request order).
+            selector: optional batch selector; receives all requests' queries
+                and caches for a layer at once and returns one per-request
+                selection (each in :data:`Selector` return format).
+            timings: optional accumulator for host wall-clock stage seconds —
+                ``"gather"`` (selected key/value stacking) and ``"attention"``
+                (grouped einsum + softmax) are added into it.
+
+        Returns:
+            One ``(vocab,)`` logits array per request.
+        """
+        cfg = self.config
+        n = len(caches)
+        if len(token_ids) != n:
+            raise DimensionError(
+                f"got {len(token_ids)} token ids for {n} caches"
+            )
+        if n == 0:
+            return []
+        h_kv = cfg.num_kv_heads
+        group = cfg.gqa_group_size
+        scale = np.sqrt(cfg.head_dim)
+        # Positions are captured before any appends, matching the per-request
+        # path where each request reads its own pre-append seq_len.
+        positions = [np.asarray([cache.seq_len]) for cache in caches]
+        hidden_rows = np.stack([self.embedding[int(t)] for t in token_ids])
+
+        for layer_index, layer in enumerate(self.layers):
+            queries: list[np.ndarray] = []
+            keys_all: list[np.ndarray] = []
+            values_all: list[np.ndarray] = []
+            triples = self._decode_project_qkv(layer, hidden_rows, positions)
+            for i, (q, k, v) in enumerate(triples):
+                layer_cache = caches[i][layer_index]
+                layer_cache.append(k[:, 0, :], v[:, 0, :])
+                queries.append(q[:, 0, :])
+                keys_all.append(layer_cache.keys)
+                values_all.append(layer_cache.values)
+
+            if selector is not None:
+                raw = selector(layer_index, queries, list(caches))
+                if len(raw) != n:
+                    raise DimensionError(
+                        f"batch selector returned {len(raw)} selections "
+                        f"for {n} requests"
+                    )
+            else:
+                raw = [None] * n
+
+            # Per-request normalization, same semantics as decode_step /
+            # decode_attention: None attends to everything, a list/tuple is
+            # per-KV-head, anything else is shared across KV heads.
+            per_request: list[list[np.ndarray]] = []
+            for i in range(n):
+                selected = raw[i]
+                if selected is None:
+                    seq = keys_all[i].shape[1]
+                    per_head = [np.arange(seq, dtype=np.int64)] * h_kv
+                elif isinstance(selected, (list, tuple)):
+                    if len(selected) != h_kv:
+                        raise DimensionError(
+                            f"request {i}: selected has {len(selected)} "
+                            f"entries, expected {h_kv} KV heads"
+                        )
+                    per_head = [np.asarray(idx, dtype=np.int64) for idx in selected]
+                else:
+                    shared = np.asarray(selected, dtype=np.int64)
+                    per_head = [shared] * h_kv
+                per_request.append(per_head)
+
+            # Length-grouped attention over (request, kv_head) entries: one
+            # einsum per distinct selection length.  Gathers are exact copies
+            # and einsum accumulates per output element over the contracted
+            # axis only, so each entry's rows are bitwise independent of its
+            # group-mates.
+            attn_outs = [
+                np.zeros((cfg.num_heads, cfg.head_dim), dtype=np.float64)
+                for _ in range(n)
+            ]
+            entries = [(i, kv) for i in range(n) for kv in range(h_kv)]
+            lengths = np.array(
+                [per_request[i][kv].size for i, kv in entries], dtype=np.int64
+            )
+            q_grouped = [query.reshape(h_kv, group, cfg.head_dim) for query in queries]
+            for t in np.unique(lengths):
+                if t == 0:
+                    continue
+                gather_start = perf_counter()
+                rows = np.flatnonzero(lengths == t)
+                k_sel = np.stack(
+                    [keys_all[entries[r][0]][entries[r][1], per_request[entries[r][0]][entries[r][1]], :]
+                     for r in rows]
+                )
+                v_sel = np.stack(
+                    [values_all[entries[r][0]][entries[r][1], per_request[entries[r][0]][entries[r][1]], :]
+                     for r in rows]
+                )
+                q_sel = np.stack(
+                    [q_grouped[entries[r][0]][entries[r][1]] for r in rows]
+                )
+                attn_start = perf_counter()
+                logits = np.einsum("ngd,ntd->ngt", q_sel, k_sel) / scale
+                weights = softmax(logits, axis=-1)
+                out = np.einsum("ngt,ntd->ngd", weights, v_sel)
+                for row_pos, r in enumerate(rows):
+                    i, kv = entries[r]
+                    attn_outs[i][kv * group: (kv + 1) * group] = out[row_pos]
+                if timings is not None:
+                    timings["gather"] = (
+                        timings.get("gather", 0.0) + attn_start - gather_start
+                    )
+                    timings["attention"] = (
+                        timings.get("attention", 0.0)
+                        + perf_counter() - attn_start
+                    )
+
+            attn_rows = np.stack(
+                [attn_outs[i].reshape(cfg.hidden_dim) for i in range(n)]
+            )
+            hidden_rows = hidden_rows + _decode_rows(layer.o_proj, attn_rows)
+            hidden_rows = hidden_rows + _decode_rows(
+                layer.ffn, layer.ffn_norm(hidden_rows)
+            )
+
+        return [
+            self.lm_head @ self.final_norm(hidden_rows[i]) for i in range(n)
+        ]

@@ -9,19 +9,27 @@ request from its :class:`~repro.serve.PolicySpec`, and emits
 tokens plus per-request serving metrics.
 
 Decode math is *identical* to the legacy single-sequence loop: each request
-owns its prefill/KVCache, every decode round calls
-:meth:`TransformerLM.decode_step` with the request's own policy selector, and
-tokens are picked by masked argmax — so a batched run produces byte-identical
-tokens to sequential :func:`repro.llm.greedy_generate` calls (which is itself
-a thin wrapper over a one-request engine).
+owns its prefill/KVCache and its policy, and tokens are picked by masked
+argmax — so a batched run produces byte-identical tokens to sequential
+:func:`repro.llm.greedy_generate` calls (which is itself a thin wrapper over
+a one-request engine).
 
-The decode hot path underneath is fully batched across KV heads: policy
-selection rides the vectorized ADC kernels
-(:meth:`~repro.core.pq.ProductQuantizer.score_batch` /
-:meth:`~repro.core.pq.ProductQuantizer.encode_batch` via
-:class:`~repro.core.pqcache.PQCacheManager`) and the vectorized
-:func:`~repro.llm.attention.decode_attention`, so a decode round costs one
-einsum/gather per layer instead of a Python loop over every KV head.
+The decode hot path is fused across *requests* as well as KV heads: by
+default one engine step issues one :meth:`TransformerLM.decode_step_batch`
+round over every ``RUNNING`` request (planned by
+:class:`~repro.serve.decode_batch.DecodeBatch`).  The round's dense ops pack
+all requests' token rows into the model's fixed-shape decode blocks — each
+weight matrix streams once per round instead of once per request — and
+policy selection dispatches per policy class to cross-request batch kernels:
+ADC scoring/top-k (:func:`~repro.core.pqcache.topk_middle_grouped`), grouped
+PQ encoding (:func:`~repro.core.pqcache.append_tokens_grouped`), grouped
+sort-dedup assembly for the dropping baselines, and length-grouped einsum
+attention over ``(request, kv_head)`` entries.  The fused round is
+byte-identical to the per-request loop
+(tokens, logits, selections, simulated clock and counters);
+``decode_batching=False`` keeps the per-request loop as an escape hatch,
+and a round whose block reservations might need the pool-pressure ladder
+(evictions/preemptions) falls back to it automatically.
 
 Prefilling runs in one of two modes.  By default an admitted request
 prefills its whole prompt during the admission step (monolithic).  With
@@ -112,6 +120,7 @@ from ..llm.kvcache import (
 from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
+from .decode_batch import DecodeBatch
 from .metrics import EngineMetrics
 from .prefix_cache import PrefixCache
 from .pressure import PoolPressureMixin
@@ -157,6 +166,13 @@ class InferenceEngine(PoolPressureMixin):
             instead of freeing them, restoring them bitwise on later hits.
             PQ codes are ~1/64th the KV bytes, so snapshot spill is nearly
             free.  Only meaningful with ``enable_prefix_caching``.
+        decode_batching: run each engine step's decode phase as one *fused*
+            multi-request round (:meth:`TransformerLM.decode_step_batch` over
+            a :class:`~repro.serve.decode_batch.DecodeBatch` plan) instead of
+            one :meth:`TransformerLM.decode_step` call per request.  The
+            fused round is byte-identical to the per-request loop; ``False``
+            restores the loop, and rounds whose block reservations might
+            trigger the pool-pressure ladder fall back to it automatically.
         cache_decoded_blocks: also cache the blocks a request fills while
             *decoding*, so a follow-up turn embedding the answer reuses them.
             **Approximate reuse — off by default**: decoded tokens' KV was
@@ -181,8 +197,10 @@ class InferenceEngine(PoolPressureMixin):
         swap_cpu_blocks: int | None = None,
         swap_disk_blocks: int | None = None,
         enable_disk_spill: bool = True,
+        decode_batching: bool = True,
     ) -> None:
         self.model = model
+        self.decode_batching = decode_batching
         self.scheduler: ContinuousBatchingScheduler[RequestState] = (
             ContinuousBatchingScheduler(scheduler_config)
         )
@@ -327,10 +345,24 @@ class InferenceEngine(PoolPressureMixin):
             self._run_prefill_chunk(state, num_tokens, new_tokens)
             touch(state)
 
-        for state in decision.decodes:
-            if not state.finished and state.status is RequestStatus.RUNNING:
+        decoding = [
+            state
+            for state in decision.decodes
+            if not state.finished and state.status is RequestStatus.RUNNING
+        ]
+        if decoding and self.decode_batching and self._can_fuse_decodes(decoding):
+            for state in decoding:
                 touch(state)
-                self._run_decode_round(state, new_tokens)
+            self._run_decode_batch(decoding, new_tokens)
+        else:
+            # Per-request escape hatch — also the fallback when the fused
+            # round's block reservations might need the pressure ladder.
+            # Eligibility is re-checked per iteration: an earlier round's
+            # reservation may preempt (park) a later member of this batch.
+            for state in decoding:
+                if not state.finished and state.status is RequestStatus.RUNNING:
+                    touch(state)
+                    self._run_decode_round(state, new_tokens)
 
         # Backstop settlement: spills triggered by allocation hooks inside
         # the model's own appends (rare — reservations normally cover them).
@@ -827,6 +859,7 @@ class InferenceEngine(PoolPressureMixin):
         logits = self.model.decode_step(token, cache, selector)
         if policy is not None:
             policy.on_decode_step(cache)
+        self._bill_maintenance(state, policy)
         state.num_decoded += 1
         state.step_logits.append(logits)
         state.selections.append(step_selections)
@@ -873,6 +906,153 @@ class InferenceEngine(PoolPressureMixin):
         new_tokens.setdefault(request.request_id, []).append(next_token)
         if state.is_stop(next_token):
             self._finish(state, "stop")
+
+    def _can_fuse_decodes(self, states: "list[RequestState]") -> bool:
+        """Whether this round's appends fit the pool without the ladder.
+
+        The fused round must not hit the pressure escalation ladder
+        mid-flight: an eviction or preemption between two members' appends
+        would change which requests participate and reorder clock charges.
+        So the engine reserves *upfront*: it sums every member's
+        single-token append demand (:meth:`_append_blocks_needed`, an exact
+        count that only shrinks as earlier members' copy-on-write copies
+        drop shared refcounts) and fuses only when the pool can supply the
+        sum outright.  Under that guarantee each member's in-round
+        allocation trivially succeeds and every per-member
+        :meth:`_ensure_blocks` call would have been a side-effect-free
+        no-op, so the fused path skips them.  Otherwise the caller runs the
+        per-request loop, which handles pressure one request at a time.
+        """
+        allocator = self.block_allocator
+        if allocator is None or allocator.capacity_blocks is None:
+            return True
+        needed = 0
+        for state in states:
+            if state.paged is not None and not state.paged.released:
+                needed += self._append_blocks_needed(state, 1)
+        if needed == 0:
+            return True
+        available = allocator.num_available
+        return available is not None and needed <= available
+
+    def _run_decode_batch(
+        self, states: "list[RequestState]", new_tokens: dict[str, list[int]]
+    ) -> None:
+        """One fused decode round over every ``RUNNING`` request.
+
+        Byte-identical to calling :meth:`_run_decode_round` per request in
+        the same order: the model computes the round layer-major across
+        requests (per-request state is isolated, so the arithmetic cannot
+        differ), policy hooks run through their grouped batch kernels
+        (contractually bitwise equal to the per-request hooks), and the
+        billing phase below replays the looped path's per-request tail —
+        counters, attended means, GPU-cache hit rate, communication bytes,
+        simulated TPOT, maintenance billing, forced/replay/stop handling —
+        member by member in the original decode order, so every clock
+        addition happens in the exact sequence the loop would produce.
+
+        Only callable under the :meth:`_can_fuse_decodes` guarantee (no
+        block reservation can fail, no member can be preempted mid-round).
+        """
+        batch = DecodeBatch.plan(states, self.model.config.num_kv_heads)
+        members = batch.members
+        logits_list = self.model.decode_step_batch(
+            batch.tokens, batch.caches, batch.build_selector(),
+            timings=batch.timings,
+        )
+        batch.run_policy_updates()
+
+        num_layers = self.model.config.num_layers
+        for member, logits in zip(members, logits_list):
+            state = member.state
+            request = state.request
+            policy = member.policy
+            cache = member.cache
+            self._bill_maintenance(state, policy)
+            state.num_decoded += 1
+            state.step_logits.append(logits)
+            state.selections.append(member.step_selections)
+            self.metrics.decode_rounds += 1
+            state.metrics.decode_steps += 1
+            attended = member.attended
+            if not member.needs_selector:
+                # Full attention without a policy: every cached token
+                # participates.
+                attended = [float(cache.seq_len)] * num_layers
+            state.metrics.attended_tokens += (
+                float(np.mean(attended)) if attended else 0.0
+            )
+
+            seq_len = cache.seq_len
+            hit_rate = self._gpu_cache_hit_rate(policy)
+            if policy is not None:
+                comm = policy.step_communication_bytes(seq_len)
+                state.metrics.comm_overlappable_bytes += comm.get("overlappable", 0.0)
+                state.metrics.comm_blocking_bytes += comm.get("blocking", 0.0)
+            seconds = self.latency.tpot(seq_len, state.method, cache_hit_rate=hit_rate)
+            self.metrics.clock += seconds
+            state.metrics.decode_seconds += seconds
+
+            if state.forced is not None:
+                if state.num_decoded >= len(state.forced):
+                    self._finish(state, "length")
+                continue
+
+            next_token = state.pick_token(logits)
+            if state.num_decoded >= request.sampling.max_new_tokens:
+                self._finish(state, "length")
+                continue
+            if state.num_decoded < len(state.generated):
+                # Recompute-resume replay — see :meth:`_run_decode_round`.
+                if next_token != state.generated[state.num_decoded]:
+                    raise ConfigurationError(
+                        f"recompute replay diverged at decode step "
+                        f"{state.num_decoded}: {next_token} != "
+                        f"{state.generated[state.num_decoded]}"
+                    )
+                continue
+            state.generated.append(next_token)
+            state.metrics.num_generated_tokens += 1
+            self.metrics.generated_tokens += 1
+            new_tokens.setdefault(request.request_id, []).append(next_token)
+            if state.is_stop(next_token):
+                self._finish(state, "stop")
+
+        self.metrics.observe_decode_batch(len(members))
+        timings = batch.timings
+        self.metrics.decode_select_seconds += timings.get("select", 0.0)
+        self.metrics.decode_score_seconds += timings.get("score", 0.0)
+        self.metrics.decode_topk_seconds += timings.get("topk", 0.0)
+        self.metrics.decode_gather_seconds += timings.get("gather", 0.0)
+        self.metrics.decode_attention_seconds += timings.get("attention", 0.0)
+        self.metrics.decode_maintenance_seconds += timings.get("maintenance", 0.0)
+
+    def _bill_maintenance(
+        self, state: RequestState, policy: KVCachePolicy | None
+    ) -> None:
+        """Bill a decode step's deferred index maintenance to the clock.
+
+        Policies report periodic maintenance (PQCache's ``refresh_every``
+        codebook refresh) through
+        :meth:`~repro.baselines.base.KVCachePolicy.consume_maintenance`; the
+        engine charges it as a clustering timeline task — the same
+        analytical cost model the prefill-time PQ build uses, once per layer
+        — so the refresh knob has an honest simulated-latency price.  Runs
+        in both decode paths, immediately after the policy's post-append
+        hook and before the step's TPOT charge.
+        """
+        if policy is None:
+            return
+        pending = policy.consume_maintenance()
+        if pending is None:
+            return
+        seconds = self.model.config.num_layers * self.latency.layer_clustering_seconds(
+            int(pending["tokens"]), iterations=pending["iterations"]
+        )
+        self.metrics.clock += seconds
+        state.metrics.decode_seconds += seconds
+        self.metrics.pq_refreshes += 1
+        self.metrics.pq_refresh_seconds += seconds
 
     # ------------------------------------------------------------- finish
 

@@ -146,6 +146,29 @@ class EngineMetrics:
     the max, because parallel engines' clocks overlap in wall time — the
     fleet makespan is the slowest worker, not the sum), and :meth:`reset`
     zeroes the instance in place for windowed reporting.
+
+    ``steps`` vs ``decode_rounds`` under fused decode batching
+    ----------------------------------------------------------
+    ``steps`` counts :meth:`~repro.serve.InferenceEngine.step` calls — one
+    per scheduler tick regardless of how many requests it served.
+    ``decode_rounds`` counts *per-request* decode rounds: one fused
+    multi-request round still increments ``decode_rounds`` once per
+    participating request, exactly like the per-request loop, so dashboards
+    and rate formulas built on it do not shift when ``decode_batching``
+    toggles.  The fused path's own shape is reported separately by
+    ``decode_batch_rounds`` (fused rounds executed) and
+    ``decode_batch_requests`` (members across them; their ratio is the mean
+    batch size), plus the ``decode_batch_size_*`` histogram buckets.
+
+    The ``decode_*_seconds`` stage counters are *host wall-clock* seconds
+    (``time.perf_counter``), not simulated latency-model seconds: they break
+    one decode round into ADC scoring, top-k selection, K/V gather,
+    attention + dense compute, and policy maintenance (PQ appends /
+    codebook refreshes), so regressions in a specific decode stage are
+    visible without profiling.  ``decode_select_seconds`` is the total time
+    inside policy selection hooks and is a superset of the score and top-k
+    stages (policies that cannot split their selection report only the
+    total).
     """
 
     clock: float = 0.0
@@ -176,6 +199,43 @@ class EngineMetrics:
     spill_out_bytes: float = 0.0
     spill_in_bytes: float = 0.0
     swap_seconds: float = 0.0
+    #: fused decode-round observability (all zero when decode batching is
+    #: off): rounds / members / batch-size histogram, host wall-clock stage
+    #: breakdown, and PQ drift-refresh accounting (``pq_refresh_seconds`` is
+    #: *simulated* clustering time billed to the clock, unlike the
+    #: ``decode_*_seconds`` wall-clock stages).
+    decode_batch_rounds: int = 0
+    decode_batch_requests: int = 0
+    decode_batch_size_1: int = 0
+    decode_batch_size_2_4: int = 0
+    decode_batch_size_5_8: int = 0
+    decode_batch_size_9_16: int = 0
+    decode_batch_size_17_plus: int = 0
+    decode_select_seconds: float = 0.0
+    decode_score_seconds: float = 0.0
+    decode_topk_seconds: float = 0.0
+    decode_gather_seconds: float = 0.0
+    decode_attention_seconds: float = 0.0
+    decode_maintenance_seconds: float = 0.0
+    pq_refreshes: int = 0
+    pq_refresh_seconds: float = 0.0
+
+    def observe_decode_batch(self, batch_size: int) -> None:
+        """Record one fused decode round over ``batch_size`` requests."""
+        if batch_size <= 0:
+            return
+        self.decode_batch_rounds += 1
+        self.decode_batch_requests += batch_size
+        if batch_size == 1:
+            self.decode_batch_size_1 += 1
+        elif batch_size <= 4:
+            self.decode_batch_size_2_4 += 1
+        elif batch_size <= 8:
+            self.decode_batch_size_5_8 += 1
+        elif batch_size <= 16:
+            self.decode_batch_size_9_16 += 1
+        else:
+            self.decode_batch_size_17_plus += 1
 
     # -------------------------------------------------- snapshot / merge
 
@@ -222,6 +282,24 @@ class EngineMetrics:
         return self.generated_tokens / self.clock
 
     @property
+    def mean_decode_batch_size(self) -> float:
+        """Average RUNNING requests served per fused decode round."""
+        if self.decode_batch_rounds == 0:
+            return 0.0
+        return self.decode_batch_requests / self.decode_batch_rounds
+
+    @property
+    def decode_batch_size_histogram(self) -> dict:
+        """Fused-round batch sizes bucketed as ``{label: rounds}``."""
+        return {
+            "1": self.decode_batch_size_1,
+            "2-4": self.decode_batch_size_2_4,
+            "5-8": self.decode_batch_size_5_8,
+            "9-16": self.decode_batch_size_9_16,
+            "17+": self.decode_batch_size_17_plus,
+        }
+
+    @property
     def prefix_cache_hit_rate(self) -> float:
         """Fraction of prefix-cache lookups that matched at least one block."""
         if self.prefix_cache_queries == 0:
@@ -263,4 +341,16 @@ class EngineMetrics:
             "spill_out_bytes": self.spill_out_bytes,
             "spill_in_bytes": self.spill_in_bytes,
             "swap_seconds": self.swap_seconds,
+            "decode_batch_rounds": self.decode_batch_rounds,
+            "decode_batch_requests": self.decode_batch_requests,
+            "mean_decode_batch_size": self.mean_decode_batch_size,
+            "decode_batch_size_histogram": self.decode_batch_size_histogram,
+            "decode_select_seconds": self.decode_select_seconds,
+            "decode_score_seconds": self.decode_score_seconds,
+            "decode_topk_seconds": self.decode_topk_seconds,
+            "decode_gather_seconds": self.decode_gather_seconds,
+            "decode_attention_seconds": self.decode_attention_seconds,
+            "decode_maintenance_seconds": self.decode_maintenance_seconds,
+            "pq_refreshes": self.pq_refreshes,
+            "pq_refresh_seconds": self.pq_refresh_seconds,
         }
