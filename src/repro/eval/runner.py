@@ -50,7 +50,10 @@ def clone_prefill(prefill: PrefillResult, config: ModelConfig) -> PrefillResult:
     every policy gets its own cache copy; the immutable aggregates and logits
     are shared.
     """
-    cache = KVCache(config.num_layers, config.num_kv_heads, config.head_dim)
+    cache = KVCache(
+        config.num_layers, config.num_kv_heads, config.head_dim,
+        config.dtype_bytes,
+    )
     for layer_index in range(config.num_layers):
         source = prefill.kvcache[layer_index]
         cache[layer_index].append(source.keys.copy(), source.values.copy())

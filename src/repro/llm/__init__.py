@@ -15,6 +15,16 @@ from .kvcache import (
     SwapSpace,
     TokenSegments,
 )
+from .kvcodec import (
+    CODEC_NAMES,
+    BytePlaneCodec,
+    EncodedKV,
+    Int4OutlierCodec,
+    IntQuantCodec,
+    KVBlockCodec,
+    RawCodec,
+    get_codec,
+)
 from .model import (
     DECODE_ROW_BLOCK,
     PREFILL_ROW_BLOCK,
@@ -45,6 +55,14 @@ __all__ = [
     "SwappedBlocks",
     "SwapSpace",
     "TokenSegments",
+    "CODEC_NAMES",
+    "BytePlaneCodec",
+    "EncodedKV",
+    "Int4OutlierCodec",
+    "IntQuantCodec",
+    "KVBlockCodec",
+    "RawCodec",
+    "get_codec",
     "DECODE_ROW_BLOCK",
     "PREFILL_ROW_BLOCK",
     "BatchSelector",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CapacityError, ConfigurationError, DimensionError
+from .kvcodec import EncodedKV, KVBlockCodec, RawCodec
 
 __all__ = [
     "TokenSegments",
@@ -113,11 +114,17 @@ class LayerKVCache:
 
     _GROWTH = 256
 
-    def __init__(self, num_kv_heads: int, head_dim: int) -> None:
+    def __init__(
+        self, num_kv_heads: int, head_dim: int, dtype_bytes: int = 2
+    ) -> None:
         if num_kv_heads <= 0 or head_dim <= 0:
             raise ConfigurationError("num_kv_heads and head_dim must be positive")
+        if dtype_bytes not in (1, 2, 4, 8):
+            raise ConfigurationError("dtype_bytes must be one of 1, 2, 4, 8")
         self.num_kv_heads = num_kv_heads
         self.head_dim = head_dim
+        #: modelled element width the byte accounting defaults to
+        self.dtype_bytes = dtype_bytes
         self._keys = np.zeros((num_kv_heads, 0, head_dim), dtype=np.float64)
         self._values = np.zeros((num_kv_heads, 0, head_dim), dtype=np.float64)
         self._length = 0
@@ -197,20 +204,31 @@ class LayerKVCache:
             self.values[:, token_indices, :],
         )
 
-    def nbytes(self, dtype_bytes: int = 2) -> int:
-        """Modelled storage cost at the given element width (fp16 default)."""
+    def nbytes(self, dtype_bytes: "int | None" = None) -> int:
+        """Modelled storage cost at the given element width.
+
+        Defaults to the width configured at construction (the model
+        config's ``dtype_bytes``), so byte accounting follows the modelled
+        storage dtype instead of assuming fp16.
+        """
+        if dtype_bytes is None:
+            dtype_bytes = self.dtype_bytes
         return 2 * self.num_kv_heads * self._length * self.head_dim * dtype_bytes
 
 
 class KVCache:
     """Per-layer collection of :class:`LayerKVCache` objects."""
 
-    def __init__(self, num_layers: int, num_kv_heads: int, head_dim: int) -> None:
+    def __init__(
+        self, num_layers: int, num_kv_heads: int, head_dim: int,
+        dtype_bytes: int = 2,
+    ) -> None:
         if num_layers <= 0:
             raise ConfigurationError("num_layers must be positive")
         self.num_layers = num_layers
         self.layers = [
-            LayerKVCache(num_kv_heads, head_dim) for _ in range(num_layers)
+            LayerKVCache(num_kv_heads, head_dim, dtype_bytes)
+            for _ in range(num_layers)
         ]
 
     def __getitem__(self, layer: int) -> LayerKVCache:
@@ -229,7 +247,7 @@ class KVCache:
             seq_len=self.seq_len, num_initial=num_initial, num_local=num_local
         )
 
-    def nbytes(self, dtype_bytes: int = 2) -> int:
+    def nbytes(self, dtype_bytes: "int | None" = None) -> int:
         return sum(layer.nbytes(dtype_bytes) for layer in self.layers)
 
 
@@ -262,6 +280,7 @@ class BlockAllocator:
         head_dim: int,
         block_size: int = 64,
         capacity_blocks: int | None = None,
+        dtype_bytes: int = 2,
     ) -> None:
         if num_layers <= 0 or num_kv_heads <= 0 or head_dim <= 0:
             raise ConfigurationError(
@@ -273,6 +292,12 @@ class BlockAllocator:
             raise ConfigurationError(
                 "capacity_blocks must be positive (or None for an unbounded pool)"
             )
+        if dtype_bytes not in (1, 2, 4, 8):
+            raise ConfigurationError("dtype_bytes must be one of 1, 2, 4, 8")
+        #: modelled element width all byte accounting defaults to; the
+        #: serving engine sets this from the model config's ``dtype_bytes``
+        #: so nothing downstream bills against a hardcoded fp16 baseline
+        self.dtype_bytes = dtype_bytes
         self.num_layers = num_layers
         self.num_kv_heads = num_kv_heads
         self.head_dim = head_dim
@@ -313,15 +338,17 @@ class BlockAllocator:
             return None
         return self.capacity_blocks * self.block_size
 
-    def block_nbytes(self, dtype_bytes: int = 2) -> int:
-        """Modelled storage cost of one block at the given element width."""
+    def block_nbytes(self, dtype_bytes: "int | None" = None) -> int:
+        """Modelled storage cost of one block (defaults to the pool's width)."""
+        if dtype_bytes is None:
+            dtype_bytes = self.dtype_bytes
         return (
             2 * self.num_layers * self.num_kv_heads * self.block_size
             * self.head_dim * dtype_bytes
         )
 
-    def nbytes(self, dtype_bytes: int = 2) -> int:
-        """Modelled storage cost of every live block at the given width."""
+    def nbytes(self, dtype_bytes: "int | None" = None) -> int:
+        """Modelled storage cost of every live block."""
         return self.num_allocated * self.block_nbytes(dtype_bytes)
 
     # ---------------------------------------------------------- allocation
@@ -506,7 +533,8 @@ class PagedLayerKVCache(LayerKVCache):
     """
 
     def __init__(self, owner: "PagedKVCache", layer_index: int) -> None:
-        super().__init__(owner.allocator.num_kv_heads, owner.allocator.head_dim)
+        super().__init__(owner.allocator.num_kv_heads, owner.allocator.head_dim,
+                         owner.allocator.dtype_bytes)
         self._owner = owner
         self._layer_index = layer_index
 
@@ -629,7 +657,7 @@ class PagedKVCache(KVCache):
     def released(self) -> bool:
         return self.table.released
 
-    def pool_nbytes(self, dtype_bytes: int = 2) -> int:
+    def pool_nbytes(self, dtype_bytes: "int | None" = None) -> int:
         """Modelled shared-storage cost of the blocks this cache references."""
         return len(self.table.block_ids) * self.allocator.block_nbytes(dtype_bytes)
 
@@ -645,8 +673,13 @@ class SwappedBlocks:
 
     * **stored** — the block was exclusively owned by the swapped request
       (refcount 1), so freeing it reclaims pool space; its contents are
-      copied into the handle (``keys[i]``/``values[i]``) and restored into a
-      freshly allocated block on swap-in.
+      *encoded* through the handle's codec into the handle
+      (``keys[i]``/``values[i]`` hold :class:`~repro.llm.kvcodec.EncodedKV`
+      payloads) and decoded into a freshly allocated block on swap-in.  The
+      encoded form is what occupies the tier and crosses the PCIe/NVMe
+      links — the handle's ``stored_wire_nbytes`` is the transfer size the
+      engine bills, while ``stored_logical_nbytes`` is what the raw tiers
+      would have moved.
     * **pinned** — the block is *shared* (prefix cache, a forked sibling, a
       retained output), so it stays GPU-resident regardless of this request;
       the handle takes one extra reference (``pinned_ids[i]``), no bytes
@@ -657,20 +690,23 @@ class SwappedBlocks:
     The handle is single-use: :meth:`SwapSpace.swap_in` consumes it.
 
     Attributes:
-        keys: per-position key copies (``None`` at pinned positions).
-        values: per-position value copies (``None`` at pinned positions).
+        keys: per-position encoded key payloads (``None`` at pinned ones).
+        values: per-position encoded value payloads (``None`` at pinned ones).
         pinned_ids: per-position pinned block id (``None`` at stored ones).
         allocator: pool the pinned references live in.
         tier: current residency of the stored copies — ``"cpu"`` or
             ``"disk"``.  A handle created on the CPU tier may be demoted to
             ``"disk"`` while parked.
+        codec: the :class:`~repro.llm.kvcodec.KVBlockCodec` the stored
+            positions were encoded with (pins materialised later reuse it).
     """
 
-    keys: "list[np.ndarray | None]"
-    values: "list[np.ndarray | None]"
+    keys: "list[EncodedKV | None]"
+    values: "list[EncodedKV | None]"
     pinned_ids: "list[int | None]"
     allocator: "BlockAllocator"
     tier: str
+    codec: "KVBlockCodec"
 
     @property
     def num_blocks(self) -> int:
@@ -687,15 +723,45 @@ class SwappedBlocks:
         """Positions held as extra references on GPU-resident shared blocks."""
         return len(self.keys) - self.stored_blocks
 
+    @property
+    def stored_wire_nbytes(self) -> int:
+        """Encoded bytes the stored positions occupy (transfer size)."""
+        return sum(
+            k.wire_nbytes + v.wire_nbytes
+            for k, v in zip(self.keys, self.values) if k is not None
+        )
+
+    @property
+    def stored_logical_nbytes(self) -> int:
+        """Modelled raw bytes of the stored positions (pre-codec size)."""
+        return sum(
+            k.logical_nbytes + v.logical_nbytes
+            for k, v in zip(self.keys, self.values) if k is not None
+        )
+
 
 @dataclass
 class SwapSpaceStats:
-    """Lifetime transfer counters of one :class:`SwapSpace` (in blocks)."""
+    """Lifetime transfer counters of one :class:`SwapSpace`.
+
+    Block counters count chain positions; the byte counters distinguish
+    *logical* bytes (the modelled raw size a codec-less tier would move)
+    from *wire* bytes (the encoded size that actually occupies the tier and
+    crosses the link) so achieved compression ratios fall straight out of
+    their quotient.
+    """
 
     swapped_out: int = 0
     swapped_in: int = 0
     demoted: int = 0
     discarded: int = 0
+    swapped_out_logical_bytes: int = 0
+    swapped_out_wire_bytes: int = 0
+    swapped_in_logical_bytes: int = 0
+    swapped_in_wire_bytes: int = 0
+    #: bytes of CPU-parked handles that cascaded onward to the disk tier
+    demoted_logical_bytes: int = 0
+    demoted_wire_bytes: int = 0
 
 
 class SwapSpace:
@@ -715,12 +781,20 @@ class SwapSpace:
     bound them).  All arrays live in process memory either way — the *tier*
     tag drives the byte accounting the latency model charges for PCIe and
     NVMe traffic.
+
+    Every chain passes through a :class:`~repro.llm.kvcodec.KVBlockCodec`
+    on the way down: the default (or per-call) codec encodes stored block
+    copies into :class:`~repro.llm.kvcodec.EncodedKV` payloads whose
+    ``wire_nbytes`` is what the links actually carry.  The default
+    :class:`~repro.llm.kvcodec.RawCodec` keeps wire == logical, so a
+    codec-less configuration bills exactly what it always did.
     """
 
     def __init__(
         self,
         cpu_capacity_blocks: int | None = None,
         disk_capacity_blocks: int | None = None,
+        codec: "KVBlockCodec | None" = None,
     ) -> None:
         if cpu_capacity_blocks is not None and cpu_capacity_blocks < 0:
             raise ConfigurationError("cpu_capacity_blocks must be >= 0 or None")
@@ -728,6 +802,8 @@ class SwapSpace:
             raise ConfigurationError("disk_capacity_blocks must be >= 0 or None")
         self.cpu_capacity_blocks = cpu_capacity_blocks
         self.disk_capacity_blocks = disk_capacity_blocks
+        #: codec applied to stored copies unless ``swap_out`` overrides it
+        self.codec: KVBlockCodec = codec if codec is not None else RawCodec()
         #: parked handles in arrival order (oldest first) — demotion order
         self._handles: list[SwappedBlocks] = []
         self.stats = SwapSpaceStats()
@@ -787,19 +863,26 @@ class SwapSpace:
             candidate.tier = "disk"
             demoted += candidate.stored_blocks
             self.stats.demoted += candidate.stored_blocks
+            self.stats.demoted_logical_bytes += candidate.stored_logical_nbytes
+            self.stats.demoted_wire_bytes += candidate.stored_wire_nbytes
             room = self._tier_room("cpu", self.cpu_capacity_blocks)
         return demoted
 
     def swap_out(
-        self, allocator: BlockAllocator, block_ids: "list[int]", tier: str = "cpu"
+        self,
+        allocator: BlockAllocator,
+        block_ids: "list[int]",
+        tier: str = "cpu",
+        codec: "KVBlockCodec | None" = None,
     ) -> SwappedBlocks:
         """Move a chain out of the pool into a lower tier.
 
-        Exclusively-owned blocks (refcount 1) are copied into the tier —
-        they are the ones whose release reclaims pool space.  *Shared*
-        blocks (refcount > 1: the prefix cache or another request keeps them
-        GPU-resident anyway) are pinned by reference instead: no bytes move
-        and swap-in returns the very same block, preserving sharing.
+        Exclusively-owned blocks (refcount 1) are encoded through the codec
+        and copied into the tier — they are the ones whose release reclaims
+        pool space.  *Shared* blocks (refcount > 1: the prefix cache or
+        another request keeps them GPU-resident anyway) are pinned by
+        reference instead: no bytes move and swap-in returns the very same
+        block, preserving sharing.
 
         The caller's own pool references are *not* released here — it is
         expected to drop them (release the :class:`BlockTable`) once the
@@ -810,6 +893,8 @@ class SwapSpace:
             block_ids: chain to move, in order.
             tier: ``"cpu"`` (default; demotes older entries to disk under
                 pressure) or ``"disk"`` (direct cold spill).
+            codec: overrides the space's default codec for this chain (the
+                prefix cache uses this for lossy-on-spill configs).
 
         Returns:
             A single-use :class:`SwappedBlocks` handle.
@@ -819,6 +904,7 @@ class SwapSpace:
         """
         if tier not in ("cpu", "disk"):
             raise ConfigurationError(f"unknown swap tier {tier!r}")
+        codec = codec if codec is not None else self.codec
         shared = [allocator.refcount(b) > 1 for b in block_ids]
         needed = sum(1 for s in shared if not s)
         if tier == "cpu":
@@ -831,19 +917,22 @@ class SwapSpace:
                 "more blocks"
             )
         handle = SwappedBlocks(
-            keys=[None if s else allocator.block_keys(b).copy()
+            keys=[None if s else codec.encode(allocator.block_keys(b))
                   for b, s in zip(block_ids, shared)],
-            values=[None if s else allocator.block_values(b).copy()
+            values=[None if s else codec.encode(allocator.block_values(b))
                     for b, s in zip(block_ids, shared)],
             pinned_ids=[b if s else None for b, s in zip(block_ids, shared)],
             allocator=allocator,
             tier=tier,
+            codec=codec,
         )
         for block_id, is_shared in zip(block_ids, shared):
             if is_shared:
                 allocator.incref(block_id)
         self._handles.append(handle)
         self.stats.swapped_out += needed
+        self.stats.swapped_out_logical_bytes += handle.stored_logical_nbytes
+        self.stats.swapped_out_wire_bytes += handle.stored_wire_nbytes
         return handle
 
     def swap_in(
@@ -873,6 +962,8 @@ class SwapSpace:
             for block_id in fresh:
                 allocator.decref(block_id)
             raise
+        restored_logical = handle.stored_logical_nbytes
+        restored_wire = handle.stored_wire_nbytes
         new_ids: list[int] = []
         fresh_iter = iter(fresh)
         for keys, values, pinned in zip(
@@ -882,11 +973,13 @@ class SwapSpace:
                 new_ids.append(pinned)  # the pin reference transfers over
                 continue
             block_id = next(fresh_iter)
-            allocator.block_keys(block_id)[...] = keys
-            allocator.block_values(block_id)[...] = values
+            allocator.block_keys(block_id)[...] = keys.decode()
+            allocator.block_values(block_id)[...] = values.decode()
             new_ids.append(block_id)
         self._handles.remove(handle)
         self.stats.swapped_in += len(fresh)
+        self.stats.swapped_in_logical_bytes += restored_logical
+        self.stats.swapped_in_wire_bytes += restored_wire
         return new_ids
 
     def materialize_pins(self, handle: SwappedBlocks) -> int:
@@ -917,12 +1010,22 @@ class SwapSpace:
             room = self._tier_room(handle.tier, capacity)
             if room is not None and room < 1:
                 break
-            handle.keys[index] = handle.allocator.block_keys(pinned).copy()
-            handle.values[index] = handle.allocator.block_values(pinned).copy()
+            enc_keys = handle.codec.encode(handle.allocator.block_keys(pinned))
+            enc_values = handle.codec.encode(
+                handle.allocator.block_values(pinned)
+            )
+            handle.keys[index] = enc_keys
+            handle.values[index] = enc_values
             handle.pinned_ids[index] = None
             handle.allocator.decref(pinned)
             materialised += 1
             self.stats.swapped_out += 1
+            self.stats.swapped_out_logical_bytes += (
+                enc_keys.logical_nbytes + enc_values.logical_nbytes
+            )
+            self.stats.swapped_out_wire_bytes += (
+                enc_keys.wire_nbytes + enc_values.wire_nbytes
+            )
         return materialised
 
     def peek(
@@ -950,8 +1053,40 @@ class SwapSpace:
                 keys.append(handle.allocator.block_keys(pinned).copy())
                 values.append(handle.allocator.block_values(pinned).copy())
             else:
-                keys.append(k.copy())
-                values.append(v.copy())
+                # decode() may hand back the parked payload itself (raw /
+                # byteplane park the exact array) — copy to keep the handle's
+                # contents safe from caller mutation.
+                keys.append(k.decode().copy())
+                values.append(v.decode().copy())
+        return keys, values
+
+    def peek_encoded(
+        self, handle: SwappedBlocks
+    ) -> "tuple[list[EncodedKV], list[EncodedKV]]":
+        """Read a parked chain's *encoded* payloads without decoding.
+
+        The migration path ships the wire form as-is: the owning worker
+        reads encoded bytes off its tier and the importer decodes exactly
+        once — no decode/re-encode round trip, and the parked copy stays
+        valid for a later local restore (which is billed independently by
+        its own swap-in).  Stored positions return the parked
+        :class:`~repro.llm.kvcodec.EncodedKV` objects themselves (they are
+        immutable-by-convention); pinned positions encode the live block
+        through the handle's codec on the fly.
+        """
+        if handle not in self._handles:
+            raise ConfigurationError("peek of an unknown or consumed handle")
+        keys: list[EncodedKV] = []
+        values: list[EncodedKV] = []
+        for k, v, pinned in zip(handle.keys, handle.values, handle.pinned_ids):
+            if pinned is not None:
+                keys.append(handle.codec.encode(
+                    handle.allocator.block_keys(pinned)))
+                values.append(handle.codec.encode(
+                    handle.allocator.block_values(pinned)))
+            else:
+                keys.append(k)
+                values.append(v)
         return keys, values
 
     def discard(self, handle: SwappedBlocks) -> None:
@@ -973,8 +1108,15 @@ class SwapSpace:
             "disk_blocks": self.disk_blocks,
             "cpu_capacity_blocks": self.cpu_capacity_blocks,
             "disk_capacity_blocks": self.disk_capacity_blocks,
+            "codec": self.codec.name,
             "swapped_out": self.stats.swapped_out,
             "swapped_in": self.stats.swapped_in,
             "demoted": self.stats.demoted,
             "discarded": self.stats.discarded,
+            "swapped_out_logical_bytes": self.stats.swapped_out_logical_bytes,
+            "swapped_out_wire_bytes": self.stats.swapped_out_wire_bytes,
+            "swapped_in_logical_bytes": self.stats.swapped_in_logical_bytes,
+            "swapped_in_wire_bytes": self.stats.swapped_in_wire_bytes,
+            "demoted_logical_bytes": self.stats.demoted_logical_bytes,
+            "demoted_wire_bytes": self.stats.demoted_wire_bytes,
         }

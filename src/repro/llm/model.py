@@ -538,7 +538,9 @@ class TransformerLM:
         elif kvcache is not None and len(kvcache) != 0:
             raise ConfigurationError("a fresh prefill requires an empty kvcache")
         if kvcache is None:
-            kvcache = KVCache(cfg.num_layers, cfg.num_kv_heads, cfg.head_dim)
+            kvcache = KVCache(
+                cfg.num_layers, cfg.num_kv_heads, cfg.head_dim, cfg.dtype_bytes
+            )
 
         acc_scores = [np.zeros((cfg.num_heads, s)) for _ in range(cfg.num_layers)]
         if prefix_acc_scores is not None:

@@ -117,6 +117,7 @@ from ..llm.kvcache import (
     PagedKVCache,
     SwapSpace,
 )
+from ..llm.kvcodec import KVBlockCodec, get_codec
 from ..llm.model import PrefillResult, PrefillState, TransformerLM
 from ..memory.devices import HardwareSpec
 from ..memory.latency import LatencyModel, resolve_method
@@ -166,6 +167,19 @@ class InferenceEngine(PoolPressureMixin):
             instead of freeing them, restoring them bitwise on later hits.
             PQ codes are ~1/64th the KV bytes, so snapshot spill is nearly
             free.  Only meaningful with ``enable_prefix_caching``.
+        kv_swap_codec: KV block codec (name or
+            :class:`~repro.llm.kvcodec.KVBlockCodec` instance) applied on
+            every downward tier transition the byte-identity invariant
+            covers: preemption swap-out and CPU→disk demotion.  Must be
+            lossless (``"raw"`` or the default ``"byteplane"``); transfers
+            are billed at the encoded *wire* size with the codec's CPU
+            stages on the timeline, while the ``swap_*_bytes`` metrics keep
+            counting logical bytes.
+        kv_spill_codec: codec for cold prefix chains spilled to the disk
+            tier; defaults to ``kv_swap_codec``.  This is the opt-in lossy
+            surface: ``"int8"``/``"int4"``/``"int4-outlier"`` trade exact
+            restores on spilled-chain cache hits for NVMe bandwidth, within
+            the codec's declared per-element error bound.
         decode_batching: run each engine step's decode phase as one *fused*
             multi-request round (:meth:`TransformerLM.decode_step_batch` over
             a :class:`~repro.serve.decode_batch.DecodeBatch` plan) instead of
@@ -198,6 +212,8 @@ class InferenceEngine(PoolPressureMixin):
         swap_disk_blocks: int | None = None,
         enable_disk_spill: bool = True,
         decode_batching: bool = True,
+        kv_swap_codec: "str | KVBlockCodec | None" = "byteplane",
+        kv_spill_codec: "str | KVBlockCodec | None" = None,
     ) -> None:
         self.model = model
         self.decode_batching = decode_batching
@@ -219,28 +235,49 @@ class InferenceEngine(PoolPressureMixin):
         self.block_allocator: BlockAllocator | None = None
         self.prefix_cache: PrefixCache | None = None
         self.swap_space: SwapSpace | None = None
+        self.kv_swap_codec: KVBlockCodec | None = None
+        self.kv_spill_codec: KVBlockCodec | None = None
         self.cache_decoded_blocks = cache_decoded_blocks
         #: prefix-cache spill counters already charged to the clock (the
         #: spill/restore work happens inside eviction hooks and lookups, so
         #: the engine settles its transfer time from stat deltas)
         self._spill_settled = {"out_blocks": 0, "in_blocks": 0,
-                               "out_payload": 0, "in_payload": 0}
+                               "out_payload": 0, "in_payload": 0,
+                               "out_wire": 0, "in_wire": 0}
         if enable_prefix_caching:
             config = model.config
+            swap_codec = get_codec(kv_swap_codec, config.dtype_bytes)
+            if not swap_codec.lossless:
+                raise ConfigurationError(
+                    f"kv_swap_codec {swap_codec.name!r} is lossy: preemption "
+                    "swap and CPU→disk demotion must restore bitwise (the "
+                    "byte-identity invariant) — lossy codecs are only "
+                    "allowed on spilled prefix chains (kv_spill_codec) and "
+                    "migration"
+                )
+            spill_codec = (
+                get_codec(kv_spill_codec, config.dtype_bytes)
+                if kv_spill_codec is not None else swap_codec
+            )
+            self.kv_swap_codec = swap_codec
+            self.kv_spill_codec = spill_codec
             self.block_allocator = BlockAllocator(
                 config.num_layers,
                 config.num_kv_heads,
                 config.head_dim,
                 block_size=kv_block_size,
                 capacity_blocks=kv_pool_blocks,
+                dtype_bytes=config.dtype_bytes,
             )
             self.swap_space = SwapSpace(
                 cpu_capacity_blocks=swap_cpu_blocks,
                 disk_capacity_blocks=swap_disk_blocks,
+                codec=swap_codec,
             )
             self.prefix_cache = PrefixCache(
                 self.block_allocator,
                 spill_store=self.swap_space if enable_disk_spill else None,
+                spill_codec=spill_codec,
             )
             self.block_allocator.eviction_hook = self.prefix_cache.evict
         self._states: dict[str, RequestState] = {}

@@ -199,6 +199,17 @@ class EngineMetrics:
     spill_out_bytes: float = 0.0
     spill_in_bytes: float = 0.0
     swap_seconds: float = 0.0
+    #: KV-codec accounting: the ``*_bytes`` counters above are *logical*
+    #: (modelled raw size — identical between raw-tier and lossless-codec
+    #: runs); the ``*_wire_bytes`` ones are what actually crossed the
+    #: PCIe/NVMe links after encoding, and the ``codec_*_seconds`` are the
+    #: simulated CPU time of the encode/decode stages billed to the clock.
+    swap_out_wire_bytes: float = 0.0
+    swap_in_wire_bytes: float = 0.0
+    spill_out_wire_bytes: float = 0.0
+    spill_in_wire_bytes: float = 0.0
+    codec_encode_seconds: float = 0.0
+    codec_decode_seconds: float = 0.0
     #: fused decode-round observability (all zero when decode batching is
     #: off): rounds / members / batch-size histogram, host wall-clock stage
     #: breakdown, and PQ drift-refresh accounting (``pq_refresh_seconds`` is
@@ -300,6 +311,22 @@ class EngineMetrics:
         }
 
     @property
+    def swap_compression_ratio(self) -> float:
+        """Achieved logical/wire ratio on the preemption swap path (1.0 raw)."""
+        wire = self.swap_out_wire_bytes + self.swap_in_wire_bytes
+        if wire <= 0.0:
+            return 1.0
+        return (self.swap_out_bytes + self.swap_in_bytes) / wire
+
+    @property
+    def spill_compression_ratio(self) -> float:
+        """Achieved logical/wire ratio on the prefix spill path (1.0 raw)."""
+        wire = self.spill_out_wire_bytes + self.spill_in_wire_bytes
+        if wire <= 0.0:
+            return 1.0
+        return (self.spill_out_bytes + self.spill_in_bytes) / wire
+
+    @property
     def prefix_cache_hit_rate(self) -> float:
         """Fraction of prefix-cache lookups that matched at least one block."""
         if self.prefix_cache_queries == 0:
@@ -340,6 +367,14 @@ class EngineMetrics:
             "swap_in_bytes": self.swap_in_bytes,
             "spill_out_bytes": self.spill_out_bytes,
             "spill_in_bytes": self.spill_in_bytes,
+            "swap_out_wire_bytes": self.swap_out_wire_bytes,
+            "swap_in_wire_bytes": self.swap_in_wire_bytes,
+            "spill_out_wire_bytes": self.spill_out_wire_bytes,
+            "spill_in_wire_bytes": self.spill_in_wire_bytes,
+            "swap_compression_ratio": self.swap_compression_ratio,
+            "spill_compression_ratio": self.spill_compression_ratio,
+            "codec_encode_seconds": self.codec_encode_seconds,
+            "codec_decode_seconds": self.codec_decode_seconds,
             "swap_seconds": self.swap_seconds,
             "decode_batch_rounds": self.decode_batch_rounds,
             "decode_batch_requests": self.decode_batch_requests,

@@ -46,6 +46,7 @@ import numpy as np
 
 from ..errors import CapacityError, ConfigurationError
 from ..llm.kvcache import BlockAllocator, SwapSpace
+from ..llm.kvcodec import EncodedKV, KVBlockCodec, RawCodec
 
 __all__ = [
     "PrefixCache",
@@ -158,19 +159,33 @@ class PrefixMatch:
 class ExportedChainNode:
     """One block of an exported chain: tokens, KV contents, payloads.
 
-    ``keys``/``values`` are bitwise copies of the block's storage (shape
-    ``(num_layers, h_kv, block_size, d_h)``); ``from_disk`` records whether
-    the source node was spilled (the exporter read it off the NVMe tier — a
-    migration bills that leg).  Artifact payloads travel by reference, like
-    every other sharing path in the cache.
+    ``keys``/``values`` are the block's contents in *wire* form — one
+    :class:`~repro.llm.kvcodec.EncodedKV` each (original shape
+    ``(num_layers, h_kv, block_size, d_h)``).  Spilled source nodes ship
+    their parked encoded payload as-is (no decode on the export side);
+    resident nodes are encoded through the exporter's migration codec.
+    ``from_disk`` records whether the source node was spilled (the exporter
+    read it off the NVMe tier — a migration bills that leg).  Artifact
+    payloads travel by reference, like every other sharing path in the
+    cache.
     """
 
     token_ids: np.ndarray
-    keys: np.ndarray
-    values: np.ndarray
+    keys: EncodedKV
+    values: EncodedKV
     from_disk: bool
     acc_scores: "list | None" = None
     pq_snapshots: dict = field(default_factory=dict)
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Encoded KV bytes this node puts on the wire."""
+        return self.keys.wire_nbytes + self.values.wire_nbytes
+
+    @property
+    def logical_nbytes(self) -> int:
+        """Modelled raw KV bytes of this node (pre-codec size)."""
+        return self.keys.logical_nbytes + self.values.logical_nbytes
 
 
 @dataclass
@@ -178,9 +193,10 @@ class ExportedChain:
     """A prefix chain packaged for migration to another worker's cache.
 
     Produced by :meth:`PrefixCache.export_chain` on the owning worker and
-    consumed by :meth:`PrefixCache.import_chain` on the target; the contents
-    are exact copies, so an import followed by a match reproduces the source
-    chain bitwise.
+    consumed by :meth:`PrefixCache.import_chain` on the target; under a
+    lossless codec the contents decode to exact copies, so an import
+    followed by a match reproduces the source chain bitwise (a lossy codec
+    restores within its declared per-element error bound instead).
     """
 
     block_size: int
@@ -198,6 +214,47 @@ class ExportedChain:
     def disk_blocks(self) -> int:
         """Blocks the exporter read from the source's disk spill tier."""
         return sum(1 for node in self.nodes if node.from_disk)
+
+    @property
+    def kv_wire_nbytes(self) -> int:
+        """Encoded KV bytes the chain puts on the wire (all nodes)."""
+        return sum(node.wire_nbytes for node in self.nodes)
+
+    @property
+    def kv_logical_nbytes(self) -> int:
+        """Modelled raw KV bytes of the chain (what raw tiers would move)."""
+        return sum(node.logical_nbytes for node in self.nodes)
+
+    @property
+    def disk_wire_nbytes(self) -> int:
+        """Encoded KV bytes read off the source's NVMe tier."""
+        return sum(node.wire_nbytes for node in self.nodes if node.from_disk)
+
+    @property
+    def resident_logical_nbytes(self) -> int:
+        """Raw bytes of GPU-resident nodes the exporter encoded on the fly.
+
+        Spilled nodes travel in their parked encoded form — only these
+        resident nodes cost an encode pass on the source worker's CPU.
+        """
+        return sum(
+            node.logical_nbytes for node in self.nodes if not node.from_disk
+        )
+
+    def decode_flops(self) -> float:
+        """CPU FLOPs the importer spends decoding every node exactly once.
+
+        Each payload knows the codec that produced it (spilled nodes may
+        carry a different codec than resident ones), so the estimate sums
+        per-node decode rates rather than assuming one codec chain-wide.
+        """
+        flops = 0.0
+        for node in self.nodes:
+            flops += node.keys.decoder.decode_flops(node.keys.logical_nbytes)
+            flops += node.values.decoder.decode_flops(
+                node.values.logical_nbytes
+            )
+        return flops
 
     def payload_nbytes(self) -> int:
         """Modelled artifact-payload bytes riding along (acc + PQ, deduped)."""
@@ -250,6 +307,11 @@ class PrefixCacheStats:
     #: residency transition)
     spilled_payload_bytes: int = 0
     restored_payload_bytes: int = 0
+    #: encoded (wire) KV bytes spilled to / restored from the disk tier —
+    #: the logical counterpart is ``spilled/restored_blocks * block bytes``;
+    #: the quotient is the spill codec's achieved ratio
+    spilled_wire_bytes: int = 0
+    restored_wire_bytes: int = 0
     #: cross-worker migration traffic: blocks copied out of this cache for
     #: another worker, and blocks written into this cache from another
     #: worker's exported chain (new nodes + healed spilled nodes)
@@ -289,6 +351,13 @@ class PrefixCache:
             set, eviction spills cold chains to its disk tier (contents
             preserved, pool block freed) and later matches restore them.
             Without it eviction frees cold chains permanently, as before.
+        spill_codec: :class:`~repro.llm.kvcodec.KVBlockCodec` applied to
+            spilled chains on the way down (``None`` uses the spill store's
+            default codec).  Spilled prefix chains are the one downward
+            path where *lossy* codecs are permitted: a restore then differs
+            from the original within the codec's declared per-element error
+            bound, trading exact byte identity on cache hits for NVMe
+            bandwidth.
 
     Attributes:
         observer: optional residency-event subscriber (duck-typed; the
@@ -308,6 +377,7 @@ class PrefixCache:
         allocator: BlockAllocator,
         hash_fn: "Callable[[bytes, np.ndarray], bytes] | None" = None,
         spill_store: SwapSpace | None = None,
+        spill_codec: "KVBlockCodec | None" = None,
     ) -> None:
         self.allocator = allocator
         self.block_size = allocator.block_size
@@ -316,6 +386,7 @@ class PrefixCache:
         self._tick = 0
         self.stats = PrefixCacheStats()
         self.spill_store = spill_store
+        self.spill_codec = spill_codec
         self.observer = None
         #: ids of PQSnapshots whose payload is currently accounted as
         #: disk-resident (so a snapshot shared by many spilled nodes is
@@ -480,6 +551,7 @@ class PrefixCache:
                     restored_upto = index
                     break
                 if node.spilled:
+                    restored_wire = node.spill_handle.stored_wire_nbytes
                     try:
                         new_ids = self.spill_store.swap_in(
                             node.spill_handle, self.allocator
@@ -490,6 +562,7 @@ class PrefixCache:
                     node.block_id = new_ids[0]
                     node.spill_handle = None
                     self.stats.restored_blocks += 1
+                    self.stats.restored_wire_bytes += restored_wire
                     self._account_payload(node, spilled=False)
                     self._notify("restore", node.key)
                 self.allocator.incref(node.block_id)
@@ -634,16 +707,24 @@ class PrefixCache:
 
     # ----------------------------------------------------------- migration
 
-    def export_chain(self, token_ids: Sequence[int]) -> "ExportedChain | None":
+    def export_chain(
+        self,
+        token_ids: Sequence[int],
+        codec: "KVBlockCodec | None" = None,
+    ) -> "ExportedChain | None":
         """Package this cache's longest chain matching a prompt for migration.
 
-        A pure read: resident blocks are copied out of the pool, spilled
-        blocks are read off the disk tier through
-        :meth:`~repro.llm.kvcache.SwapSpace.peek` (the parked copy stays
-        valid — the source keeps its chain), and artifact payloads travel by
-        reference.  The caller bills the transfer: ``disk_blocks`` of the
-        result crossed the source's NVMe, every block crosses PCIe into the
-        importing worker's pool.
+        A pure read: resident blocks are encoded through ``codec`` (``None``
+        means the raw identity codec), spilled blocks ship their *parked
+        encoded payload* as-is through
+        :meth:`~repro.llm.kvcache.SwapSpace.peek_encoded` — no decode on the
+        export side, and the parked copy stays valid, so a later local
+        restore of the same chain is billed independently by its own
+        swap-in; the export itself never touches the restore counters.
+        Artifact payloads travel by reference.  The caller bills the
+        transfer: ``disk_wire_nbytes`` of the result crossed the source's
+        NVMe, ``kv_wire_nbytes`` cross PCIe into the importing worker's
+        pool, and the importer decodes each block exactly once.
 
         Returns ``None`` when the prompt matches nothing.
         """
@@ -651,15 +732,21 @@ class PrefixCache:
         nodes = self._walk(token_ids)
         if not nodes:
             return None
+        if codec is None:
+            codec = RawCodec(self.allocator.dtype_bytes)
         exported = ExportedChain(block_size=self.block_size)
         for node in nodes:
             if node.spilled:
                 assert self.spill_store is not None
-                keys, values = self.spill_store.peek(node.spill_handle)
+                keys, values = self.spill_store.peek_encoded(node.spill_handle)
                 key_block, value_block = keys[0], values[0]
             else:
-                key_block = self.allocator.block_keys(node.block_id).copy()
-                value_block = self.allocator.block_values(node.block_id).copy()
+                key_block = codec.encode(
+                    self.allocator.block_keys(node.block_id)
+                )
+                value_block = codec.encode(
+                    self.allocator.block_values(node.block_id)
+                )
             exported.nodes.append(
                 ExportedChainNode(
                     token_ids=node.token_ids.copy(),
@@ -677,7 +764,9 @@ class PrefixCache:
         """Adopt another worker's exported chain into this cache.
 
         Walks the chain like :meth:`insert`, but the blocks are allocated
-        *here* and written bitwise from the exported copies: missing nodes
+        *here* and written from the decoded exported payloads — bitwise for
+        lossless codecs, within the declared per-element error bound for
+        lossy ones; each block decodes exactly once: missing nodes
         are created, locally *spilled* nodes are healed with the migrated
         bytes (cheaper than a local disk read that the caller would have to
         bill separately), and already-resident nodes are left untouched.
@@ -720,8 +809,10 @@ class PrefixCache:
                     # unreachable index entries, so stop at the valid prefix.
                     self.allocator.decref(block_id)
                     break
-                self.allocator.block_keys(block_id)[...] = record.keys
-                self.allocator.block_values(block_id)[...] = record.values
+                self.allocator.block_keys(block_id)[...] = record.keys.decode()
+                self.allocator.block_values(block_id)[...] = (
+                    record.values.decode()
+                )
                 if node is None:
                     depth = (parent.depth if parent is not None else 0) + 1
                     node = _Node(key, parent, block_id, depth, tokens.copy())
@@ -831,12 +922,14 @@ class PrefixCache:
         """Demote one resident node's block content to the disk tier."""
         assert self.spill_store is not None
         handle = self.spill_store.swap_out(
-            self.allocator, [node.block_id], tier="disk"
+            self.allocator, [node.block_id], tier="disk",
+            codec=self.spill_codec,
         )
         self.allocator.decref(node.block_id)
         node.block_id = -1
         node.spill_handle = handle
         self.stats.spilled_blocks += 1
+        self.stats.spilled_wire_bytes += handle.stored_wire_nbytes
         self._account_payload(node, spilled=True)
         self._notify("spill", node.key)
 

@@ -166,26 +166,38 @@ class PoolPressureMixin:
             handle = state.swap_handle
             if handle is None or not handle.pinned_blocks:
                 continue
-            demoted_before = self.swap_space.stats.demoted
+            stats = self.swap_space.stats
+            wire_before = stats.swapped_out_wire_bytes
+            demoted_wire_before = stats.demoted_wire_bytes
             moved = self.swap_space.materialize_pins(handle)
             block_bytes = self._block_nbytes()
             nbytes = float(moved * block_bytes)
-            demoted_bytes = float(
-                (self.swap_space.stats.demoted - demoted_before) * block_bytes
+            wire = float(stats.swapped_out_wire_bytes - wire_before)
+            demoted_wire = float(
+                stats.demoted_wire_bytes - demoted_wire_before
             )
             if handle.tier == "disk":
-                demoted_bytes += nbytes
-            if nbytes > 0.0 or demoted_bytes > 0.0:
+                demoted_wire += wire
+            if wire > 0.0 or demoted_wire > 0.0:
                 # Bill every transfer that actually landed — including
                 # demotions a materialisation forced before running out of
-                # tier room (moved can be 0 with demoted bytes > 0).
-                seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
+                # tier room (moved can be 0 with demoted bytes > 0).  The
+                # links carry the codec's wire bytes; the fresh encodes of
+                # the materialised pins are a CPU stage ahead of the D2H.
+                encode_flops = handle.codec.encode_flops(nbytes)
+                seconds = self.latency.swap_out_seconds(
+                    wire, demoted_wire, encode_flops
+                )
                 self.metrics.clock += seconds
                 self.metrics.swap_seconds += seconds
+                self.metrics.codec_encode_seconds += (
+                    self.latency.codec_seconds(encode_flops)
+                )
             if moved == 0:
                 continue
             self.metrics.swap_out_blocks += moved
             self.metrics.swap_out_bytes += nbytes
+            self.metrics.swap_out_wire_bytes += wire
             state.metrics.swap_out_bytes += nbytes
             state.metrics.swap_seconds += seconds
             return True
@@ -233,20 +245,20 @@ class PoolPressureMixin:
             and self.swap_space is not None
             and victim.paged is not None
         )
-        demoted_before = self.swap_space.stats.demoted
+        stats = self.swap_space.stats
+        demoted_wire_before = stats.demoted_wire_bytes
         try:
             handle = self.swap_space.swap_out(
                 self.block_allocator, victim.paged.table.block_ids, tier="cpu"
             )
         except CapacityError:
-            demoted_bytes = float(
-                (self.swap_space.stats.demoted - demoted_before)
-                * self._block_nbytes()
+            demoted_wire = float(
+                stats.demoted_wire_bytes - demoted_wire_before
             )
-            if demoted_bytes > 0.0:
+            if demoted_wire > 0.0:
                 # Demotions that did land before the failure really moved
                 # bytes to disk; bill them even though the swap-out aborted.
-                seconds = self.latency.swap_out_seconds(0.0, demoted_bytes)
+                seconds = self.latency.swap_out_seconds(0.0, demoted_wire)
                 self.metrics.clock += seconds
                 self.metrics.swap_seconds += seconds
             return False
@@ -257,19 +269,27 @@ class PoolPressureMixin:
         self.scheduler.preempt(victim)
 
         # Only the *stored* positions moved bytes — shared blocks stayed
-        # GPU-resident under their pins and cost nothing to park.
+        # GPU-resident under their pins and cost nothing to park.  Metrics
+        # count logical (pre-codec) bytes so raw-vs-lossless runs stay
+        # counter-identical; the clock is charged the codec's wire bytes
+        # plus its encode stage.
         block_bytes = self._block_nbytes()
         nbytes = float(handle.stored_blocks * block_bytes)
-        demoted_bytes = float(
-            (self.swap_space.stats.demoted - demoted_before) * block_bytes
-        )
-        seconds = self.latency.swap_out_seconds(nbytes, demoted_bytes)
+        wire = float(handle.stored_wire_nbytes)
+        demoted_wire = float(stats.demoted_wire_bytes - demoted_wire_before)
+        encode_flops = handle.codec.encode_flops(nbytes)
+        seconds = self.latency.swap_out_seconds(wire, demoted_wire,
+                                                encode_flops)
         self.metrics.clock += seconds
         self.metrics.preemptions += 1
         self.metrics.preemptions_swap += 1
         self.metrics.swap_out_blocks += handle.stored_blocks
         self.metrics.swap_out_bytes += nbytes
+        self.metrics.swap_out_wire_bytes += wire
         self.metrics.swap_seconds += seconds
+        self.metrics.codec_encode_seconds += (
+            self.latency.codec_seconds(encode_flops)
+        )
         victim.metrics.preemptions += 1
         victim.metrics.swap_out_bytes += nbytes
         victim.metrics.swap_seconds += seconds
@@ -410,6 +430,8 @@ class PoolPressureMixin:
             return False
         was_on_disk = handle.tier == "disk"
         stored = handle.stored_blocks
+        wire = float(handle.stored_wire_nbytes)
+        codec = handle.codec
         new_ids = self.swap_space.swap_in(handle, self.block_allocator)
         state.paged.table = BlockTable(self.block_allocator, new_ids)
         state.swap_handle = None
@@ -417,12 +439,17 @@ class PoolPressureMixin:
 
         block_bytes = self._block_nbytes()
         nbytes = float(stored * block_bytes)
-        disk_bytes = nbytes if was_on_disk else 0.0
-        seconds = self.latency.swap_in_seconds(nbytes, disk_bytes)
+        disk_wire = wire if was_on_disk else 0.0
+        decode_flops = codec.decode_flops(nbytes)
+        seconds = self.latency.swap_in_seconds(wire, disk_wire, decode_flops)
         self.metrics.clock += seconds
         self.metrics.swap_in_blocks += stored
         self.metrics.swap_in_bytes += nbytes
+        self.metrics.swap_in_wire_bytes += wire
         self.metrics.swap_seconds += seconds
+        self.metrics.codec_decode_seconds += (
+            self.latency.codec_seconds(decode_flops)
+        )
         state.metrics.swap_in_bytes += nbytes
         state.metrics.swap_seconds += seconds
         return True
@@ -444,25 +471,48 @@ class PoolPressureMixin:
         in_blocks = stats.restored_blocks - seen["in_blocks"]
         out_payload = stats.spilled_payload_bytes - seen["out_payload"]
         in_payload = stats.restored_payload_bytes - seen["in_payload"]
+        out_wire = stats.spilled_wire_bytes - seen["out_wire"]
+        in_wire = stats.restored_wire_bytes - seen["in_wire"]
         if not (out_blocks or in_blocks or out_payload or in_payload):
             return
         seen["out_blocks"] = stats.spilled_blocks
         seen["in_blocks"] = stats.restored_blocks
         seen["out_payload"] = stats.spilled_payload_bytes
         seen["in_payload"] = stats.restored_payload_bytes
+        seen["out_wire"] = stats.spilled_wire_bytes
+        seen["in_wire"] = stats.restored_wire_bytes
         block_bytes = self._block_nbytes()
+        codec = self.prefix_cache.spill_codec
+        if codec is None and self.swap_space is not None:
+            codec = self.swap_space.codec
         seconds = 0.0
         if out_blocks or out_payload:
             kv_bytes = float(out_blocks * block_bytes)
+            kv_wire = float(out_wire)
+            encode_flops = (
+                codec.encode_flops(kv_bytes) if codec is not None else 0.0
+            )
             seconds += self.latency.swap_out_seconds(
-                kv_bytes, kv_bytes + float(out_payload)
+                kv_wire, kv_wire + float(out_payload), encode_flops
             )
             self.metrics.spill_out_bytes += kv_bytes + float(out_payload)
+            self.metrics.spill_out_wire_bytes += kv_wire + float(out_payload)
+            self.metrics.codec_encode_seconds += (
+                self.latency.codec_seconds(encode_flops)
+            )
         if in_blocks or in_payload:
             kv_bytes = float(in_blocks * block_bytes)
+            kv_wire = float(in_wire)
+            decode_flops = (
+                codec.decode_flops(kv_bytes) if codec is not None else 0.0
+            )
             seconds += self.latency.swap_in_seconds(
-                kv_bytes, kv_bytes + float(in_payload)
+                kv_wire, kv_wire + float(in_payload), decode_flops
             )
             self.metrics.spill_in_bytes += kv_bytes + float(in_payload)
+            self.metrics.spill_in_wire_bytes += kv_wire + float(in_payload)
+            self.metrics.codec_decode_seconds += (
+                self.latency.codec_seconds(decode_flops)
+            )
         self.metrics.clock += seconds
         self.metrics.swap_seconds += seconds

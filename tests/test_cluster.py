@@ -292,8 +292,8 @@ class TestChainExportImport:
         assert back is not None and back.num_blocks == exported.num_blocks
         for a, b in zip(exported.nodes, back.nodes):
             assert np.array_equal(a.token_ids, b.token_ids)
-            assert np.array_equal(a.keys, b.keys)
-            assert np.array_equal(a.values, b.values)
+            assert np.array_equal(a.keys.decode(), b.keys.decode())
+            assert np.array_equal(a.values.decode(), b.values.decode())
 
     def test_export_of_spilled_chain_leaves_source_intact(
         self, model, tiny_config
@@ -368,6 +368,69 @@ class TestChainExportImport:
 # ---------------------------------------------------------------------------
 
 
+class TestLossyChainTransfer:
+    """Lossy codecs on the opt-in surfaces: chain export and migration.
+
+    No byte-identity claim here — lossy restores are bound-accurate only,
+    and the bound is declared on every encoded tensor."""
+
+    def test_lossy_export_decodes_within_declared_bound(
+        self, model, tiny_config
+    ):
+        from repro.llm.kvcodec import IntQuantCodec
+
+        prompt = make_prompts(tiny_config, (200,))[0]
+        engine = InferenceEngine(model, enable_prefix_caching=True)
+        engine.run(make_requests([prompt], None, prefix="w"))
+        engine.release("w0")
+        exact = engine.prefix_cache.export_chain(prompt)  # raw reference
+        lossy = engine.prefix_cache.export_chain(
+            prompt, codec=IntQuantCodec(4, model.config.dtype_bytes)
+        )
+        assert lossy.kv_wire_nbytes < exact.kv_wire_nbytes // 2
+        for ref_node, node in zip(exact.nodes, lossy.nodes):
+            for ref_enc, enc in ((ref_node.keys, node.keys),
+                                 (ref_node.values, node.values)):
+                assert enc.error_bound is not None
+                err = np.max(np.abs(enc.decode() - ref_enc.decode()))
+                assert 0.0 < err <= enc.error_bound
+
+    def test_lossy_spilled_chain_migrates_compressed(self, model, tiny_config):
+        """int4 spill tier + migration: the shipped chain rides the wire in
+        its parked quantised form and still serves the follow-up request."""
+        prompt = make_prompts(tiny_config, (200,))[0]
+        followup = prompt + list(range(4, 74))
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="cache_aware",
+                                  migrate_on_miss=True,
+                                  kv_spill_codec="int4")
+        cluster.run(make_requests([prompt], None, prefix="warm"))
+        cluster.release("warm0")
+        owner = cluster.workers[0]
+        owner.prefix_cache.evict(owner.prefix_cache.num_resident)
+        assert owner.prefix_cache.num_spilled > 0
+        owner.submit(make_requests(
+            [make_prompts(tiny_config, (150,), seed=3)[0]], None,
+            max_new_tokens=48, prefix="fill")[0])
+
+        cluster.submit(make_requests([followup], None, prefix="f")[0])
+        assert cluster.placements[-1].migrate_from == 0
+        outputs = cluster.run()
+        assert cluster.metrics.migrations == 1
+        # The parked int4 payloads are what crossed the links.
+        metrics = cluster.metrics
+        assert metrics.migrated_kv_wire_bytes < metrics.migrated_kv_bytes / 2
+        assert metrics.migration_compression_ratio > 2.0
+        assert outputs["f0"].finished
+        assert outputs["f0"].metrics.cached_prefix_tokens > 0
+
+    def test_lossy_migration_codec_accepted(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  migration_codec="int4-outlier")
+        assert cluster.migration_codec.name == "int4-outlier"
+        assert not cluster.migration_codec.lossless
+
+
 def _reference_outputs(model, tiny_config, policy_name):
     """Single-engine outputs for the standard prompt set under one policy."""
     engine = InferenceEngine(model)
@@ -401,13 +464,17 @@ class TestClusterByteIdentity:
             assert out.token_ids == ref.token_ids
             assert np.array_equal(out.logits, ref.logits)
 
-    def test_migrated_chain_request_is_byte_identical(self, model, tiny_config):
+    @pytest.mark.parametrize("migration_codec", ("raw", "byteplane"))
+    def test_migrated_chain_request_is_byte_identical(
+        self, model, tiny_config, migration_codec
+    ):
         prompt = make_prompts(tiny_config, (200,))[0]
         followup = prompt + list(range(4, 74))
 
         cluster = ClusterFrontend(model, num_workers=2,
                                   placement="cache_aware",
-                                  migrate_on_miss=True)
+                                  migrate_on_miss=True,
+                                  migration_codec=migration_codec)
         cluster.run(make_requests([prompt], None, prefix="warm"))
         cluster.release("warm0")
         owner = cluster.workers[0]
@@ -426,6 +493,12 @@ class TestClusterByteIdentity:
         assert cluster.metrics.migrations == 1
         assert cluster.metrics.migrated_blocks > 0
         assert cluster.metrics.migration_seconds > 0
+        # wire accounting: the transfer carries the parked/encoded sizes
+        assert cluster.metrics.migrated_kv_wire_bytes > 0
+        assert cluster.metrics.migration_compression_ratio > 0.0
+        assert cluster.metrics.as_dict()["migrated_kv_wire_bytes"] == (
+            cluster.metrics.migrated_kv_wire_bytes
+        )
         # the migrated chain actually served the request on the target
         assert outputs["f0"].metrics.cached_prefix_tokens > 0
 

@@ -310,13 +310,15 @@ def test_fused_vs_looped_randomized_fuzz(fuzz_model, case):
 # ------------------------------------------------------------ cluster fuzz
 
 
-def _run_cluster(model, requests, decode_batching):
+def _run_cluster(model, requests, decode_batching, swap_codec="byteplane"):
     cluster = ClusterFrontend(
         model,
         num_workers=3,
         placement="cache_aware",
         scheduler_config=SchedulerConfig(max_prefill_chunk_tokens=32),
         decode_batching=decode_batching,
+        kv_swap_codec=swap_codec,
+        kv_spill_codec=swap_codec,
     )
     for request in requests:
         cluster.submit(request)
@@ -325,15 +327,19 @@ def _run_cluster(model, requests, decode_batching):
 
 
 def test_cluster_fused_vs_looped_byte_identity(fuzz_model):
-    """Same traffic over a 3-worker fleet, fused vs looped workers."""
+    """Same traffic over a 3-worker fleet, fused vs looped workers.
+
+    Alternates the lossless swap/spill codec per seed: batching mode and
+    codec config may only move wire bytes and clocks, never tokens."""
     for seed in (0, 1, 2):
         rng = np.random.default_rng(1000 + seed)
         requests = _random_requests(fuzz_model, rng, {})
+        swap_codec = ["raw", "byteplane"][seed % 2]
         fused_finals, fused_fleet = _run_cluster(
-            fuzz_model, requests, decode_batching=True
+            fuzz_model, requests, decode_batching=True, swap_codec=swap_codec
         )
         looped_finals, looped_fleet = _run_cluster(
-            fuzz_model, requests, decode_batching=False
+            fuzz_model, requests, decode_batching=False, swap_codec=swap_codec
         )
         context = f"cluster seed={seed}"
         assert fused_finals.keys() == looped_finals.keys(), context

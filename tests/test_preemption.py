@@ -70,7 +70,8 @@ def _policy_spec(name):
     return PolicySpec.named(name, _budget())
 
 
-def _make_engine(model, pool_blocks, mode, chunk, block_size=8):
+def _make_engine(model, pool_blocks, mode, chunk, block_size=8,
+                 swap_codec="byteplane", spill_codec=None):
     return InferenceEngine(
         model,
         scheduler_config=SchedulerConfig(
@@ -82,6 +83,8 @@ def _make_engine(model, pool_blocks, mode, chunk, block_size=8):
         kv_block_size=block_size,
         kv_pool_blocks=pool_blocks,
         max_retained_outputs=0,
+        kv_swap_codec=swap_codec,
+        kv_spill_codec=spill_codec,
     )
 
 
@@ -188,15 +191,23 @@ def run_fuzz_seed(model, seed):
     requests = _random_requests(model, rng)
     mode = "swap" if rng.random() < 0.5 else "recompute"
     chunk = [None, 24, 40][int(rng.integers(0, 3))]
+    # Randomly toggle the lossless codec configs: byte-identity must hold
+    # whichever combination the downward tiers compress with.
+    swap_codec = ["raw", "byteplane"][int(rng.integers(0, 2))]
+    spill_codec = [None, "raw", "byteplane"][int(rng.integers(0, 3))]
     floor = max(_min_pool_blocks(r, block_size) for r in requests)
     pool = floor + int(rng.integers(0, 6))
-    context = f"seed={seed} mode={mode} chunk={chunk} pool={pool}"
+    context = (
+        f"seed={seed} mode={mode} chunk={chunk} pool={pool} "
+        f"codec={swap_codec}/{spill_codec}"
+    )
 
     # Uncontended ground truth: same engine configuration, unbounded pool.
     reference = _make_engine(model, None, mode, chunk, block_size)
     refs = reference.run(list(requests))
 
-    engine = _make_engine(model, pool, mode, chunk, block_size)
+    engine = _make_engine(model, pool, mode, chunk, block_size,
+                          swap_codec=swap_codec, spill_codec=spill_codec)
     # Stagger submissions and plan a few aborts at random step indices.
     submit_at = {0: requests[:2]}
     for request in requests[2:]:
@@ -503,3 +514,75 @@ class TestDirectedPreemption:
                 1 for node in nodes if snap in node.pq_snapshots.values()
             )
             assert snap.hold_count == holders
+
+
+# --------------------------------------------------------- codec config
+
+
+class TestCodecToggles:
+    """Codec configs on the preemption path (see also the fuzz harness,
+    which toggles lossless swap/spill codecs randomly per seed)."""
+
+    def _swap_heavy(self, rng):
+        return [
+            _long_request(f"c{i}", rng, 100, _policy_spec(p))
+            for i, p in enumerate([None, "pqcache", None, "snapkv"])
+        ]
+
+    def test_lossy_swap_codec_rejected(self, fuzz_model):
+        from repro.errors import ConfigurationError
+
+        for name in ("int8", "int4", "int4-outlier"):
+            with pytest.raises(ConfigurationError):
+                _make_engine(fuzz_model, 28, "swap", 32, swap_codec=name)
+
+    def test_raw_and_byteplane_runs_are_identical(self, fuzz_model):
+        """Same schedule, raw vs byteplane: same tokens, same logits, same
+        logical counters — only the wire bytes move."""
+        finals, metrics = {}, {}
+        for codec in ("raw", "byteplane"):
+            rng = np.random.default_rng(21)
+            engine = _make_engine(fuzz_model, 28, "swap", 32,
+                                  swap_codec=codec, spill_codec=codec)
+            finals[codec] = engine.run(self._swap_heavy(rng))
+            metrics[codec] = engine.metrics
+            audit_engine(engine, f"codec={codec}")
+        raw, packed = metrics["raw"], metrics["byteplane"]
+        assert raw.preemptions_swap > 0 and packed.preemptions_swap > 0
+        for rid in finals["raw"]:
+            _outputs_equal(finals["byteplane"][rid], finals["raw"][rid])
+        # Logical accounting is codec-invariant...
+        assert packed.swap_out_bytes == raw.swap_out_bytes > 0
+        assert packed.swap_in_bytes == raw.swap_in_bytes > 0
+        assert packed.swap_out_blocks == raw.swap_out_blocks
+        # ...while the wire diverges: raw bills identity, byteplane bills
+        # the measured packed size and pays CPU codec time for it.
+        assert raw.swap_out_wire_bytes == raw.swap_out_bytes
+        assert packed.swap_out_wire_bytes != packed.swap_out_bytes
+        assert packed.swap_out_wire_bytes > 0
+        assert raw.codec_encode_seconds == 0.0
+        assert packed.codec_encode_seconds > 0.0
+        assert packed.codec_decode_seconds > 0.0
+
+    def test_wire_metrics_surface_in_as_dict(self, fuzz_model):
+        rng = np.random.default_rng(22)
+        engine = _make_engine(fuzz_model, 28, "swap", 32)
+        engine.run(self._swap_heavy(rng))
+        report = engine.metrics.as_dict()
+        assert report["swap_out_wire_bytes"] == engine.metrics.swap_out_wire_bytes
+        assert report["swap_compression_ratio"] > 0.0
+        assert report["codec_encode_seconds"] >= 0.0
+
+    def test_lossy_spill_codec_keeps_engine_coherent(self, fuzz_model):
+        """int4 on the spill tier: audits hold, requests finish, the spill
+        wire bytes shrink below logical.  (No byte-identity claim — lossy
+        restores are only bound-accurate, which the codec tests cover.)"""
+        rng = np.random.default_rng(23)
+        engine = _make_engine(fuzz_model, 24, "swap", 32, spill_codec="int4")
+        requests = self._swap_heavy(rng)
+        finals = engine.run(list(requests))
+        audit_engine(engine, "lossy spill")
+        assert all(f.finished for f in finals.values())
+        metrics = engine.metrics
+        if metrics.spill_out_bytes > 0:
+            assert metrics.spill_out_wire_bytes < metrics.spill_out_bytes
