@@ -32,7 +32,7 @@ from .cluster import (
     Worker,
 )
 from .engine import InferenceEngine
-from .metrics import EngineMetrics, RequestMetrics
+from .metrics import EngineMetrics, QoSClassMetrics, RequestMetrics
 from .prefix_cache import (
     ExportedChain,
     ExportedChainNode,
@@ -45,6 +45,7 @@ from .request import (
     PolicySpec,
     Request,
     RequestOutput,
+    RequestQoS,
     RequestStatus,
     SamplingParams,
     SelectionHook,
@@ -60,6 +61,7 @@ __all__ = [
     "Router",
     "Worker",
     "EngineMetrics",
+    "QoSClassMetrics",
     "RequestMetrics",
     "PrefixCache",
     "PrefixCacheStats",
@@ -70,6 +72,7 @@ __all__ = [
     "PolicySpec",
     "Request",
     "RequestOutput",
+    "RequestQoS",
     "RequestStatus",
     "SamplingParams",
     "SelectionHook",

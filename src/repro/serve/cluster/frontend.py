@@ -32,7 +32,7 @@ waited on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from ...errors import ConfigurationError
@@ -56,6 +56,11 @@ class ClusterMetrics:
     raw) sizes; the ``*_wire_bytes`` twins are what actually crossed the
     links after the migration codec — their quotient is the achieved
     compression ratio on the migration path.
+
+    ``routed_by_class`` counts routing decisions per QoS priority class
+    (``{priority: requests}``); the per-class serving outcomes live in the
+    merged workers' ``EngineMetrics.per_class`` buckets (see
+    :meth:`ClusterFrontend.fleet_metrics`).
     """
 
     migrations: int = 0
@@ -65,6 +70,7 @@ class ClusterMetrics:
     migrated_kv_wire_bytes: float = 0.0
     migrated_disk_wire_bytes: float = 0.0
     migration_seconds: float = 0.0
+    routed_by_class: dict = field(default_factory=dict)
 
     @property
     def migration_compression_ratio(self) -> float:
@@ -83,6 +89,7 @@ class ClusterMetrics:
             "migrated_disk_wire_bytes": self.migrated_disk_wire_bytes,
             "migration_compression_ratio": self.migration_compression_ratio,
             "migration_seconds": self.migration_seconds,
+            "routed_by_class": dict(sorted(self.routed_by_class.items())),
         }
 
 
@@ -162,8 +169,12 @@ class ClusterFrontend:
             self.workers,
             directory=self.directory,
             block_size=self.block_size,
+            priority=request.qos.priority,
         )
         self.placements.append(placement)
+        self.metrics.routed_by_class[request.qos.priority] = (
+            self.metrics.routed_by_class.get(request.qos.priority, 0) + 1
+        )
         worker = self.workers[placement.worker_id]
         worker.submit(request)
         self._assignment[request.request_id] = placement.worker_id

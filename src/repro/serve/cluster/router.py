@@ -93,6 +93,7 @@ class Router:
         workers: Sequence,
         directory: "FingerprintDirectory | None" = None,
         block_size: "int | None" = None,
+        priority: "int | None" = None,
     ) -> Placement:
         """Choose a worker for one request.
 
@@ -104,6 +105,12 @@ class Router:
             block_size: the workers' KV block size, needed to fingerprint
                 the prompt; ``None`` disables coverage scoring (cache-aware
                 degrades to least-loaded).
+            priority: the request's QoS priority class.  When set and the
+                workers expose ``load_at_or_above`` (the cluster
+                :class:`Worker` does), load comparisons count only
+                same-or-higher-class occupancy — lower-class work does not
+                delay a tagged request, so it should not repel it either.
+                ``None`` (or plain engines) keeps the total-load signal.
         """
         if not workers:
             raise ConfigurationError("cannot place a request on zero workers")
@@ -112,12 +119,23 @@ class Router:
             self._next += 1
             return Placement(worker.worker_id, self.policy)
         if self.policy == "least_loaded":
-            return Placement(self._least_loaded(workers).worker_id, self.policy)
-        return self._place_cache_aware(prompt_ids, workers, directory, block_size)
+            return Placement(
+                self._least_loaded(workers, priority).worker_id, self.policy
+            )
+        return self._place_cache_aware(
+            prompt_ids, workers, directory, block_size, priority
+        )
 
     @staticmethod
-    def _least_loaded(workers: Sequence):
-        return min(workers, key=lambda w: (w.load, w.worker_id))
+    def _load(worker, priority: "int | None") -> int:
+        """The balancing signal: per-class load when available and asked."""
+        if priority is not None and hasattr(worker, "load_at_or_above"):
+            return worker.load_at_or_above(priority)
+        return worker.load
+
+    @classmethod
+    def _least_loaded(cls, workers: Sequence, priority: "int | None" = None):
+        return min(workers, key=lambda w: (cls._load(w, priority), w.worker_id))
 
     def _place_cache_aware(
         self,
@@ -125,6 +143,7 @@ class Router:
         workers: Sequence,
         directory: "FingerprintDirectory | None",
         block_size: "int | None",
+        priority: "int | None" = None,
     ) -> Placement:
         covered = {}
         if directory is not None and block_size is not None:
@@ -140,7 +159,11 @@ class Router:
             worker = by_id.get(worker_id)
             if worker is None or coverage.resident_blocks == 0:
                 continue
-            rank = (-coverage.resident_blocks, worker.load, worker.worker_id)
+            rank = (
+                -coverage.resident_blocks,
+                self._load(worker, priority),
+                worker.worker_id,
+            )
             if best_rank is None or rank < best_rank:
                 best, best_rank = worker, rank
         if best is not None:
@@ -152,7 +175,7 @@ class Router:
         # migrate_on_miss the frontend ships it to the fallback target —
         # unless that target already owns it (its own match would restore
         # the chain locally, skipping the PCIe round trip).
-        target = self._least_loaded(workers)
+        target = self._least_loaded(workers, priority)
         placement = Placement(target.worker_id, self.policy)
         if self.migrate_on_miss and covered:
             owner_id, coverage = min(

@@ -50,6 +50,22 @@ class Worker(InferenceEngine):
         """Queued plus active requests — the router's balancing signal."""
         return self.num_waiting + self.num_running
 
+    def load_at_or_above(self, priority: int) -> int:
+        """Queued plus active requests of priority class >= ``priority``.
+
+        The router's per-class load signal: work *below* the incoming
+        request's class does not delay it (the QoS scheduler admits over it
+        and preempts it under pressure), so only same-or-higher-class
+        occupancy counts when balancing a tagged request.
+        """
+        return sum(
+            1
+            for item in (
+                self.scheduler.waiting_items() + self.scheduler.running_items()
+            )
+            if item.priority >= priority
+        )
+
     def describe(self) -> dict:
         """Per-worker reporting row (hit rates, load, clock)."""
         return {

@@ -283,6 +283,14 @@ class InferenceEngine(PoolPressureMixin):
         self._states: dict[str, RequestState] = {}
         self._seen_ids: set[str] = set()
         self._final_outputs: dict[str, RequestOutput] = {}
+        #: shed-at-submit finals awaiting delivery through the next step()
+        #: (so run()/stream() observe them like any other finished output)
+        self._pending_shed_outputs: list[RequestOutput] = []
+        #: opt-in preemption witness: assign a list and every successful
+        #: claimant→victim preemption appends ``(claimant_priority,
+        #: claimant_seq, victim_priority, victim_seq)`` — the QoS fuzz
+        #: suite's no-priority-inversion / within-class-age-rule oracle.
+        self.victim_log: list[tuple[int, int, int, int]] | None = None
 
     # ------------------------------------------------------------- intake
 
@@ -301,14 +309,74 @@ class InferenceEngine(PoolPressureMixin):
         self._states[request.request_id] = state
         self.scheduler.submit(state)
         self.metrics.requests_submitted += 1
+        self.metrics.class_bucket(state.priority).requests_submitted += 1
+        self.metrics.tenant_bucket(state.tenant).requests_submitted += 1
+        self._admission_control(state)
         return request.request_id
+
+    def _admission_control(self, state: RequestState) -> None:
+        """Apply the opt-in load-shedding rules to a just-submitted request.
+
+        ``shed_infeasible`` sheds a request whose *prompt alone* needs more
+        pool blocks than the whole pool holds — no schedule could ever
+        complete it, so failing fast beats a guaranteed
+        :class:`CapacityError` later.  ``max_waiting`` bounds the waiting
+        queue: on overflow the lowest-ranked *never-admitted* waiting
+        request (lowest priority class, newest within it — possibly the
+        incoming one itself) is shed; preemption victims re-queued for
+        resume are never shed, they already hold generated tokens.
+        """
+        config = self.scheduler.config
+        if (
+            config.shed_infeasible
+            and self.block_allocator is not None
+            and self.block_allocator.capacity_blocks is not None
+        ):
+            block = self.block_allocator.block_size
+            needed = -(-len(state.request.prompt_ids) // block)
+            if needed > self.block_allocator.capacity_blocks:
+                self._shed(state)
+                return
+        if (
+            config.max_waiting is not None
+            and self.scheduler.num_waiting > config.max_waiting
+        ):
+            candidates = [
+                item
+                for item in self.scheduler.waiting_items()
+                if item.status is RequestStatus.WAITING
+            ]
+            if candidates:
+                victim = min(
+                    candidates, key=lambda it: (it.priority, -it.seq)
+                )
+                self._shed(victim)
+
+    def _shed(self, state: RequestState) -> RequestOutput:
+        """Refuse a waiting request: ``finish_reason="shed"``, free everything.
+
+        Shed requests have never been admitted, so they hold no pool blocks,
+        swap handles, or policy state — only their queue slot and state
+        entry are dropped.  The final output is delivered through the next
+        :meth:`step` so streaming consumers observe it.
+        """
+        self.scheduler.remove(state)
+        self._finish(state, "shed")
+        output = self._make_output(state, [])
+        del self._states[state.request.request_id]
+        self._final_outputs[state.request.request_id] = output
+        self.metrics.requests_shed += 1
+        self._record_qos_finish(state, "requests_shed")
+        self._pending_shed_outputs.append(output)
+        self._trim_retained_outputs()
+        return output
 
     #: alias matching the common serving-engine vocabulary
     add_request = submit
 
     @property
     def has_unfinished(self) -> bool:
-        return self.scheduler.has_work
+        return self.scheduler.has_work or bool(self._pending_shed_outputs)
 
     @property
     def num_waiting(self) -> int:
@@ -332,9 +400,12 @@ class InferenceEngine(PoolPressureMixin):
         Returns one :class:`RequestOutput` per touched request, carrying the
         tokens that became available during this step (streaming deltas).
         """
+        self._proactive_swap_out()
+        shed_outputs = self._pending_shed_outputs
+        self._pending_shed_outputs = []
         decision = self.scheduler.schedule()
         if not decision.decodes and not decision.admitted and not decision.prefill_chunks:
-            return []
+            return shed_outputs
         self.metrics.steps += 1
         new_tokens: dict[str, list[int]] = {}
         chunked = self.scheduler.config.chunked_prefill_enabled
@@ -418,8 +489,9 @@ class InferenceEngine(PoolPressureMixin):
                 del self._states[state.request.request_id]
                 self._final_outputs[state.request.request_id] = output
                 self.metrics.requests_finished += 1
+                self._record_qos_finish(state, "requests_finished")
         self._trim_retained_outputs()
-        return outputs
+        return shed_outputs + outputs
 
     def _trim_retained_outputs(self) -> None:
         """Evict the oldest retained finals beyond the retention bound."""
@@ -523,6 +595,7 @@ class InferenceEngine(PoolPressureMixin):
         del self._states[request_id]
         self._final_outputs[request_id] = output
         self.metrics.requests_aborted += 1
+        self._record_qos_finish(state, "requests_aborted")
         self._trim_retained_outputs()
         return output
 
@@ -1125,6 +1198,23 @@ class InferenceEngine(PoolPressureMixin):
         state.metrics.finish_time = self.metrics.clock
         if state.policy is not None:
             state.policy.release_prefix()
+
+    def _record_qos_finish(self, state: RequestState, kind: str) -> None:
+        """Fold one terminal event into the per-class/per-tenant buckets.
+
+        ``kind`` names the bucket counter (``requests_finished`` /
+        ``requests_aborted`` / ``requests_shed``); normally-finished
+        requests also contribute their TTFT/TPOT to the bucket's latency
+        accumulators.
+        """
+        buckets = (
+            self.metrics.class_bucket(state.priority),
+            self.metrics.tenant_bucket(state.tenant),
+        )
+        for bucket in buckets:
+            setattr(bucket, kind, getattr(bucket, kind) + 1)
+            if kind == "requests_finished":
+                bucket.observe_finish(state.metrics)
 
     @staticmethod
     def _gpu_cache_hit_rate(policy: KVCachePolicy | None) -> float:

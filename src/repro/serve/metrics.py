@@ -9,9 +9,9 @@ hardware terms (TTFT, TPOT, PCIe bytes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import MISSING, dataclass, field, fields, replace
 
-__all__ = ["RequestMetrics", "EngineMetrics"]
+__all__ = ["RequestMetrics", "EngineMetrics", "QoSClassMetrics"]
 
 
 @dataclass
@@ -49,6 +49,9 @@ class RequestMetrics:
             it shows up in every later request's queueing delay).
         recomputed_tokens: prompt + generated tokens re-processed because of
             recompute-preemption (0 under swap preemption).
+        priority: the request's QoS priority class (0 = default best-effort;
+            see :class:`~repro.serve.RequestQoS`).
+        tenant: the request's tenant label (``"default"`` when untagged).
     """
 
     arrival_time: float = 0.0
@@ -70,6 +73,8 @@ class RequestMetrics:
     swap_in_bytes: float = 0.0
     swap_seconds: float = 0.0
     recomputed_tokens: int = 0
+    priority: int = 0
+    tenant: str = "default"
 
     # ------------------------------------------------------------- derived
 
@@ -125,6 +130,82 @@ class RequestMetrics:
             "swap_in_bytes": self.swap_in_bytes,
             "swap_seconds": self.swap_seconds,
             "recomputed_tokens": self.recomputed_tokens,
+            "priority": self.priority,
+            "tenant": self.tenant,
+        }
+
+
+@dataclass
+class QoSClassMetrics:
+    """Aggregate counters of one priority class (or one tenant).
+
+    The engine keeps one instance per priority class in
+    ``EngineMetrics.per_class`` and one per tenant in
+    ``EngineMetrics.per_tenant``; both follow the same snapshot/merge
+    semantics as the flat engine counters (everything sums — these are
+    pure counters, no clocks).  TTFT/TPOT are accumulated as
+    ``(sum, count)`` pairs so fleet merges stay exact; use :attr:`mean_ttft`
+    / :attr:`mean_tpot` for the derived means.
+    """
+
+    requests_submitted: int = 0
+    requests_finished: int = 0
+    requests_aborted: int = 0
+    requests_shed: int = 0
+    preemptions: int = 0
+    proactive_swap_outs: int = 0
+    generated_tokens: int = 0
+    ttft_sum: float = 0.0
+    ttft_count: int = 0
+    tpot_sum: float = 0.0
+    tpot_count: int = 0
+
+    @property
+    def mean_ttft(self) -> float | None:
+        if self.ttft_count == 0:
+            return None
+        return self.ttft_sum / self.ttft_count
+
+    @property
+    def mean_tpot(self) -> float | None:
+        if self.tpot_count == 0:
+            return None
+        return self.tpot_sum / self.tpot_count
+
+    def observe_finish(self, request: "RequestMetrics") -> None:
+        """Fold one finished request's latency stats into this bucket."""
+        ttft = request.ttft
+        if ttft is not None:
+            self.ttft_sum += ttft
+            self.ttft_count += 1
+        tpot = request.tpot
+        if tpot is not None:
+            self.tpot_sum += tpot
+            self.tpot_count += 1
+        self.generated_tokens += request.num_generated_tokens
+
+    def snapshot(self) -> "QoSClassMetrics":
+        return replace(self)
+
+    def merge(self, other: "QoSClassMetrics") -> "QoSClassMetrics":
+        """Fold ``other`` in (everything sums — returns ``self``)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_finished": self.requests_finished,
+            "requests_aborted": self.requests_aborted,
+            "requests_shed": self.requests_shed,
+            "preemptions": self.preemptions,
+            "proactive_swap_outs": self.proactive_swap_outs,
+            "generated_tokens": self.generated_tokens,
+            "mean_ttft": self.mean_ttft,
+            "mean_tpot": self.mean_tpot,
         }
 
 
@@ -192,6 +273,14 @@ class EngineMetrics:
     preemptions: int = 0
     preemptions_swap: int = 0
     preemptions_recompute: int = 0
+    #: QoS accounting (all zero/empty without tagged traffic): requests
+    #: refused by admission control, proactive swap-outs of idle low-priority
+    #: work, and per-priority-class / per-tenant counter buckets (see
+    #: :class:`QoSClassMetrics`; dict values merge per key, counters sum).
+    requests_shed: int = 0
+    proactive_swap_outs: int = 0
+    per_class: dict = field(default_factory=dict)
+    per_tenant: dict = field(default_factory=dict)
     swap_out_blocks: int = 0
     swap_in_blocks: int = 0
     swap_out_bytes: float = 0.0
@@ -248,24 +337,55 @@ class EngineMetrics:
         else:
             self.decode_batch_size_17_plus += 1
 
+    # ------------------------------------------------------- QoS buckets
+
+    def class_bucket(self, priority: int) -> QoSClassMetrics:
+        """The (auto-created) per-priority-class counter bucket."""
+        bucket = self.per_class.get(priority)
+        if bucket is None:
+            bucket = self.per_class[priority] = QoSClassMetrics()
+        return bucket
+
+    def tenant_bucket(self, tenant: str) -> QoSClassMetrics:
+        """The (auto-created) per-tenant counter bucket."""
+        bucket = self.per_tenant.get(tenant)
+        if bucket is None:
+            bucket = self.per_tenant[tenant] = QoSClassMetrics()
+        return bucket
+
     # -------------------------------------------------- snapshot / merge
 
     def snapshot(self) -> "EngineMetrics":
-        """Point-in-time copy (the live instance keeps accumulating)."""
-        return replace(self)
+        """Point-in-time copy (the live instance keeps accumulating).
+
+        The per-class/per-tenant buckets are copied bucket-by-bucket so the
+        snapshot stays frozen while the live instance keeps counting.
+        """
+        copy = replace(self)
+        copy.per_class = {k: v.snapshot() for k, v in self.per_class.items()}
+        copy.per_tenant = {k: v.snapshot() for k, v in self.per_tenant.items()}
+        return copy
 
     def merge(self, other: "EngineMetrics") -> "EngineMetrics":
         """Fold ``other``'s counters into this instance (returns ``self``).
 
         Every counter is summed; ``clock`` takes the maximum, since two
         engines running in parallel overlap in wall time — a fleet's
-        aggregated clock is its slowest worker's.  Merge snapshots (or
-        deltas of snapshots) when aggregating live engines so a counter is
-        never folded in twice.
+        aggregated clock is its slowest worker's.  The per-class/per-tenant
+        dicts merge per key (each bucket's counters sum).  Merge snapshots
+        (or deltas of snapshots) when aggregating live engines so a counter
+        is never folded in twice.
         """
         for spec in fields(self):
             if spec.name == "clock":
                 self.clock = max(self.clock, other.clock)
+            elif spec.name in ("per_class", "per_tenant"):
+                ours = getattr(self, spec.name)
+                for key, bucket in getattr(other, spec.name).items():
+                    if key in ours:
+                        ours[key].merge(bucket)
+                    else:
+                        ours[key] = bucket.snapshot()
             else:
                 value = getattr(self, spec.name) + getattr(other, spec.name)
                 setattr(self, spec.name, value)
@@ -274,7 +394,10 @@ class EngineMetrics:
     def reset(self) -> None:
         """Zero every counter in place (windowed-reporting support)."""
         for spec in fields(self):
-            setattr(self, spec.name, spec.default)
+            if spec.default_factory is not MISSING:  # type: ignore[misc]
+                setattr(self, spec.name, spec.default_factory())  # type: ignore[misc]
+            else:
+                setattr(self, spec.name, spec.default)
 
     # ------------------------------------------------------------ derived
 
@@ -361,6 +484,10 @@ class EngineMetrics:
             "preemptions": self.preemptions,
             "preemptions_swap": self.preemptions_swap,
             "preemptions_recompute": self.preemptions_recompute,
+            "requests_shed": self.requests_shed,
+            "proactive_swap_outs": self.proactive_swap_outs,
+            "per_class": {k: v.as_dict() for k, v in sorted(self.per_class.items())},
+            "per_tenant": {k: v.as_dict() for k, v in sorted(self.per_tenant.items())},
             "swap_out_blocks": self.swap_out_blocks,
             "swap_in_blocks": self.swap_in_blocks,
             "swap_out_bytes": self.swap_out_bytes,

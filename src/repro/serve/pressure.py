@@ -11,7 +11,11 @@ split keeps the engine module focused on the admit/prefill/decode loop.
 
 The mixin expects its host to provide the engine's attributes: ``model``,
 ``scheduler``, ``latency``, ``metrics``, ``block_allocator``, ``swap_space``,
-``prefix_cache``, ``_states``, ``_final_outputs``, and ``_spill_settled``.
+``prefix_cache``, ``_states``, ``_final_outputs``, ``_spill_settled``, and
+``victim_log`` (``None``, or a list that successful claimant→victim
+preemptions are appended to as ``(claimant_priority, claimant_seq,
+victim_priority, victim_seq)`` tuples — the QoS fuzz suite's inversion
+witness).
 """
 
 from __future__ import annotations
@@ -26,6 +30,42 @@ __all__ = ["PoolPressureMixin"]
 
 class PoolPressureMixin:
     """Pool-pressure escalation ladder shared by the serving engine."""
+
+    # ------------------------------------------------------ QoS ordering
+
+    @staticmethod
+    def _may_preempt(claimant: RequestState, victim: RequestState) -> bool:
+        """Whether ``claimant`` is entitled to take ``victim``'s blocks.
+
+        Entitlement is lexicographic (priority class descending, submission
+        order ascending): a claimant may victimise any strictly
+        lower-priority request regardless of age, and same-class requests
+        submitted after it.  This preserves the age-rule liveness proof
+        *within* each class — the oldest request of the top class outranks
+        everyone, so it always completes, then the next, and so on down the
+        classes; no preemption cycle is possible.
+        """
+        if victim.priority != claimant.priority:
+            return victim.priority < claimant.priority
+        return victim.seq > claimant.seq
+
+    def _outranked_by_active(self, state: RequestState) -> bool:
+        """Whether some active request is entitled to finish before ``state``.
+
+        The park condition: when true, ``state``'s unmet demand is not yet
+        infeasible — the outranking request will free blocks by finishing.
+        Only the top-ranked claimant may raise :class:`CapacityError`.
+        """
+        return any(
+            other.priority > state.priority
+            or (other.priority == state.priority and other.seq < state.seq)
+            for other in self._states.values()
+        )
+
+    def _record_preemption_class(self, victim: RequestState) -> None:
+        """Bump the per-class/per-tenant preemption buckets for one victim."""
+        self.metrics.class_bucket(victim.priority).preemptions += 1
+        self.metrics.tenant_bucket(victim.tenant).preemptions += 1
 
     # --------------------------------------------------- pool pressure
 
@@ -62,17 +102,21 @@ class PoolPressureMixin:
         blocks the prefix cache shares become evictable on the next pass),
         (3) preempt victim requests submitted *after* ``state``
         (``victim_policy`` order among them, skipping requests that hold no
-        pool blocks).  The age restriction is the progress guarantee: the
-        oldest active request can take blocks from everyone, so it always
-        completes, then the next oldest, and so on — two requests can never
-        preempt each other back and forth without anybody finishing.
+        pool blocks).  Victim eligibility is :meth:`_may_preempt`:
+        strictly lower priority classes first, then same-class requests
+        submitted after ``state`` — the per-class age restriction is the
+        progress guarantee: the top-ranked active request can take blocks
+        from everyone, so it always completes, then the next, and so on —
+        two requests can never preempt each other back and forth without
+        anybody finishing.
 
-        Returns ``False`` when the demand cannot be met but an *older*
-        request is still active (the caller parks ``state``; the older
-        request will free blocks by finishing).  Raises
-        :class:`~repro.errors.CapacityError` when ``state`` is the oldest
-        active request and its demand exceeds the pool even with everything
-        else preempted and spilled — genuine infeasibility.
+        Returns ``False`` when the demand cannot be met but an *outranking*
+        request (higher class, or older in the same class) is still active
+        (the caller parks ``state``; the outranking request will free blocks
+        by finishing).  Raises :class:`~repro.errors.CapacityError` when
+        ``state`` is the top-ranked active request and its demand exceeds
+        the pool even with everything else preempted and spilled — genuine
+        infeasibility.
         """
         allocator = self.block_allocator
         if (
@@ -103,7 +147,7 @@ class PoolPressureMixin:
                     break
                 exclude.append(candidate)
                 if (
-                    candidate.seq > state.seq
+                    self._may_preempt(state, candidate)
                     and candidate.paged is not None
                     and candidate.paged.table.block_ids
                     and not candidate.paged.table.released
@@ -113,9 +157,7 @@ class PoolPressureMixin:
             if victim is None:
                 if self._degrade_swapped_to_recompute(exclude=state):
                     continue
-                if any(
-                    other.seq < state.seq for other in self._states.values()
-                ):
+                if self._outranked_by_active(state):
                     return False
                 raise CapacityError(
                     f"KV pool cannot supply {needed} blocks for request "
@@ -125,6 +167,63 @@ class PoolPressureMixin:
                 )
             if not self._preempt_victim(victim):
                 continue  # victim unswappable right now; try the next one
+            if self.victim_log is not None:
+                self.victim_log.append(
+                    (state.priority, state.seq, victim.priority, victim.seq)
+                )
+
+    def _proactive_swap_out(self) -> int:
+        """Swap out low-priority running requests ahead of waiting work.
+
+        Runs at the start of a step, before admission: when the pool's free
+        fraction has dropped below
+        :attr:`SchedulerConfig.proactive_swap_free_fraction` and the waiting
+        queue holds *strictly higher-priority* work than some running
+        request, the lowest-priority (then youngest) block-holding running
+        request is swap-preempted — idle-but-unfinished background work
+        yields its blocks before the interactive burst has to stall on a
+        reactive mid-allocation preemption.  Swap-only by design: recompute
+        would burn the very compute the high-priority work wants.  Stops
+        when the threshold is met, no eligible victim remains, or the swap
+        tiers are full.  Returns the number of requests swapped out.
+        """
+        threshold = self.scheduler.config.proactive_swap_free_fraction
+        allocator = self.block_allocator
+        if (
+            threshold is None
+            or allocator is None
+            or allocator.capacity_blocks is None
+            or self.swap_space is None
+        ):
+            return 0
+        swapped = 0
+        while True:
+            available = allocator.num_available
+            assert available is not None
+            if available / allocator.capacity_blocks >= threshold:
+                break
+            waiting = self.scheduler.waiting_items()
+            if not waiting:
+                break
+            top_waiting = max(item.priority for item in waiting)
+            victims = [
+                item
+                for item in self.scheduler.running_items()
+                if item.priority < top_waiting
+                and item.paged is not None
+                and item.paged.table.block_ids
+                and not item.paged.table.released
+            ]
+            if not victims:
+                break
+            victim = min(victims, key=lambda it: (it.priority, -it.seq))
+            if not self._preempt_swap(victim):
+                break  # tiers full — reactive preemption will handle the rest
+            swapped += 1
+            self.metrics.proactive_swap_outs += 1
+            self.metrics.class_bucket(victim.priority).proactive_swap_outs += 1
+            self.metrics.tenant_bucket(victim.tenant).proactive_swap_outs += 1
+        return swapped
 
     def _reclaim_retained_blocks(self) -> bool:
         """Release one retained finished output's pool references.
@@ -160,7 +259,9 @@ class PoolPressureMixin:
         """
         if self.swap_space is None:
             return False
-        for state in self._states.values():
+        # Lowest priority class first (stable within a class — see
+        # _degrade_swapped_to_recompute for the rationale).
+        for state in sorted(self._states.values(), key=lambda s: s.priority):
             if state is exclude:
                 continue
             handle = state.swap_handle
@@ -293,6 +394,7 @@ class PoolPressureMixin:
         victim.metrics.preemptions += 1
         victim.metrics.swap_out_bytes += nbytes
         victim.metrics.swap_seconds += seconds
+        self._record_preemption_class(victim)
         return True
 
     @staticmethod
@@ -348,6 +450,7 @@ class PoolPressureMixin:
         self.metrics.preemptions_recompute += 1
         victim.metrics.preemptions += 1
         victim.metrics.recomputed_tokens += thrown_away
+        self._record_preemption_class(victim)
 
     def _degrade_swapped_to_recompute(
         self, exclude: "RequestState | None" = None
@@ -364,7 +467,12 @@ class PoolPressureMixin:
         """
         if self.swap_space is None:
             return False
-        for state in self._states.values():
+        # Lowest priority class first (stable within a class, so untagged
+        # traffic keeps the pre-QoS submission-order scan): a parked
+        # high-priority request should not lose its bitwise restore while a
+        # low-priority handle could be sacrificed instead.
+        states = sorted(self._states.values(), key=lambda s: s.priority)
+        for state in states:
             if (
                 state is exclude
                 or state.swap_handle is None
@@ -381,6 +489,7 @@ class PoolPressureMixin:
             self.metrics.preemptions_recompute += 1
             state.metrics.preemptions += 1
             state.metrics.recomputed_tokens += thrown_away
+            self._record_preemption_class(state)
             return True
         return False
 
@@ -421,6 +530,7 @@ class PoolPressureMixin:
             self.metrics.preemptions_recompute += 1
             state.metrics.preemptions += 1
             state.metrics.recomputed_tokens += thrown_away
+            self._record_preemption_class(state)
             self.scheduler.preempt(state)
             return False
         if not reserved:

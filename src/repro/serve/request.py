@@ -29,6 +29,7 @@ __all__ = [
     "SamplingParams",
     "PolicySpec",
     "Request",
+    "RequestQoS",
     "RequestStatus",
     "RequestOutput",
     "SelectionHook",
@@ -70,6 +71,41 @@ class SamplingParams:
             raise ConfigurationError("max_new_tokens must be positive")
         if self.observation_window <= 0:
             raise ConfigurationError("observation_window must be positive")
+
+
+@dataclass(frozen=True)
+class RequestQoS:
+    """Per-request quality-of-service tags (multi-tenant serving).
+
+    QoS steers *scheduling only*: admission order, chunked-prefill budget
+    shares, victim selection under pool pressure, proactive swap-out, and
+    load shedding.  It never changes what a request computes — tokens and
+    logits stay byte-identical to an uncontended run of the same request
+    (the engine's load-bearing invariant).
+
+    Attributes:
+        priority: priority class; higher is more important.  Admission is
+            ordered by class (FCFS within a class), and under pool pressure
+            victims are preferred from strictly lower classes — the age-rule
+            liveness argument holds *within* each class, so the oldest
+            request of the top class always completes.
+        tenant: tenant label; per-tenant metrics are keyed on it and the
+            chunked-prefill token budget is split weighted-fair *across*
+            tenants (max-min within each tenant).
+        weight: this tenant's fair-share weight in the chunked-prefill
+            split (> 0); requests of one tenant should declare the same
+            weight (the largest declared weight wins per step).
+    """
+
+    priority: int = 0
+    tenant: str = "default"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigurationError("tenant must be a non-empty string")
+        if self.weight <= 0:
+            raise ConfigurationError("weight must be > 0")
 
 
 class PolicySpec:
@@ -202,6 +238,9 @@ class Request:
         prefill: optional precomputed prefill result (e.g. a clone of a
             shared prefill); the engine skips its own prefill when set.
         selection_hook: optional observer called at every per-layer selection.
+        qos: priority/tenant tags (see :class:`RequestQoS`); the default is
+            a single best-effort class, which reproduces the pre-QoS FCFS
+            scheduler exactly.
     """
 
     prompt_ids: list[int]
@@ -211,6 +250,7 @@ class Request:
     forced_decode_ids: list[int] | None = None
     prefill: PrefillResult | None = None
     selection_hook: SelectionHook | None = None
+    qos: RequestQoS = field(default_factory=RequestQoS)
 
     def __post_init__(self) -> None:
         self.prompt_ids = [int(t) for t in self.prompt_ids]

@@ -27,9 +27,9 @@ zero prefill work for cache-hit tokens without knowing they exist.
 
 from __future__ import annotations
 
-from collections import deque
+import math
 from dataclasses import dataclass, field
-from typing import Deque, Generic, List, Tuple, TypeVar
+from typing import Generic, List, Tuple, TypeVar
 
 from ..errors import ConfigurationError
 
@@ -63,7 +63,25 @@ class SchedulerConfig:
         victim_policy: which running request is preempted first.  ``"lifo"``
             (default) picks the most recently admitted — the one that has
             wasted the least work, vLLM's default; ``"fifo"`` picks the
-            oldest.
+            oldest.  With QoS-tagged traffic the policy only breaks ties
+            *within* a priority class: victims always come from the lowest
+            running class first.
+        max_waiting: admission-control cap on the waiting queue.  ``None``
+            (default) never sheds; with a cap, a submit that would overflow
+            the queue sheds the lowest-ranked never-admitted waiting request
+            (lowest priority class, newest within it) with
+            ``finish_reason="shed"``.
+        shed_infeasible: shed a request at submit when it is *provably*
+            infeasible — its prompt alone needs more KV blocks than the
+            whole pool holds, so no schedule could ever complete it.  Off by
+            default: the pre-QoS contract is a ``CapacityError`` when such a
+            request reaches the head of the queue.
+        proactive_swap_free_fraction: when the free fraction of the block
+            pool drops below this threshold at the start of a step and
+            higher-priority work is waiting, the engine proactively swaps
+            out the lowest-priority running requests before admission
+            instead of waiting for a reactive preemption mid-allocation.
+            ``None`` (default) disables proactive swap-out.
     """
 
     max_batch_size: int = 8
@@ -71,6 +89,9 @@ class SchedulerConfig:
     max_prefill_chunk_tokens: int | None = None
     preemption_mode: str = "swap"
     victim_policy: str = "lifo"
+    max_waiting: int | None = None
+    shed_infeasible: bool = False
+    proactive_swap_free_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -87,6 +108,16 @@ class SchedulerConfig:
             )
         if self.victim_policy not in ("lifo", "fifo"):
             raise ConfigurationError("victim_policy must be 'lifo' or 'fifo'")
+        if self.max_waiting is not None and self.max_waiting <= 0:
+            raise ConfigurationError(
+                "max_waiting must be positive (or None to disable shedding)"
+            )
+        if self.proactive_swap_free_fraction is not None and not (
+            0.0 < self.proactive_swap_free_fraction <= 1.0
+        ):
+            raise ConfigurationError(
+                "proactive_swap_free_fraction must be in (0, 1] (or None)"
+            )
 
     @property
     def chunked_prefill_enabled(self) -> bool:
@@ -114,12 +145,38 @@ class SchedulingDecision(Generic[T]):
 
 
 class ContinuousBatchingScheduler(Generic[T]):
-    """FCFS admission + run-to-completion batch slots."""
+    """Priority-ordered admission + run-to-completion batch slots.
+
+    Scheduled items may expose optional QoS attributes — ``priority`` (int,
+    higher admits first), ``tenant`` (str, weighted-fair chunk-budget
+    grouping), ``weight`` (float, the tenant's share) and ``seq``
+    (submission order) — all defaulting to a single best-effort class, in
+    which case every code path below reduces exactly to the pre-QoS FCFS
+    scheduler.
+    """
 
     def __init__(self, config: SchedulerConfig | None = None) -> None:
         self.config = config or SchedulerConfig()
-        self._waiting: Deque[T] = deque()
+        self._waiting: List[T] = []
         self._running: List[T] = []
+
+    # --------------------------------------------------- QoS item protocol
+
+    @staticmethod
+    def _priority(item: T) -> int:
+        return int(getattr(item, "priority", 0))
+
+    @staticmethod
+    def _tenant(item: T) -> str:
+        return str(getattr(item, "tenant", "default"))
+
+    @staticmethod
+    def _weight(item: T) -> float:
+        return float(getattr(item, "weight", 1.0))
+
+    @staticmethod
+    def _seq(item: T) -> int:
+        return int(getattr(item, "seq", 0))
 
     # ------------------------------------------------------------- queues
 
@@ -135,9 +192,46 @@ class ContinuousBatchingScheduler(Generic[T]):
     def has_work(self) -> bool:
         return bool(self._waiting or self._running)
 
+    def waiting_items(self) -> tuple[T, ...]:
+        """The waiting queue in admission order (highest class first)."""
+        return tuple(self._waiting)
+
+    def running_items(self) -> tuple[T, ...]:
+        """The running batch in admission order."""
+        return tuple(self._running)
+
+    def _insert_waiting(self, item: T, front_of_class: bool) -> None:
+        """Insert keeping the queue sorted by priority (descending).
+
+        Within a priority class order is FCFS: new submissions go to the
+        *back* of their class, resumed preemption victims to the *front*
+        (so they re-admit before newer same-class arrivals).  With untagged
+        traffic (one class) this degenerates to plain append / appendleft.
+        """
+        p = self._priority(item)
+        if front_of_class:
+            idx = 0
+            while idx < len(self._waiting) and self._priority(self._waiting[idx]) > p:
+                idx += 1
+        else:
+            idx = len(self._waiting)
+            while idx > 0 and self._priority(self._waiting[idx - 1]) < p:
+                idx -= 1
+        self._waiting.insert(idx, item)
+
     def submit(self, item: T) -> None:
-        """Enqueue a request for admission."""
-        self._waiting.append(item)
+        """Enqueue a request for admission (priority-ordered, FCFS in class)."""
+        self._insert_waiting(item, front_of_class=False)
+
+    def lowest_ranked_waiting(self) -> T | None:
+        """The waiting item admission would serve *last*.
+
+        Lowest priority class; newest (highest ``seq``) within it — the
+        shedding victim when :attr:`SchedulerConfig.max_waiting` overflows.
+        """
+        if not self._waiting:
+            return None
+        return min(self._waiting, key=lambda it: (self._priority(it), -self._seq(it)))
 
     def finish(self, item: T) -> None:
         """Release the batch slot of a finished request."""
@@ -159,37 +253,41 @@ class ContinuousBatchingScheduler(Generic[T]):
     def preempt(self, item: T, requeue_front: bool = True) -> None:
         """Move a running request back to the waiting queue.
 
-        Preempted requests go to the *front* of the queue by default so they
-        are resumed before newer arrivals (no starvation of victims);
-        ``requeue_front=False`` parks the item at the back instead — the
-        engine uses that when a resume attempt itself failed for memory, so
-        other requests get a chance to finish and free blocks first.
+        Preempted requests go to the *front of their priority class* by
+        default so they are resumed before newer same-class arrivals (no
+        starvation of victims); ``requeue_front=False`` parks the item at
+        the back of its class instead — the engine uses that when a resume
+        attempt itself failed for memory, so other requests get a chance to
+        finish and free blocks first.
         """
         if item not in self._running:
             raise ConfigurationError("cannot preempt an item that is not running")
         self._running.remove(item)
-        if requeue_front:
-            self._waiting.appendleft(item)
-        else:
-            self._waiting.append(item)
+        self._insert_waiting(item, front_of_class=requeue_front)
 
     def pick_victim(self, exclude: "tuple[T, ...] | list[T]" = ()) -> T | None:
         """Choose the running request to preempt under pool pressure.
 
-        ``"lifo"`` returns the most recently admitted running request (it
-        has the least sunk work), ``"fifo"`` the oldest; items in
-        ``exclude`` (typically the request that needs the memory) are never
-        chosen.  Returns ``None`` when no running request is eligible.
+        Victims come from the lowest running priority class first (no
+        cross-class inversion: a class never bleeds for a lower one); the
+        configured ``victim_policy`` breaks ties within the class —
+        ``"lifo"`` prefers the most recently admitted (least sunk work,
+        vLLM's default), ``"fifo"`` the oldest.  Items in ``exclude``
+        (typically the request that needs the memory) are never chosen.
+        Returns ``None`` when no running request is eligible.
         """
         order = (
             reversed(self._running)
             if self.config.victim_policy == "lifo"
             else iter(self._running)
         )
+        best: T | None = None
         for item in order:
-            if all(item is not excluded for excluded in exclude):
-                return item
-        return None
+            if any(item is excluded for excluded in exclude):
+                continue
+            if best is None or self._priority(item) < self._priority(best):
+                best = item
+        return best
 
     # ----------------------------------------------------------- schedule
 
@@ -197,6 +295,35 @@ class ContinuousBatchingScheduler(Generic[T]):
     def _remaining(item: T) -> int:
         """Prefill tokens the item still needs (chunked-mode protocol)."""
         return int(item.remaining_prefill_tokens)  # type: ignore[attr-defined]
+
+    def _grant_max_min(
+        self,
+        items: List[T],
+        budget: int,
+        chunks: List[Tuple[T, int]],
+        granted: dict,
+    ) -> int:
+        """Max-min (water-filling) split of ``budget`` over ``items``.
+
+        Smallest demands are served first (fully, when the fair share covers
+        them) so short prompts are never head-of-line-blocked by a long
+        prefill; the leftover budget rolls over to the larger demands.  Ties
+        keep FCFS order (stable sort).  Returns the tokens actually granted.
+        """
+        items = sorted(items, key=self._remaining)
+        used = 0
+        for index, item in enumerate(items):
+            if budget <= 0:
+                break
+            claimants_left = len(items) - index
+            fair_share = -(-budget // claimants_left)  # ceil division
+            grant = min(self._remaining(item), fair_share, budget)
+            if grant > 0:
+                chunks.append((item, grant))
+                granted[id(item)] = grant
+                budget -= grant
+                used += grant
+        return used
 
     def schedule(self) -> SchedulingDecision[T]:
         """Admit waiting requests into free slots, then plan prefill/decode."""
@@ -206,35 +333,53 @@ class ContinuousBatchingScheduler(Generic[T]):
             and len(self._running) < self.config.max_batch_size
             and len(admitted) < self.config.max_prefills_per_step
         ):
-            item = self._waiting.popleft()
+            item = self._waiting.pop(0)
             self._running.append(item)
             admitted.append(item)
 
         if not self.config.chunked_prefill_enabled:
             return SchedulingDecision(admitted=admitted, decodes=list(self._running))
 
-        # Chunked mode: split the step's token budget max-min fairly over the
-        # partially-prefilled requests.  Smallest demands are served first
-        # (fully, when the fair share covers them) so short prompts are never
-        # head-of-line-blocked by a long prefill; the leftover budget rolls
-        # over to the larger demands.  Ties keep FCFS order (stable sort).
-        prefilling = [
-            item for item in self._running if self._remaining(item) > 0
-        ]
-        prefilling.sort(key=self._remaining)
-        granted: dict[int, int] = {}
+        # Chunked mode: split the step's token budget weighted-fair across
+        # tenants (each tenant's share is proportional to its declared
+        # weight), then max-min fairly over each tenant's own
+        # partially-prefilled requests.  With a single tenant — in
+        # particular with untagged traffic — this is byte-for-byte the
+        # plain max-min split the pre-QoS scheduler ran.
+        prefilling = [item for item in self._running if self._remaining(item) > 0]
+        granted: dict = {}
         chunks: List[Tuple[T, int]] = []
         budget = int(self.config.max_prefill_chunk_tokens or 0)
-        for index, item in enumerate(prefilling):
-            if budget <= 0:
-                break
-            claimants_left = len(prefilling) - index
-            fair_share = -(-budget // claimants_left)  # ceil division
-            grant = min(self._remaining(item), fair_share, budget)
-            if grant > 0:
-                chunks.append((item, grant))
-                granted[id(item)] = grant
-                budget -= grant
+
+        tenants: dict[str, List[T]] = {}
+        for item in prefilling:
+            tenants.setdefault(self._tenant(item), []).append(item)
+
+        if len(tenants) <= 1:
+            self._grant_max_min(prefilling, budget, chunks, granted)
+        else:
+            # Water-filling over tenants: serve the tenant with the smallest
+            # demand-per-weight first, granting it ceil(budget * w / W) of
+            # the remaining budget; a tenant that cannot use its share rolls
+            # the leftover over to the hungrier tenants.
+            weights = {
+                name: max(self._weight(item) for item in members)
+                for name, members in tenants.items()
+            }
+            demands = {
+                name: sum(self._remaining(item) for item in members)
+                for name, members in tenants.items()
+            }
+            order = sorted(tenants, key=lambda n: (demands[n] / weights[n], n))
+            total_weight = sum(weights.values())
+            for name in order:
+                if budget <= 0:
+                    break
+                fair = math.ceil(budget * weights[name] / total_weight)
+                share = min(demands[name], fair, budget)
+                used = self._grant_max_min(tenants[name], share, chunks, granted)
+                budget -= used
+                total_weight -= weights[name]
 
         decodes = [
             item for item in self._running

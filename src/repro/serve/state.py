@@ -60,6 +60,8 @@ class RequestState:
         self.metrics = RequestMetrics(
             arrival_time=arrival_time,
             num_prompt_tokens=len(request.prompt_ids),
+            priority=request.qos.priority,
+            tenant=request.qos.tenant,
         )
         forbidden = np.asarray(request.sampling.forbidden_ids, dtype=np.int64)
         self._forbidden = forbidden
@@ -70,6 +72,25 @@ class RequestState:
     @property
     def forced(self) -> list[int] | None:
         return self.request.forced_decode_ids
+
+    # QoS passthroughs — the scheduler's and pressure ladder's duck-typed
+    # protocol (``item.priority`` / ``item.tenant`` / ``item.weight``).
+
+    @property
+    def qos(self):
+        return self.request.qos
+
+    @property
+    def priority(self) -> int:
+        return self.request.qos.priority
+
+    @property
+    def tenant(self) -> str:
+        return self.request.qos.tenant
+
+    @property
+    def weight(self) -> float:
+        return self.request.qos.weight
 
     @property
     def finished(self) -> bool:

@@ -26,8 +26,10 @@ from .traces import (
     bursty_arrivals,
     collect_decode_attention,
     mass_concentration,
+    merge_arrivals,
     poisson_arrivals,
     power_law_exponent,
+    tag_arrivals,
 )
 
 __all__ = [
@@ -55,6 +57,8 @@ __all__ = [
     "bursty_arrivals",
     "collect_decode_attention",
     "mass_concentration",
+    "merge_arrivals",
     "poisson_arrivals",
     "power_law_exponent",
+    "tag_arrivals",
 ]

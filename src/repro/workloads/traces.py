@@ -16,7 +16,7 @@ cluster benchmark and example replay against a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from ..utils import as_rng, softmax
 
 __all__ = ["AttentionTrace", "collect_decode_attention", "power_law_exponent",
            "mass_concentration", "ArrivalEvent", "poisson_arrivals",
-           "bursty_arrivals"]
+           "bursty_arrivals", "tag_arrivals", "merge_arrivals"]
 
 
 @dataclass
@@ -103,11 +103,40 @@ class ArrivalEvent:
             conversation replay each user owns one dialogue.
         turn: how many requests this user issued before this one — the
             conversation turn index the event maps to.
+        tenant: QoS tenant label the replay attaches to the request (maps
+            to :class:`~repro.serve.RequestQoS`; ``"default"`` when the
+            trace is untagged).
+        priority: QoS priority class of the request (0 = best-effort).
     """
 
     time: float
     user: int
     turn: int
+    tenant: str = "default"
+    priority: int = 0
+
+
+def tag_arrivals(
+    events: list[ArrivalEvent], tenant: str, priority: int = 0
+) -> list[ArrivalEvent]:
+    """Stamp every event of a trace with one tenant/priority tag.
+
+    The multi-tenant replay idiom: generate each tenant's trace with its
+    own generator (and seed), tag it, then :func:`merge_arrivals` the
+    tenants into one timeline.
+    """
+    return [replace(event, tenant=tenant, priority=priority) for event in events]
+
+
+def merge_arrivals(*traces: list[ArrivalEvent]) -> list[ArrivalEvent]:
+    """Interleave per-tenant traces into one timeline, sorted by time.
+
+    The sort is stable with a deterministic tie-break (time, tenant,
+    user, turn), so replays of the merged trace are reproducible.
+    """
+    merged = [event for trace in traces for event in trace]
+    merged.sort(key=lambda e: (e.time, e.tenant, e.user, e.turn))
+    return merged
 
 
 def _assign_users(

@@ -18,6 +18,7 @@ from repro.serve import (
     InferenceEngine,
     PolicySpec,
     Request,
+    RequestQoS,
     SamplingParams,
     chain_block_keys,
 )
@@ -657,6 +658,165 @@ class TestClusterFrontend:
         # replicas overlap in wall time: fleet clock is the max, not the sum
         assert fleet.clock == max(m.clock for m in per_worker)
         assert fleet.clock < sum(m.clock for m in per_worker)
+
+
+class _FakeQoSWorker(_FakeWorker):
+    """Fake worker that also reports per-class load (the real Worker API)."""
+
+    def __init__(self, worker_id, load=0, high_load=0):
+        super().__init__(worker_id, load)
+        self._high = high_load
+
+    def load_at_or_above(self, priority):
+        return self._high if priority > 0 else self.load
+
+
+#: the standard prompt set tagged with mixed QoS (index-aligned with
+#: make_prompts/make_requests ids, so untagged references line up).
+CLUSTER_QOS = (
+    RequestQoS(priority=2, tenant="chat", weight=2.0),
+    RequestQoS(),
+    RequestQoS(priority=1, tenant="batch"),
+)
+
+
+def make_tagged_requests(prompts, prefix="r", max_new_tokens=3):
+    return [
+        Request(request_id=f"{prefix}{i}", prompt_ids=prompt,
+                sampling=SamplingParams(max_new_tokens=max_new_tokens),
+                qos=CLUSTER_QOS[i % len(CLUSTER_QOS)])
+        for i, prompt in enumerate(prompts)
+    ]
+
+
+class TestClusterQoS:
+    """QoS tags ride through routing and migration without touching bytes."""
+
+    @pytest.mark.parametrize("placement", ROUTING_POLICIES)
+    @pytest.mark.parametrize("num_workers", (1, 2, 4))
+    def test_tagged_traffic_is_byte_identical_to_untagged(
+        self, model, tiny_config, placement, num_workers
+    ):
+        """QoS changes ordering and the clock, never the bytes: a tagged
+        cluster run equals the untagged single-engine reference for every
+        placement x worker-count combination."""
+        reference = _reference_outputs(model, tiny_config, None)
+        cluster = ClusterFrontend(model, num_workers=num_workers,
+                                  placement=placement)
+        outputs = cluster.run(
+            make_tagged_requests(make_prompts(tiny_config)))
+        assert outputs.keys() == reference.keys()
+        for request_id, ref in reference.items():
+            out = outputs[request_id]
+            assert out.token_ids == ref.token_ids
+            assert np.array_equal(out.logits, ref.logits)
+
+    def test_tags_survive_routing_into_worker_metrics(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="round_robin")
+        outputs = cluster.run(
+            make_tagged_requests(make_prompts(tiny_config)))
+        for i, qos in enumerate(CLUSTER_QOS):
+            metrics = outputs[f"r{i}"].metrics
+            assert (metrics.priority, metrics.tenant) == (qos.priority, qos.tenant)
+            # the owning worker bucketed the request under its class/tenant
+            worker = cluster.worker_of(f"r{i}")
+            assert worker.metrics.per_class[qos.priority].requests_finished >= 1
+            assert worker.metrics.per_tenant[qos.tenant].requests_finished >= 1
+
+    def test_router_counts_routed_requests_per_class(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="least_loaded")
+        cluster.run(make_tagged_requests(make_prompts(tiny_config)))
+        assert cluster.metrics.routed_by_class == {0: 1, 1: 1, 2: 1}
+        assert cluster.metrics.as_dict()["routed_by_class"] == {0: 1, 1: 1, 2: 1}
+
+    def test_tagged_request_migrates_byte_identical(self, model, tiny_config):
+        """Chain migration with a QoS-tagged follow-up: the tag rides along
+        (per-request metrics, target worker buckets) and bytes still match
+        the untagged single-engine run."""
+        prompt = make_prompts(tiny_config, (200,))[0]
+        followup = prompt + list(range(4, 74))
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="cache_aware",
+                                  migrate_on_miss=True)
+        cluster.run(make_requests([prompt], None, prefix="warm"))
+        cluster.release("warm0")
+        owner = cluster.workers[0]
+        owner.prefix_cache.evict(owner.prefix_cache.num_resident)
+        # The fill must outrank the follow-up's class: per-class routing
+        # ignores lower-class occupancy, so a background fill would no
+        # longer repel the tagged request from the owning worker.
+        owner.submit(Request(
+            request_id="fill0",
+            prompt_ids=make_prompts(tiny_config, (150,), seed=3)[0],
+            sampling=SamplingParams(max_new_tokens=48),
+            qos=RequestQoS(priority=3, tenant="chat")))
+
+        cluster.submit(Request(
+            request_id="f0", prompt_ids=followup,
+            sampling=SamplingParams(max_new_tokens=3),
+            qos=RequestQoS(priority=2, tenant="chat")))
+        assert cluster.placements[-1].migrate_from == 0
+        outputs = cluster.run()
+        assert cluster.metrics.migrations == 1
+        assert outputs["f0"].metrics.cached_prefix_tokens > 0
+        assert (outputs["f0"].metrics.priority,
+                outputs["f0"].metrics.tenant) == (2, "chat")
+        target = cluster.worker_of("f0")
+        assert target.metrics.per_class[2].requests_finished == 1
+
+        ref = InferenceEngine(model).run(
+            make_requests([followup], None, prefix="f"))["f0"]
+        assert outputs["f0"].token_ids == ref.token_ids
+        assert np.array_equal(outputs["f0"].logits, ref.logits)
+
+    def test_worker_reports_per_class_load(self, model, tiny_config):
+        worker = Worker(0, model, enable_prefix_caching=True)
+        requests = make_tagged_requests(make_prompts(tiny_config))
+        for request in requests:
+            worker.submit(request)
+        # classes: 2, 0, 1 → cumulative counts from the top
+        assert worker.load_at_or_above(2) == 1
+        assert worker.load_at_or_above(1) == 2
+        assert worker.load_at_or_above(0) == 3 == worker.load
+        worker.run()
+        assert worker.load_at_or_above(0) == 0
+
+    def test_router_prefers_light_high_class_load(self):
+        # worker 0 is busy with background work only; worker 1 is running
+        # high-class work.  A tagged placement must ignore the background.
+        workers = [_FakeQoSWorker(0, load=5, high_load=0),
+                   _FakeQoSWorker(1, load=1, high_load=3)]
+        assert Router("least_loaded").place(
+            [1], workers, priority=2).worker_id == 0
+        # untagged placement still balances on total load
+        assert Router("least_loaded").place([1], workers).worker_id == 1
+
+    def test_router_priority_degrades_without_worker_support(self):
+        workers = [_FakeWorker(0, load=3), _FakeWorker(1, load=1)]
+        placement = Router("least_loaded").place([1], workers, priority=2)
+        assert placement.worker_id == 1  # falls back to total load
+
+    def test_fleet_metrics_merge_per_class_buckets(self, model, tiny_config):
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="round_robin")
+        cluster.run(make_tagged_requests(make_prompts(tiny_config)))
+        fleet = cluster.fleet_metrics()
+        per_worker = [w.metrics for w in cluster.workers]
+        for priority in (0, 1, 2):
+            assert fleet.per_class[priority].requests_finished == sum(
+                bucket.requests_finished
+                for m in per_worker
+                for p, bucket in m.per_class.items() if p == priority) == 1
+        for tenant in ("chat", "default", "batch"):
+            assert fleet.per_tenant[tenant].requests_finished == 1
+        # aggregation is read-only and idempotent: a second fleet snapshot
+        # reports the same numbers and worker buckets are untouched
+        again = cluster.fleet_metrics()
+        assert again.per_class[2].requests_finished == 1
+        assert all(m.per_class[CLUSTER_QOS[0].priority].requests_finished <= 1
+                   for m in per_worker if CLUSTER_QOS[0].priority in m.per_class)
 
 
 class TestEngineMetricsOps:

@@ -15,7 +15,11 @@ recompute preemption — and asserts after every engine step:
   (some request always progresses);
 * **byte-identity**: every finished request's tokens *and* per-step logits
   are bitwise equal to the same request served by an uncontended
-  (unbounded-pool) engine, under both preemption modes.
+  (unbounded-pool) engine, under both preemption modes;
+* **QoS order**: requests carry random priority/tenant tags; the waiting
+  queue stays priority-sorted, and the engine's victim log shows no
+  cross-class priority inversion (a victim never outranks its claimant) and
+  the age rule holding within each class.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.serve import (
     InferenceEngine,
     PolicySpec,
     Request,
+    RequestQoS,
     SamplingParams,
     SchedulerConfig,
 )
@@ -71,13 +76,15 @@ def _policy_spec(name):
 
 
 def _make_engine(model, pool_blocks, mode, chunk, block_size=8,
-                 swap_codec="byteplane", spill_codec=None):
+                 swap_codec="byteplane", spill_codec=None,
+                 proactive=None):
     return InferenceEngine(
         model,
         scheduler_config=SchedulerConfig(
             max_batch_size=4,
             max_prefill_chunk_tokens=chunk,
             preemption_mode=mode,
+            proactive_swap_free_fraction=proactive,
         ),
         enable_prefix_caching=True,
         kv_block_size=block_size,
@@ -128,6 +135,26 @@ def audit_engine(engine, context=""):
         f"{context}: swap space holds {parked} blocks but requests park "
         f"{handle_blocks} and the prefix cache spilled {spilled}"
     )
+    # QoS admission order: the waiting queue is always priority-sorted
+    # (descending) — FCFS holds within a class, never across classes.
+    priorities = [s.priority for s in engine.scheduler.waiting_items()]
+    assert priorities == sorted(priorities, reverse=True), (
+        f"{context}: waiting queue out of priority order: {priorities}"
+    )
+
+
+def audit_victim_log(log, context=""):
+    """No cross-class inversion; the age rule holds within each class."""
+    for cp, cs, vp, vs in log:
+        assert vp <= cp, (
+            f"{context}: priority inversion — claimant class {cp} (seq {cs}) "
+            f"preempted class {vp} (seq {vs})"
+        )
+        if vp == cp:
+            assert vs > cs, (
+                f"{context}: within-class age rule broken — claimant seq "
+                f"{cs} preempted same-class seq {vs}"
+            )
 
 
 def _outputs_equal(out, ref):
@@ -140,6 +167,17 @@ def _outputs_equal(out, ref):
 
 
 # ------------------------------------------------------------ fuzz harness
+
+
+def _random_qos(rng):
+    """Random priority/tenant tags; ~30% of requests stay untagged."""
+    if rng.random() < 0.3:
+        return RequestQoS()
+    return RequestQoS(
+        priority=int(rng.integers(0, 3)),
+        tenant=["default", "alpha", "beta"][int(rng.integers(0, 3))],
+        weight=[1.0, 2.0][int(rng.integers(0, 2))],
+    )
 
 
 def _random_requests(model, rng):
@@ -169,6 +207,7 @@ def _random_requests(model, rng):
                                         observation_window=8),
                 policy_spec=_policy_spec(policy_name),
                 forced_decode_ids=forced,
+                qos=_random_qos(rng),
             )
         )
     return requests
@@ -195,11 +234,14 @@ def run_fuzz_seed(model, seed):
     # whichever combination the downward tiers compress with.
     swap_codec = ["raw", "byteplane"][int(rng.integers(0, 2))]
     spill_codec = [None, "raw", "byteplane"][int(rng.integers(0, 3))]
+    # Randomly arm proactive swap-out: another ordering-only knob that must
+    # never move the bytes.
+    proactive = [None, 0.5][int(rng.integers(0, 2))]
     floor = max(_min_pool_blocks(r, block_size) for r in requests)
     pool = floor + int(rng.integers(0, 6))
     context = (
         f"seed={seed} mode={mode} chunk={chunk} pool={pool} "
-        f"codec={swap_codec}/{spill_codec}"
+        f"codec={swap_codec}/{spill_codec} proactive={proactive}"
     )
 
     # Uncontended ground truth: same engine configuration, unbounded pool.
@@ -207,7 +249,9 @@ def run_fuzz_seed(model, seed):
     refs = reference.run(list(requests))
 
     engine = _make_engine(model, pool, mode, chunk, block_size,
-                          swap_codec=swap_codec, spill_codec=spill_codec)
+                          swap_codec=swap_codec, spill_codec=spill_codec,
+                          proactive=proactive)
+    engine.victim_log = []
     # Stagger submissions and plan a few aborts at random step indices.
     submit_at = {0: requests[:2]}
     for request in requests[2:]:
@@ -232,6 +276,7 @@ def run_fuzz_seed(model, seed):
             if output.finished:
                 finals[output.request_id] = output
         audit_engine(engine, f"{context} step={step_index}")
+        audit_victim_log(engine.victim_log, f"{context} step={step_index}")
         if not submit_at and not engine.has_unfinished:
             break
     else:
