@@ -32,7 +32,7 @@ from .cluster import (
     Worker,
 )
 from .engine import InferenceEngine
-from .metrics import EngineMetrics, QoSClassMetrics, RequestMetrics
+from .metrics import EngineMetrics, QoSClassMetrics, QuantileDigest, RequestMetrics
 from .prefix_cache import (
     ExportedChain,
     ExportedChainNode,
@@ -51,6 +51,7 @@ from .request import (
     SelectionHook,
 )
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig, SchedulingDecision
+from .slo import SLOTuner
 
 __all__ = [
     "InferenceEngine",
@@ -62,7 +63,9 @@ __all__ = [
     "Worker",
     "EngineMetrics",
     "QoSClassMetrics",
+    "QuantileDigest",
     "RequestMetrics",
+    "SLOTuner",
     "PrefixCache",
     "PrefixCacheStats",
     "PrefixMatch",

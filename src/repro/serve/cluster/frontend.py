@@ -170,6 +170,7 @@ class ClusterFrontend:
             directory=self.directory,
             block_size=self.block_size,
             priority=request.qos.priority,
+            deadline=request.qos.deadline,
         )
         self.placements.append(placement)
         self.metrics.routed_by_class[request.qos.priority] = (

@@ -19,10 +19,17 @@ Policies:
   falls back to least-loaded; with ``migrate_on_miss``, a spilled chain on
   some worker's disk tier is shipped to the fallback target first (unless
   the owner *is* the target — restoring locally is strictly cheaper).
+* ``edf_aware`` — deadline-pressure balancing for EDF fleets: the worker
+  holding the fewest deadline-tagged requests the incoming one would queue
+  behind (its *nearest-deadline backlog*), then the worker with the most
+  slack to its own most urgent deadline, then per-class load, then the
+  lowest id.  Workers without the deadline signals (plain engines) compare
+  as zero-backlog / infinite-slack, degrading to least-loaded.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -32,7 +39,7 @@ from .directory import FingerprintDirectory
 
 __all__ = ["Router", "Placement", "ROUTING_POLICIES"]
 
-ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_aware")
+ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_aware", "edf_aware")
 
 
 @dataclass
@@ -94,6 +101,7 @@ class Router:
         directory: "FingerprintDirectory | None" = None,
         block_size: "int | None" = None,
         priority: "int | None" = None,
+        deadline: "float | None" = None,
     ) -> Placement:
         """Choose a worker for one request.
 
@@ -111,6 +119,11 @@ class Router:
                 same-or-higher-class occupancy — lower-class work does not
                 delay a tagged request, so it should not repel it either.
                 ``None`` (or plain engines) keeps the total-load signal.
+            deadline: the request's *relative* deadline in seconds, if any.
+                ``edf_aware`` uses it to count only the scheduled requests
+                the incoming one would actually queue behind under EDF
+                (those with less remaining slack); ``None`` counts every
+                deadline-tagged request.
         """
         if not workers:
             raise ConfigurationError("cannot place a request on zero workers")
@@ -121,6 +134,13 @@ class Router:
         if self.policy == "least_loaded":
             return Placement(
                 self._least_loaded(workers, priority).worker_id, self.policy
+            )
+        if self.policy == "edf_aware":
+            return Placement(
+                self._least_deadline_pressed(
+                    workers, priority, deadline
+                ).worker_id,
+                self.policy,
             )
         return self._place_cache_aware(
             prompt_ids, workers, directory, block_size, priority
@@ -136,6 +156,27 @@ class Router:
     @classmethod
     def _least_loaded(cls, workers: Sequence, priority: "int | None" = None):
         return min(workers, key=lambda w: (cls._load(w, priority), w.worker_id))
+
+    @classmethod
+    def _least_deadline_pressed(
+        cls,
+        workers: Sequence,
+        priority: "int | None",
+        deadline: "float | None",
+    ):
+        """EDF-pressure balancing: fewest deadline-tagged requests ahead of
+        the incoming one, then most slack to the worker's nearest deadline,
+        then per-class load, then the lowest id."""
+
+        def rank(worker):
+            if hasattr(worker, "deadline_backlog"):
+                backlog = worker.deadline_backlog(before_slack=deadline)
+            else:
+                backlog = 0
+            slack = getattr(worker, "nearest_deadline_slack", math.inf)
+            return (backlog, -slack, cls._load(worker, priority), worker.worker_id)
+
+        return min(workers, key=rank)
 
     def _place_cache_aware(
         self,

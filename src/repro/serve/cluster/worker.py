@@ -11,6 +11,8 @@ every engine runs it identically.
 
 from __future__ import annotations
 
+import math
+
 from ...llm.model import TransformerLM
 from ..engine import InferenceEngine
 from .directory import FingerprintDirectory
@@ -65,6 +67,44 @@ class Worker(InferenceEngine):
             )
             if item.priority >= priority
         )
+
+    def _scheduled_deadlines(self) -> "list[float]":
+        """Absolute deadlines of every scheduled (waiting or running) request."""
+        return [
+            item.deadline_time
+            for item in (
+                self.scheduler.waiting_items() + self.scheduler.running_items()
+            )
+            if item.deadline_time is not None
+        ]
+
+    def deadline_backlog(self, before_slack: "float | None" = None) -> int:
+        """Scheduled deadline-tagged requests — the router's EDF signal.
+
+        With ``before_slack`` (an incoming request's *relative* deadline),
+        count only those whose remaining slack is strictly smaller: the
+        requests EDF would order ahead of the incoming one on this worker.
+        ``None`` counts every deadline-tagged scheduled request.
+        """
+        clock = self.metrics.clock
+        return sum(
+            1
+            for deadline_time in self._scheduled_deadlines()
+            if before_slack is None or deadline_time - clock < before_slack
+        )
+
+    @property
+    def nearest_deadline_slack(self) -> float:
+        """Seconds until this worker's most urgent scheduled deadline.
+
+        ``inf`` when no scheduled request carries a deadline (negative when
+        a scheduled deadline has already passed) — the router's slack
+        tie-break prefers the worker that can best absorb urgent work.
+        """
+        deadlines = self._scheduled_deadlines()
+        if not deadlines:
+            return math.inf
+        return min(deadlines) - self.metrics.clock
 
     def describe(self) -> dict:
         """Per-worker reporting row (hit rates, load, clock)."""

@@ -127,6 +127,7 @@ from .prefix_cache import PrefixCache
 from .pressure import PoolPressureMixin
 from .request import Request, RequestOutput, RequestStatus
 from .scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from .slo import SLOTuner
 from .state import RequestState
 
 __all__ = ["InferenceEngine"]
@@ -195,6 +196,12 @@ class InferenceEngine(PoolPressureMixin):
             cold full-attention prefill of the same tokens would produce;
             enabling this trades the byte-identity guarantee on the decoded
             region for a higher hit rate (prompt-region reuse stays exact).
+        slo_tuner: opt-in SLO feedback loop (:class:`~repro.serve.SLOTuner`).
+            The tuner observes finished requests and, every few steps,
+            compares each targeted class's windowed TTFT quantile against
+            its target, nudging the live proactive swap-out threshold and
+            the scheduler's tenant-weight overrides.  Scheduling-only, like
+            every QoS knob: tokens and logits stay byte-identical.
     """
 
     def __init__(
@@ -214,6 +221,7 @@ class InferenceEngine(PoolPressureMixin):
         decode_batching: bool = True,
         kv_swap_codec: "str | KVBlockCodec | None" = "byteplane",
         kv_spill_codec: "str | KVBlockCodec | None" = None,
+        slo_tuner: "SLOTuner | None" = None,
     ) -> None:
         self.model = model
         self.decode_batching = decode_batching
@@ -224,6 +232,17 @@ class InferenceEngine(PoolPressureMixin):
             hardware or HardwareSpec.paper_testbed(), model.config
         )
         self.metrics = EngineMetrics()
+        #: live proactive swap-out threshold, seeded from the scheduler
+        #: config; mutable so the opt-in SLO feedback loop can move it at
+        #: runtime without thawing the frozen config (scheduling-only: it
+        #: never changes what any request computes)
+        self.proactive_swap_free_fraction = (
+            self.scheduler.config.proactive_swap_free_fraction
+        )
+        #: opt-in SLO feedback loop (see :class:`~repro.serve.SLOTuner`):
+        #: observes finished requests and nudges the proactive threshold /
+        #: tenant weights toward the configured per-class TTFT targets
+        self.slo_tuner = slo_tuner
         #: oldest finished outputs (which pin their request's KVCache and
         #: per-step logits) are evicted beyond this count; ``None`` retains
         #: everything — fine for batch jobs, set a bound for long-lived
@@ -314,10 +333,41 @@ class InferenceEngine(PoolPressureMixin):
         self._admission_control(state)
         return request.request_id
 
+    #: never-admitted predicate for shed-victim ranking — re-queued
+    #: preemption victims already hold generated tokens and are never shed
+    @staticmethod
+    def _never_admitted(item: RequestState) -> bool:
+        return item.status is RequestStatus.WAITING
+
+    def min_ttft_lower_bound(self, num_prompt_tokens: int) -> float:
+        """Provable lower bound on the uncontended TTFT of a prompt.
+
+        The bound is the GPU prefill compute alone: every serving method
+        must run the prompt through all layers before the first token, the
+        layers chain sequentially on the prefill timeline, and chunked
+        prefill's per-chunk FLOPs telescope to at least the monolithic
+        total — offload, clustering, and queueing only add to it.  With
+        prefix caching enabled a full-prefix hit could serve all but one
+        token from cached blocks, so the provable bound shrinks to the
+        one-token suffix and admission-time deadline shedding effectively
+        defers to the mid-wait clock sweep.
+        """
+        if self.prefix_cache is not None:
+            num_prompt_tokens = 1
+        return (
+            self.latency.layer_prefill_compute_seconds(num_prompt_tokens)
+            * self.model.config.num_layers
+        )
+
     def _admission_control(self, state: RequestState) -> None:
         """Apply the opt-in load-shedding rules to a just-submitted request.
 
-        ``shed_infeasible`` sheds a request whose *prompt alone* needs more
+        ``shed_missed_deadlines`` sheds a deadline-tagged request whose
+        deadline is *provably* unmeetable — :meth:`min_ttft_lower_bound` of
+        its prompt alone exceeds the relative deadline, so even an idle
+        engine could not produce the first token in time
+        (``finish_reason="deadline"``).  ``shed_infeasible`` sheds a
+        request whose *prompt alone* needs more
         pool blocks than the whole pool holds — no schedule could ever
         complete it, so failing fast beats a guaranteed
         :class:`CapacityError` later.  ``max_waiting`` bounds the waiting
@@ -327,6 +377,14 @@ class InferenceEngine(PoolPressureMixin):
         resume are never shed, they already hold generated tokens.
         """
         config = self.scheduler.config
+        if (
+            config.shed_missed_deadlines
+            and state.request.qos.deadline is not None
+            and self.min_ttft_lower_bound(len(state.request.prompt_ids))
+            > state.request.qos.deadline
+        ):
+            self._shed(state, reason="deadline")
+            return
         if (
             config.shed_infeasible
             and self.block_allocator is not None
@@ -341,19 +399,37 @@ class InferenceEngine(PoolPressureMixin):
             config.max_waiting is not None
             and self.scheduler.num_waiting > config.max_waiting
         ):
-            candidates = [
-                item
-                for item in self.scheduler.waiting_items()
-                if item.status is RequestStatus.WAITING
-            ]
-            if candidates:
-                victim = min(
-                    candidates, key=lambda it: (it.priority, -it.seq)
-                )
+            victim = self.scheduler.lowest_ranked_waiting(self._never_admitted)
+            if victim is not None:
                 self._shed(victim)
 
-    def _shed(self, state: RequestState) -> RequestOutput:
-        """Refuse a waiting request: ``finish_reason="shed"``, free everything.
+    def _shed_missed_deadlines(self) -> int:
+        """Shed never-admitted waiting requests whose deadline has passed.
+
+        Runs at the start of every step: a request still ``WAITING`` (never
+        admitted — re-queued preemption victims hold generated tokens and
+        are never shed) whose resolved deadline lies strictly behind the
+        simulated clock can no longer meet it, so it finishes immediately
+        with ``finish_reason="deadline"`` instead of burning prefill
+        compute on an already-lost SLO.  Returns the number shed.
+        """
+        if not self.scheduler.config.shed_missed_deadlines:
+            return 0
+        clock = self.metrics.clock
+        expired = [
+            item
+            for item in self.scheduler.waiting_items()
+            if self._never_admitted(item)
+            and item.deadline_time is not None
+            and clock > item.deadline_time
+        ]
+        for state in expired:
+            self._shed(state, reason="deadline")
+        return len(expired)
+
+    def _shed(self, state: RequestState, reason: str = "shed") -> RequestOutput:
+        """Refuse a waiting request (``finish_reason="shed"`` for load
+        shedding, ``"deadline"`` for a missed or unmeetable deadline).
 
         Shed requests have never been admitted, so they hold no pool blocks,
         swap handles, or policy state — only their queue slot and state
@@ -361,12 +437,16 @@ class InferenceEngine(PoolPressureMixin):
         :meth:`step` so streaming consumers observe it.
         """
         self.scheduler.remove(state)
-        self._finish(state, "shed")
+        self._finish(state, reason)
         output = self._make_output(state, [])
         del self._states[state.request.request_id]
         self._final_outputs[state.request.request_id] = output
         self.metrics.requests_shed += 1
         self._record_qos_finish(state, "requests_shed")
+        if reason == "deadline":
+            self.metrics.deadline_misses += 1
+            self.metrics.class_bucket(state.priority).deadline_misses += 1
+            self.metrics.tenant_bucket(state.tenant).deadline_misses += 1
         self._pending_shed_outputs.append(output)
         self._trim_retained_outputs()
         return output
@@ -400,6 +480,7 @@ class InferenceEngine(PoolPressureMixin):
         Returns one :class:`RequestOutput` per touched request, carrying the
         tokens that became available during this step (streaming deltas).
         """
+        self._shed_missed_deadlines()
         self._proactive_swap_out()
         shed_outputs = self._pending_shed_outputs
         self._pending_shed_outputs = []
@@ -491,6 +572,8 @@ class InferenceEngine(PoolPressureMixin):
                 self.metrics.requests_finished += 1
                 self._record_qos_finish(state, "requests_finished")
         self._trim_retained_outputs()
+        if self.slo_tuner is not None:
+            self.slo_tuner.on_step(self)
         return shed_outputs + outputs
 
     def _trim_retained_outputs(self) -> None:
@@ -553,7 +636,7 @@ class InferenceEngine(PoolPressureMixin):
         """Drop a finished request's retained output (frees its KVCache)."""
         self._release_blocks(self._final_outputs.pop(request_id, None))
 
-    def abort(self, request_id: str) -> RequestOutput:
+    def abort(self, request_id: str) -> RequestOutput | None:
         """Cancel an unfinished request and free its scheduler slot.
 
         Works on requests in any pre-finished state: still waiting, mid-way
@@ -563,22 +646,31 @@ class InferenceEngine(PoolPressureMixin):
         :class:`RequestOutput` carries whatever tokens were generated before
         the abort.
 
+        Aborting a request that already reached a terminal state — it
+        finished, was shed, or was aborted before, e.g. an abort racing a
+        same-step shed or finish — is an idempotent no-op: the terminal
+        outcome stands, no counter moves, and the retained final output is
+        returned unchanged (``None`` once the retention bound evicted it).
+
         Args:
             request_id: id of the request to cancel.
 
         Returns:
-            The final (aborted) output, also retained like any finished
-            output.
+            The final output — freshly aborted, or the unchanged terminal
+            output of an already-finished request (``None`` if no longer
+            retained).
 
         Raises:
-            ConfigurationError: if the request is unknown or already finished.
+            ConfigurationError: if the request id was never submitted.
         """
         state = self._states.get(request_id)
         if state is None:
+            if request_id in self._seen_ids:
+                return self._final_outputs.get(request_id)
             raise ConfigurationError(
-                f"request {request_id!r} is not active (unknown or finished)"
+                f"request {request_id!r} was never submitted"
             )
-        self.scheduler.remove(state)
+        self.scheduler.discard(state)
         if state.swap_handle is not None:
             # Aborted while swapped out: the parked chain will never be
             # restored, so drop it from the swap space.
@@ -1215,6 +1307,8 @@ class InferenceEngine(PoolPressureMixin):
             setattr(bucket, kind, getattr(bucket, kind) + 1)
             if kind == "requests_finished":
                 bucket.observe_finish(state.metrics)
+        if kind == "requests_finished" and self.slo_tuner is not None:
+            self.slo_tuner.observe(state)
 
     @staticmethod
     def _gpu_cache_hit_rate(policy: KVCachePolicy | None) -> float:

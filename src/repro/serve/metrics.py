@@ -9,9 +9,212 @@ hardware terms (TTFT, TPOT, PCIe bytes).
 
 from __future__ import annotations
 
+import math
 from dataclasses import MISSING, dataclass, field, fields, replace
 
-__all__ = ["RequestMetrics", "EngineMetrics", "QoSClassMetrics"]
+from ..errors import ConfigurationError
+
+__all__ = ["RequestMetrics", "EngineMetrics", "QoSClassMetrics", "QuantileDigest"]
+
+
+class QuantileDigest:
+    """Bounded-memory streaming quantile sketch (DDSketch-style log buckets).
+
+    Values map to logarithmically-spaced buckets with growth factor
+    ``gamma = (1 + relative_error) / (1 - relative_error)``, so any reported
+    quantile lies within ``relative_error`` (relative) of a true sample
+    value.  Bucket counts are plain additive integers, which is what makes
+    the fleet semantics exact:
+
+    * :meth:`merge` sums counts per bucket — merging two digests equals the
+      digest of the concatenated streams (the same guarantee the flat
+      engine counters give);
+    * :meth:`snapshot` returns a detached copy safe to retain while the
+      live digest keeps observing;
+    * :meth:`reset` zeroes in place for windowed reporting, and
+      :meth:`delta` subtracts an earlier snapshot bucket-by-bucket to read
+      a window's quantiles without resetting the cumulative stream.
+
+    Memory is bounded by ``max_buckets``: under pressure the lowest two
+    buckets collapse (DDSketch's policy), degrading only the extreme low
+    tail — never the memory bound and never the upper quantiles that TTFT /
+    TPOT SLOs are written against.
+    """
+
+    __slots__ = ("relative_error", "max_buckets", "_gamma", "_gamma_log",
+                 "_counts", "_zero", "count", "total", "_min", "_max")
+
+    #: values at or below this floor land in the zero bucket
+    _FLOOR = 1e-12
+
+    def __init__(self, relative_error: float = 0.01,
+                 max_buckets: int = 512) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ConfigurationError("relative_error must be in (0, 1)")
+        if max_buckets < 2:
+            raise ConfigurationError("max_buckets must be >= 2")
+        self.relative_error = relative_error
+        self.max_buckets = max_buckets
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._gamma_log = math.log(self._gamma)
+        self._counts: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------ observe
+
+    def observe(self, value: "float | None") -> None:
+        """Fold one sample in (``None`` is ignored for optional metrics)."""
+        if value is None:
+            return
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value <= self._FLOOR:
+            self._zero += 1
+            return
+        index = math.ceil(math.log(value) / self._gamma_log)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        if len(self._counts) > self.max_buckets:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        """Fold the lowest bucket into its neighbour (memory bound)."""
+        low, second = sorted(self._counts)[:2]
+        self._counts[second] += self._counts.pop(low)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same grid, same bucket contents.  Two digests
+        fed identical observation streams compare equal — the property
+        the fused-vs-looped engine-metrics identity checks lean on."""
+        if not isinstance(other, QuantileDigest):
+            return NotImplemented
+        return (
+            self.relative_error == other.relative_error
+            and self.max_buckets == other.max_buckets
+            and self._counts == other._counts
+            and self._zero == other._zero
+            and self.count == other.count
+            and self.total == other.total
+            and self._min == other._min
+            and self._max == other._max
+        )
+
+    __hash__ = None  # mutable value type
+
+    # ----------------------------------------------------------- quantiles
+
+    @property
+    def mean(self) -> "float | None":
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def quantile(self, q: float) -> "float | None":
+        """The ``q``-quantile (nearest-rank: ``sorted[round(q*(n-1))]``,
+        i.e. ``numpy.percentile(..., method="nearest")``), within the
+        digest's relative error.  ``None`` on an empty digest."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = round(q * (self.count - 1))
+        cum = self._zero
+        if cum > rank:
+            return max(min(0.0, self._max), self._min)
+        for index in sorted(self._counts):
+            cum += self._counts[index]
+            if cum > rank:
+                estimate = (
+                    2.0 * math.exp(index * self._gamma_log)
+                    / (1.0 + self._gamma)
+                )
+                return max(self._min, min(self._max, estimate))
+        return self._max  # pragma: no cover — rank < count always lands
+
+    def percentile(self, p: float) -> "float | None":
+        """:meth:`quantile` with ``p`` in percent (``p99 = percentile(99)``)."""
+        return self.quantile(p / 100.0)
+
+    # ------------------------------------------------ snapshot/merge/reset
+
+    def snapshot(self) -> "QuantileDigest":
+        """Detached point-in-time copy."""
+        copy = QuantileDigest(self.relative_error, self.max_buckets)
+        copy._counts = dict(self._counts)
+        copy._zero = self._zero
+        copy.count = self.count
+        copy.total = self.total
+        copy._min = self._min
+        copy._max = self._max
+        return copy
+
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other`` in bucket-by-bucket (returns ``self``)."""
+        if other.relative_error != self.relative_error:
+            raise ConfigurationError(
+                "cannot merge digests with different relative_error "
+                "(their bucket grids disagree)"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._zero += other._zero
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        while len(self._counts) > self.max_buckets:
+            self._collapse()
+        return self
+
+    def delta(self, earlier: "QuantileDigest | None") -> "QuantileDigest":
+        """The window since an ``earlier`` snapshot of *this* stream.
+
+        Bucket counts subtract exactly (they are additive), so windowed
+        quantiles carry the same error bound as cumulative ones; the
+        window inherits the cumulative stream's min/max (clamp bounds
+        only).  ``None`` returns a snapshot of the full stream.
+        """
+        if earlier is None:
+            return self.snapshot()
+        if earlier.relative_error != self.relative_error:
+            raise ConfigurationError(
+                "delta requires snapshots of the same digest stream"
+            )
+        window = QuantileDigest(self.relative_error, self.max_buckets)
+        for index, count in self._counts.items():
+            remaining = count - earlier._counts.get(index, 0)
+            if remaining > 0:
+                window._counts[index] = remaining
+        window._zero = max(self._zero - earlier._zero, 0)
+        window.count = max(self.count - earlier.count, 0)
+        window.total = self.total - earlier.total
+        window._min = self._min
+        window._max = self._max
+        return window
+
+    def reset(self) -> None:
+        """Zero in place (windowed-reporting support)."""
+        self._counts.clear()
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
 
 
 @dataclass
@@ -52,6 +255,9 @@ class RequestMetrics:
         priority: the request's QoS priority class (0 = default best-effort;
             see :class:`~repro.serve.RequestQoS`).
         tenant: the request's tenant label (``"default"`` when untagged).
+        deadline: *absolute* deadline on the engine's simulated clock
+            (``arrival_time`` + the QoS-relative deadline), or ``None`` for
+            best-effort requests without one.
     """
 
     arrival_time: float = 0.0
@@ -75,6 +281,7 @@ class RequestMetrics:
     recomputed_tokens: int = 0
     priority: int = 0
     tenant: str = "default"
+    deadline: float | None = None
 
     # ------------------------------------------------------------- derived
 
@@ -132,6 +339,7 @@ class RequestMetrics:
             "recomputed_tokens": self.recomputed_tokens,
             "priority": self.priority,
             "tenant": self.tenant,
+            "deadline": self.deadline,
         }
 
 
@@ -142,57 +350,54 @@ class QoSClassMetrics:
     The engine keeps one instance per priority class in
     ``EngineMetrics.per_class`` and one per tenant in
     ``EngineMetrics.per_tenant``; both follow the same snapshot/merge
-    semantics as the flat engine counters (everything sums — these are
-    pure counters, no clocks).  TTFT/TPOT are accumulated as
-    ``(sum, count)`` pairs so fleet merges stay exact; use :attr:`mean_ttft`
-    / :attr:`mean_tpot` for the derived means.
+    semantics as the flat engine counters (integer counters sum; the
+    :attr:`ttft` / :attr:`tpot` :class:`QuantileDigest` streams merge
+    bucket-by-bucket, which is equally exact).  Use :attr:`mean_ttft` /
+    :attr:`mean_tpot` for the means and ``bucket.ttft.percentile(99)``
+    etc. for tail latency — the digests are bounded-memory, so per-class
+    p99s are available on long-running engines and across fleet merges
+    without retaining per-request samples.
     """
 
     requests_submitted: int = 0
     requests_finished: int = 0
     requests_aborted: int = 0
     requests_shed: int = 0
+    deadline_misses: int = 0
     preemptions: int = 0
     proactive_swap_outs: int = 0
     generated_tokens: int = 0
-    ttft_sum: float = 0.0
-    ttft_count: int = 0
-    tpot_sum: float = 0.0
-    tpot_count: int = 0
+    ttft: QuantileDigest = field(default_factory=QuantileDigest)
+    tpot: QuantileDigest = field(default_factory=QuantileDigest)
 
     @property
     def mean_ttft(self) -> float | None:
-        if self.ttft_count == 0:
-            return None
-        return self.ttft_sum / self.ttft_count
+        return self.ttft.mean
 
     @property
     def mean_tpot(self) -> float | None:
-        if self.tpot_count == 0:
-            return None
-        return self.tpot_sum / self.tpot_count
+        return self.tpot.mean
 
     def observe_finish(self, request: "RequestMetrics") -> None:
         """Fold one finished request's latency stats into this bucket."""
-        ttft = request.ttft
-        if ttft is not None:
-            self.ttft_sum += ttft
-            self.ttft_count += 1
-        tpot = request.tpot
-        if tpot is not None:
-            self.tpot_sum += tpot
-            self.tpot_count += 1
+        self.ttft.observe(request.ttft)
+        self.tpot.observe(request.tpot)
         self.generated_tokens += request.num_generated_tokens
 
     def snapshot(self) -> "QoSClassMetrics":
-        return replace(self)
+        copy = replace(self)
+        copy.ttft = self.ttft.snapshot()
+        copy.tpot = self.tpot.snapshot()
+        return copy
 
     def merge(self, other: "QoSClassMetrics") -> "QoSClassMetrics":
-        """Fold ``other`` in (everything sums — returns ``self``)."""
+        """Fold ``other`` in (counters sum, digests merge — returns ``self``)."""
         for spec in fields(self):
-            setattr(
-                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
-            )
+            mine = getattr(self, spec.name)
+            if isinstance(mine, QuantileDigest):
+                mine.merge(getattr(other, spec.name))
+            else:
+                setattr(self, spec.name, mine + getattr(other, spec.name))
         return self
 
     def as_dict(self) -> dict:
@@ -201,11 +406,14 @@ class QoSClassMetrics:
             "requests_finished": self.requests_finished,
             "requests_aborted": self.requests_aborted,
             "requests_shed": self.requests_shed,
+            "deadline_misses": self.deadline_misses,
             "preemptions": self.preemptions,
             "proactive_swap_outs": self.proactive_swap_outs,
             "generated_tokens": self.generated_tokens,
             "mean_ttft": self.mean_ttft,
             "mean_tpot": self.mean_tpot,
+            "ttft": self.ttft.as_dict(),
+            "tpot": self.tpot.as_dict(),
         }
 
 
@@ -274,10 +482,15 @@ class EngineMetrics:
     preemptions_swap: int = 0
     preemptions_recompute: int = 0
     #: QoS accounting (all zero/empty without tagged traffic): requests
-    #: refused by admission control, proactive swap-outs of idle low-priority
-    #: work, and per-priority-class / per-tenant counter buckets (see
+    #: refused by admission control, the subset of those shed for a missed
+    #: or provably-unmeetable deadline (``finish_reason="deadline"``; every
+    #: deadline miss also counts in ``requests_shed``), proactive swap-outs
+    #: of idle low-priority work, SLO-tuner knob adjustments, and
+    #: per-priority-class / per-tenant counter buckets (see
     #: :class:`QoSClassMetrics`; dict values merge per key, counters sum).
     requests_shed: int = 0
+    deadline_misses: int = 0
+    slo_tunings: int = 0
     proactive_swap_outs: int = 0
     per_class: dict = field(default_factory=dict)
     per_tenant: dict = field(default_factory=dict)
@@ -485,6 +698,8 @@ class EngineMetrics:
             "preemptions_swap": self.preemptions_swap,
             "preemptions_recompute": self.preemptions_recompute,
             "requests_shed": self.requests_shed,
+            "deadline_misses": self.deadline_misses,
+            "slo_tunings": self.slo_tunings,
             "proactive_swap_outs": self.proactive_swap_outs,
             "per_class": {k: v.as_dict() for k, v in sorted(self.per_class.items())},
             "per_tenant": {k: v.as_dict() for k, v in sorted(self.per_tenant.items())},

@@ -11,7 +11,8 @@ split keeps the engine module focused on the admit/prefill/decode loop.
 
 The mixin expects its host to provide the engine's attributes: ``model``,
 ``scheduler``, ``latency``, ``metrics``, ``block_allocator``, ``swap_space``,
-``prefix_cache``, ``_states``, ``_final_outputs``, ``_spill_settled``, and
+``prefix_cache``, ``proactive_swap_free_fraction``, ``_states``,
+``_final_outputs``, ``_spill_settled``, and
 ``victim_log`` (``None``, or a list that successful claimant→victim
 preemptions are appended to as ``(claimant_priority, claimant_seq,
 victim_priority, victim_seq)`` tuples — the QoS fuzz suite's inversion
@@ -176,8 +177,10 @@ class PoolPressureMixin:
         """Swap out low-priority running requests ahead of waiting work.
 
         Runs at the start of a step, before admission: when the pool's free
-        fraction has dropped below
-        :attr:`SchedulerConfig.proactive_swap_free_fraction` and the waiting
+        fraction has dropped below the engine's live
+        ``proactive_swap_free_fraction`` (seeded from
+        :attr:`SchedulerConfig.proactive_swap_free_fraction`; the opt-in
+        SLO tuner may move it at runtime) and the waiting
         queue holds *strictly higher-priority* work than some running
         request, the lowest-priority (then youngest) block-holding running
         request is swap-preempted — idle-but-unfinished background work
@@ -187,7 +190,7 @@ class PoolPressureMixin:
         when the threshold is met, no eligible victim remains, or the swap
         tiers are full.  Returns the number of requests swapped out.
         """
-        threshold = self.scheduler.config.proactive_swap_free_fraction
+        threshold = self.proactive_swap_free_fraction
         allocator = self.block_allocator
         if (
             threshold is None

@@ -95,17 +95,28 @@ class RequestQoS:
         weight: this tenant's fair-share weight in the chunked-prefill
             split (> 0); requests of one tenant should declare the same
             weight (the largest declared weight wins per step).
+        deadline: optional completion deadline in *relative* simulated
+            seconds from submit (> 0), resolved against the engine's clock
+            at submit time.  Within a priority class, deadline-tagged
+            requests are admitted earliest-deadline-first ahead of the
+            FCFS tail of untagged requests; when the scheduler's
+            ``shed_missed_deadlines`` knob is on, a request still waiting
+            past its deadline (or provably unable to meet it) is shed with
+            ``finish_reason="deadline"``.
     """
 
     priority: int = 0
     tenant: str = "default"
     weight: float = 1.0
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if not self.tenant:
             raise ConfigurationError("tenant must be a non-empty string")
         if self.weight <= 0:
             raise ConfigurationError("weight must be > 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be > 0 seconds (or None)")
 
 
 class PolicySpec:
@@ -275,8 +286,9 @@ class RequestOutput:
         new_token_ids: tokens first emitted during this engine step.
         token_ids: all tokens emitted so far (prompt excluded).
         finished: whether the request completed this step.
-        finish_reason: ``"length"``, ``"stop"``, ``"aborted"`` or ``None``
-            while running.
+        finish_reason: ``"length"``, ``"stop"``, ``"aborted"``, ``"shed"``
+            (refused by admission control), ``"deadline"`` (missed or
+            provably-unmeetable deadline) or ``None`` while running.
         metrics: per-request serving metrics (TTFT, TPOT, bytes moved, ...).
         logits: ``(steps, vocab)`` per-decode-step logits (final output only).
         selections: per-step :data:`~repro.llm.StepSelections` (final only).

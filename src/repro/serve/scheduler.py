@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Generic, List, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
 from ..errors import ConfigurationError
 
@@ -81,7 +81,19 @@ class SchedulerConfig:
             higher-priority work is waiting, the engine proactively swaps
             out the lowest-priority running requests before admission
             instead of waiting for a reactive preemption mid-allocation.
-            ``None`` (default) disables proactive swap-out.
+            ``None`` (default) disables proactive swap-out.  This value is
+            the *baseline*: the engine copies it to a mutable
+            ``proactive_swap_free_fraction`` attribute that the opt-in SLO
+            tuner (:class:`~repro.serve.SLOTuner`) may move at runtime.
+        shed_missed_deadlines: shed deadline-tagged requests that cannot
+            meet their deadline — at submit when the deadline is *provably*
+            unmeetable (the prefill-compute lower bound of the prompt alone
+            exceeds the relative deadline) and mid-wait when the simulated
+            clock passes the resolved deadline while the request is still
+            waiting for admission — with ``finish_reason="deadline"``.  On
+            by default; requests without a deadline are never affected.
+            Turning it off keeps EDF ordering but completes every request
+            (useful for A/B ordering comparisons).
     """
 
     max_batch_size: int = 8
@@ -92,6 +104,7 @@ class SchedulerConfig:
     max_waiting: int | None = None
     shed_infeasible: bool = False
     proactive_swap_free_fraction: float | None = None
+    shed_missed_deadlines: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -149,16 +162,21 @@ class ContinuousBatchingScheduler(Generic[T]):
 
     Scheduled items may expose optional QoS attributes — ``priority`` (int,
     higher admits first), ``tenant`` (str, weighted-fair chunk-budget
-    grouping), ``weight`` (float, the tenant's share) and ``seq``
-    (submission order) — all defaulting to a single best-effort class, in
-    which case every code path below reduces exactly to the pre-QoS FCFS
-    scheduler.
+    grouping), ``weight`` (float, the tenant's share), ``seq`` (submission
+    order) and ``deadline_time`` (absolute simulated-clock deadline, EDF
+    ordering within the class) — all defaulting to a single best-effort
+    deadline-less class, in which case every code path below reduces
+    exactly to the pre-QoS FCFS scheduler.
     """
 
     def __init__(self, config: SchedulerConfig | None = None) -> None:
         self.config = config or SchedulerConfig()
         self._waiting: List[T] = []
         self._running: List[T] = []
+        #: per-tenant weight overrides consulted ahead of the items' own
+        #: declared weights — the SLO tuner's handle on the weighted-fair
+        #: chunk split (requests' frozen QoS declarations stay untouched)
+        self.tenant_weights: dict[str, float] = {}
 
     # --------------------------------------------------- QoS item protocol
 
@@ -170,13 +188,20 @@ class ContinuousBatchingScheduler(Generic[T]):
     def _tenant(item: T) -> str:
         return str(getattr(item, "tenant", "default"))
 
-    @staticmethod
-    def _weight(item: T) -> float:
+    def _weight(self, item: T) -> float:
+        override = self.tenant_weights.get(self._tenant(item))
+        if override is not None:
+            return float(override)
         return float(getattr(item, "weight", 1.0))
 
     @staticmethod
     def _seq(item: T) -> int:
         return int(getattr(item, "seq", 0))
+
+    @staticmethod
+    def _deadline(item: T) -> "float | None":
+        value = getattr(item, "deadline_time", None)
+        return None if value is None else float(value)
 
     # ------------------------------------------------------------- queues
 
@@ -201,37 +226,65 @@ class ContinuousBatchingScheduler(Generic[T]):
         return tuple(self._running)
 
     def _insert_waiting(self, item: T, front_of_class: bool) -> None:
-        """Insert keeping the queue sorted by priority (descending).
+        """Insert keeping the queue sorted by priority (descending), EDF
+        within each class.
 
-        Within a priority class order is FCFS: new submissions go to the
-        *back* of their class, resumed preemption victims to the *front*
-        (so they re-admit before newer same-class arrivals).  With untagged
-        traffic (one class) this degenerates to plain append / appendleft.
+        Within a priority class, deadline-tagged items come first in
+        earliest-deadline order; items without a deadline form the FCFS
+        tail of the class — so untagged traffic keeps PR 9's per-class
+        age-rule liveness argument verbatim, and with no deadlines at all
+        this degenerates to plain append / appendleft.  Among equal ranks
+        (same deadline, or both untagged) new submissions go to the *back*
+        (FCFS), resumed preemption victims to the *front* (they re-admit
+        before newer equal-ranked arrivals).
         """
         p = self._priority(item)
-        if front_of_class:
-            idx = 0
-            while idx < len(self._waiting) and self._priority(self._waiting[idx]) > p:
-                idx += 1
-        else:
-            idx = len(self._waiting)
-            while idx > 0 and self._priority(self._waiting[idx - 1]) < p:
-                idx -= 1
+        d = self._deadline(item)
+
+        def belongs_before(existing: T) -> bool:
+            ep = self._priority(existing)
+            if ep != p:
+                return ep < p
+            ed = self._deadline(existing)
+            if d is None:
+                # untagged: after every deadline-tagged item of the class
+                return ed is None and front_of_class
+            if ed is None:
+                return True
+            if d != ed:
+                return d < ed
+            return front_of_class
+
+        idx = 0
+        while idx < len(self._waiting) and not belongs_before(self._waiting[idx]):
+            idx += 1
         self._waiting.insert(idx, item)
 
     def submit(self, item: T) -> None:
-        """Enqueue a request for admission (priority-ordered, FCFS in class)."""
+        """Enqueue a request for admission (priority-ordered, EDF-then-FCFS
+        within the class)."""
         self._insert_waiting(item, front_of_class=False)
 
-    def lowest_ranked_waiting(self) -> T | None:
-        """The waiting item admission would serve *last*.
+    def lowest_ranked_waiting(
+        self, eligible: "Optional[Callable[[T], bool]]" = None
+    ) -> T | None:
+        """The waiting item admission values *least* — the shedding victim.
 
-        Lowest priority class; newest (highest ``seq``) within it — the
-        shedding victim when :attr:`SchedulerConfig.max_waiting` overflows.
+        Lowest priority class; newest (highest ``seq``) within it.  This is
+        the single shed-victim ranking shared by every shed path: the
+        engine's ``max_waiting`` overflow and deadline sweeps both rank
+        through here.  ``eligible`` filters the candidates — the engine
+        passes a never-admitted predicate so re-queued preemption victims
+        (which already hold generated tokens) are never chosen.
         """
-        if not self._waiting:
+        candidates = (
+            self._waiting
+            if eligible is None
+            else [item for item in self._waiting if eligible(item)]
+        )
+        if not candidates:
             return None
-        return min(self._waiting, key=lambda it: (self._priority(it), -self._seq(it)))
+        return min(candidates, key=lambda it: (self._priority(it), -self._seq(it)))
 
     def finish(self, item: T) -> None:
         """Release the batch slot of a finished request."""
@@ -239,12 +292,23 @@ class ContinuousBatchingScheduler(Generic[T]):
 
     def remove(self, item: T) -> None:
         """Drop a request from whichever queue holds it (abort support)."""
+        if not self.discard(item):
+            raise ConfigurationError("item is not scheduled")
+
+    def discard(self, item: T) -> bool:
+        """:meth:`remove` that tolerates an already-departed item.
+
+        Returns whether the item was scheduled — the engine's idempotent
+        abort path uses this so aborting a request that lost a same-step
+        race against a shed or finish stays a no-op.
+        """
         if item in self._running:
             self._running.remove(item)
-        elif item in self._waiting:
+            return True
+        if item in self._waiting:
             self._waiting.remove(item)
-        else:
-            raise ConfigurationError("item is not scheduled")
+            return True
+        return False
 
     def contains_running(self, item: T) -> bool:
         """Whether the item currently holds a batch slot."""

@@ -57,11 +57,20 @@ class RequestState:
         self.selections: list[StepSelections] = []
         self.num_decoded = 0
         self.finish_reason: str | None = None
+        qos_deadline = request.qos.deadline
+        #: absolute deadline on the engine's simulated clock, resolved at
+        #: submit (arrival + the QoS-relative deadline); ``None`` when the
+        #: request carries no deadline.  Part of the scheduler's duck-typed
+        #: item protocol (EDF ordering / miss shedding key off it).
+        self.deadline_time: float | None = (
+            None if qos_deadline is None else arrival_time + float(qos_deadline)
+        )
         self.metrics = RequestMetrics(
             arrival_time=arrival_time,
             num_prompt_tokens=len(request.prompt_ids),
             priority=request.qos.priority,
             tenant=request.qos.tenant,
+            deadline=self.deadline_time,
         )
         forbidden = np.asarray(request.sampling.forbidden_ids, dtype=np.int64)
         self._forbidden = forbidden

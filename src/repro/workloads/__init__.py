@@ -29,7 +29,9 @@ from .traces import (
     merge_arrivals,
     poisson_arrivals,
     power_law_exponent,
+    random_deadlines,
     tag_arrivals,
+    tag_deadlines,
 )
 
 __all__ = [
@@ -60,5 +62,7 @@ __all__ = [
     "merge_arrivals",
     "poisson_arrivals",
     "power_law_exponent",
+    "random_deadlines",
     "tag_arrivals",
+    "tag_deadlines",
 ]

@@ -27,7 +27,8 @@ from ..utils import as_rng, softmax
 
 __all__ = ["AttentionTrace", "collect_decode_attention", "power_law_exponent",
            "mass_concentration", "ArrivalEvent", "poisson_arrivals",
-           "bursty_arrivals", "tag_arrivals", "merge_arrivals"]
+           "bursty_arrivals", "tag_arrivals", "merge_arrivals",
+           "tag_deadlines", "random_deadlines"]
 
 
 @dataclass
@@ -107,6 +108,9 @@ class ArrivalEvent:
             to :class:`~repro.serve.RequestQoS`; ``"default"`` when the
             trace is untagged).
         priority: QoS priority class of the request (0 = best-effort).
+        deadline: *relative* completion deadline in seconds from this
+            event's arrival (maps to ``RequestQoS.deadline``), or ``None``
+            for best-effort events without one.
     """
 
     time: float
@@ -114,6 +118,7 @@ class ArrivalEvent:
     turn: int
     tenant: str = "default"
     priority: int = 0
+    deadline: "float | None" = None
 
 
 def tag_arrivals(
@@ -126,6 +131,47 @@ def tag_arrivals(
     tenants into one timeline.
     """
     return [replace(event, tenant=tenant, priority=priority) for event in events]
+
+
+def tag_deadlines(
+    events: list[ArrivalEvent], deadline: float
+) -> list[ArrivalEvent]:
+    """Stamp every event with one relative deadline (seconds from arrival).
+
+    The uniform-SLO idiom: one deadline per traffic class, composed with
+    :func:`tag_arrivals` before merging the tenants' timelines.
+    """
+    if deadline <= 0:
+        raise ValueError("deadline must be > 0 seconds")
+    return [replace(event, deadline=float(deadline)) for event in events]
+
+
+def random_deadlines(
+    events: list[ArrivalEvent],
+    low: float,
+    high: float,
+    fraction: float = 1.0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> list[ArrivalEvent]:
+    """Draw per-event relative deadlines uniformly from ``[low, high)``.
+
+    ``fraction`` < 1 leaves the remaining events untagged — best-effort
+    traffic mixed into the same timeline, the shape the EDF scheduler's
+    within-class ordering is designed for.  Both the deadline values and
+    the tagged subset are drawn from the seeded rng, so the tagging is
+    reproducible trace data like everything else here.
+    """
+    if not 0 < low <= high:
+        raise ValueError("deadline bounds must satisfy 0 < low <= high")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = as_rng(seed)
+    deadlines = rng.uniform(low, high, size=len(events))
+    tagged = rng.random(size=len(events)) < fraction
+    return [
+        replace(event, deadline=float(deadline)) if keep else event
+        for event, deadline, keep in zip(events, deadlines, tagged)
+    ]
 
 
 def merge_arrivals(*traces: list[ArrivalEvent]) -> list[ArrivalEvent]:

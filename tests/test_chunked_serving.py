@@ -356,15 +356,27 @@ class TestAbort:
         assert len(out.token_ids) >= 1
         assert not engine.has_unfinished
 
-    def test_abort_unknown_or_finished_rejected(self, model, tiny_config):
+    def test_abort_finished_is_idempotent_noop(self, model, tiny_config):
+        """Aborting a terminal request is a no-op (same-step shed/finish
+        races must not blow up); only a never-submitted id raises."""
         prompt = make_prompts(tiny_config, (64,))[0]
         engine = InferenceEngine(model)
         request = Request(prompt_ids=prompt, sampling=SamplingParams(max_new_tokens=1))
-        engine.run([request])
-        with pytest.raises(ConfigurationError):
-            engine.abort(request.request_id)  # already finished
+        finals = engine.run([request])
+        out = engine.abort(request.request_id)  # already finished: no-op
+        assert out is finals[request.request_id]
+        assert out.finish_reason == "length"  # the terminal outcome stands
+        assert engine.metrics.requests_aborted == 0
         with pytest.raises(ConfigurationError):
             engine.abort("no-such-request")
+
+    def test_abort_finished_unretained_returns_none(self, model, tiny_config):
+        prompt = make_prompts(tiny_config, (64,))[0]
+        engine = InferenceEngine(model, max_retained_outputs=0)
+        request = Request(prompt_ids=prompt, sampling=SamplingParams(max_new_tokens=1))
+        engine.run([request])
+        assert engine.abort(request.request_id) is None
+        assert engine.metrics.requests_aborted == 0
 
 
 class TestForcedTtftRegression:

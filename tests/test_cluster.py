@@ -8,6 +8,8 @@ fallback, spilled-chain export/import round-trips, and fleet metric
 aggregation.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -263,6 +265,73 @@ class TestRouterPlacement:
         assert placement.worker_id == 1
 
 
+class _FakeEDFWorker(_FakeWorker):
+    """Fake worker that also reports the EDF load signals (the real
+    Worker API: nearest-deadline backlog and slack)."""
+
+    def __init__(self, worker_id, load=0, backlog=0, slack=math.inf):
+        super().__init__(worker_id, load)
+        self._backlog = backlog
+        self.nearest_deadline_slack = slack
+        self.backlog_queries = []
+
+    def deadline_backlog(self, before_slack=None):
+        self.backlog_queries.append(before_slack)
+        return self._backlog
+
+
+class TestEDFRouting:
+    def test_fewest_deadline_backlog_wins_over_load(self):
+        # worker 0 is idle but holds two urgent deadlines; worker 1 is
+        # busier but deadline-free — the tagged request goes to 1.
+        workers = [_FakeEDFWorker(0, load=0, backlog=2, slack=0.1),
+                   _FakeEDFWorker(1, load=4, backlog=0)]
+        placement = Router("edf_aware").place([1], workers, deadline=0.5)
+        assert placement.worker_id == 1
+        assert placement.policy == "edf_aware"
+        # the incoming relative deadline was threaded into the query
+        assert workers[0].backlog_queries == [0.5]
+
+    def test_backlog_tie_breaks_toward_most_slack(self):
+        workers = [_FakeEDFWorker(0, load=0, backlog=1, slack=0.01),
+                   _FakeEDFWorker(1, load=0, backlog=1, slack=2.0)]
+        assert Router("edf_aware").place([1], workers).worker_id == 1
+
+    def test_slack_tie_breaks_toward_least_loaded_then_lowest_id(self):
+        workers = [_FakeEDFWorker(0, load=3, backlog=1, slack=1.0),
+                   _FakeEDFWorker(1, load=1, backlog=1, slack=1.0),
+                   _FakeEDFWorker(2, load=1, backlog=1, slack=1.0)]
+        assert Router("edf_aware").place([1], workers).worker_id == 1
+
+    def test_plain_workers_degrade_to_least_loaded(self):
+        # no deadline signals at all: zero backlog / infinite slack for
+        # everyone, so the ranking reduces to (load, id)
+        workers = [_FakeWorker(0, load=2), _FakeWorker(1, load=1)]
+        assert Router("edf_aware").place([1], workers).worker_id == 1
+
+    def test_cluster_routes_away_from_deadline_pressed_worker(
+        self, model, tiny_config
+    ):
+        """End to end: deadlines thread frontend → router → worker signals.
+
+        The first urgent request lands on worker 0; the second, with a
+        looser deadline, would queue behind it there, so edf_aware sends it
+        to worker 1; an untagged third balances on slack toward worker 1's
+        roomier deadline."""
+        cluster = ClusterFrontend(model, num_workers=2,
+                                  placement="edf_aware")
+        prompts = make_prompts(tiny_config)
+        deadlines = (5.0, 10.0, None)
+        for i, (prompt, deadline) in enumerate(zip(prompts, deadlines)):
+            cluster.submit(Request(
+                request_id=f"e{i}", prompt_ids=prompt,
+                sampling=SamplingParams(max_new_tokens=2),
+                qos=RequestQoS(deadline=deadline)))
+        assert [p.worker_id for p in cluster.placements] == [0, 1, 1]
+        finals = cluster.run()
+        assert all(out.finish_reason == "length" for out in finals.values())
+
+
 # ---------------------------------------------------------------------------
 # Chain export / import
 # ---------------------------------------------------------------------------
@@ -512,14 +581,18 @@ class TestClusterByteIdentity:
     def test_fuzz_mid_run_submits_and_aborts(
         self, model, tiny_config, placement
     ):
-        """Randomized interleaving: requests trickle in mid-run and a subset
-        is aborted; every surviving request stays byte-identical to a
-        sequential single-engine run."""
+        """Randomized interleaving: requests trickle in mid-run, a subset is
+        aborted, and half carry random deadlines (spanning hopeless to
+        generous); every surviving request stays byte-identical to a
+        sequential single-engine run, and every deadline shed was genuinely
+        past its deadline (or provably unmeetable) when dropped."""
         rng = np.random.default_rng(42)
         lengths = rng.integers(100, 200, size=8).tolist()
         prompts = make_prompts(tiny_config, lengths, seed=21)
         policies = [None if i % 2 == 0 else "pqcache"
                     for i in range(len(prompts))]
+        deadlines = [float(10.0 ** rng.uniform(-9.0, 1.0)) if i % 2 == 1
+                     else None for i in range(len(prompts))]
         aborted = {"r2", "r5"}
 
         reference = {}
@@ -533,7 +606,8 @@ class TestClusterByteIdentity:
             Request(request_id=f"r{i}", prompt_ids=prompt,
                     sampling=SamplingParams(max_new_tokens=4),
                     policy_spec=(None if policy_name is None
-                                 else PolicySpec.named(policy_name, BUDGET)))
+                                 else PolicySpec.named(policy_name, BUDGET)),
+                    qos=RequestQoS(deadline=deadlines[i]))
             for i, (prompt, policy_name) in enumerate(zip(prompts, policies))
         ]
         finals = {}
@@ -556,11 +630,29 @@ class TestClusterByteIdentity:
                         cluster.abort(request_id)
                         aborts_done.add(request_id)
 
+        shed = set()
+        for request_id, out in finals.items():
+            if out.finish_reason != "deadline":
+                continue
+            shed.add(request_id)
+            index = int(request_id[1:])
+            assert deadlines[index] is not None
+            worker = cluster.worker_of(request_id)
+            missed = out.metrics.finish_time > out.metrics.deadline
+            infeasible = (
+                worker.min_ttft_lower_bound(len(prompts[index]))
+                > deadlines[index]
+            )
+            assert missed or infeasible, (
+                f"{request_id} shed before its deadline"
+            )
         survivors = {rid: out for rid, out in finals.items()
                      if out.finish_reason == "length"}
-        # every non-aborted request must survive (an aborted one may also
-        # finish first if its abort raced its last decode step)
-        must_survive = {f"r{i}" for i in range(len(prompts))} - aborts_done
+        # every non-aborted, non-shed request must survive (an aborted one
+        # may also finish first if its abort raced its last decode step)
+        must_survive = (
+            {f"r{i}" for i in range(len(prompts))} - aborts_done - shed
+        )
         assert must_survive <= set(survivors)
         for request_id, out in survivors.items():
             ref = reference[f"{request_id}--0"]

@@ -19,7 +19,13 @@ recompute preemption — and asserts after every engine step:
 * **QoS order**: requests carry random priority/tenant tags; the waiting
   queue stays priority-sorted, and the engine's victim log shows no
   cross-class priority inversion (a victim never outranks its claimant) and
-  the age rule holding within each class.
+  the age rule holding within each class;
+* **deadline discipline**: ~40% of tagged requests carry random deadlines;
+  within each class the waiting queue keeps deadline-tagged items in EDF
+  order ahead of the untagged FCFS tail, every ``finish_reason="deadline"``
+  shed was genuinely past-deadline (or provably unmeetable) at shed time,
+  and every request that *does* finish remains byte-identical to the
+  deadline-free uncontended reference.
 """
 
 from __future__ import annotations
@@ -77,14 +83,15 @@ def _policy_spec(name):
 
 def _make_engine(model, pool_blocks, mode, chunk, block_size=8,
                  swap_codec="byteplane", spill_codec=None,
-                 proactive=None):
+                 proactive=None, shed_deadlines=True, batch=4):
     return InferenceEngine(
         model,
         scheduler_config=SchedulerConfig(
-            max_batch_size=4,
+            max_batch_size=batch,
             max_prefill_chunk_tokens=chunk,
             preemption_mode=mode,
             proactive_swap_free_fraction=proactive,
+            shed_missed_deadlines=shed_deadlines,
         ),
         enable_prefix_caching=True,
         kv_block_size=block_size,
@@ -136,10 +143,18 @@ def audit_engine(engine, context=""):
         f"{handle_blocks} and the prefix cache spilled {spilled}"
     )
     # QoS admission order: the waiting queue is always priority-sorted
-    # (descending) — FCFS holds within a class, never across classes.
-    priorities = [s.priority for s in engine.scheduler.waiting_items()]
-    assert priorities == sorted(priorities, reverse=True), (
-        f"{context}: waiting queue out of priority order: {priorities}"
+    # (descending); within a class, deadline-tagged items run EDF (ascending
+    # absolute deadline) ahead of the untagged FCFS tail.
+    ranks = [
+        (
+            -s.priority,
+            0 if s.deadline_time is not None else 1,
+            s.deadline_time if s.deadline_time is not None else 0.0,
+        )
+        for s in engine.scheduler.waiting_items()
+    ]
+    assert ranks == sorted(ranks), (
+        f"{context}: waiting queue out of priority/EDF order: {ranks}"
     )
 
 
@@ -170,13 +185,22 @@ def _outputs_equal(out, ref):
 
 
 def _random_qos(rng):
-    """Random priority/tenant tags; ~30% of requests stay untagged."""
+    """Random priority/tenant tags; ~30% of requests stay untagged; ~40% of
+    tagged requests carry a deadline drawn log-uniform over 1ns–10ms —
+    straddling the simulated clock's feasible/hopeless boundary (fuzz
+    schedules finish in ~1ms of simulated time, and a queued step costs
+    only nanoseconds) so the seeds mix met, missed, and unmeetable
+    deadlines."""
     if rng.random() < 0.3:
         return RequestQoS()
+    deadline = None
+    if rng.random() < 0.4:
+        deadline = float(10.0 ** rng.uniform(-9.0, -2.0))
     return RequestQoS(
         priority=int(rng.integers(0, 3)),
         tenant=["default", "alpha", "beta"][int(rng.integers(0, 3))],
         weight=[1.0, 2.0][int(rng.integers(0, 2))],
+        deadline=deadline,
     )
 
 
@@ -237,20 +261,27 @@ def run_fuzz_seed(model, seed):
     # Randomly arm proactive swap-out: another ordering-only knob that must
     # never move the bytes.
     proactive = [None, 0.5][int(rng.integers(0, 2))]
+    # Random batch ceiling: small batches force real queuing, which is what
+    # exercises the mid-wait deadline sweep and the EDF waiting order.
+    batch = int(rng.integers(2, 5))
     floor = max(_min_pool_blocks(r, block_size) for r in requests)
     pool = floor + int(rng.integers(0, 6))
     context = (
-        f"seed={seed} mode={mode} chunk={chunk} pool={pool} "
+        f"seed={seed} mode={mode} chunk={chunk} pool={pool} batch={batch} "
         f"codec={swap_codec}/{spill_codec} proactive={proactive}"
     )
 
     # Uncontended ground truth: same engine configuration, unbounded pool.
-    reference = _make_engine(model, None, mode, chunk, block_size)
+    # Deadline shedding is OFF here — the reference serves every request to
+    # completion so byte-identity can be checked for whatever the contended
+    # engine finishes (deadlines steer scheduling, never bytes).
+    reference = _make_engine(model, None, mode, chunk, block_size,
+                             shed_deadlines=False, batch=batch)
     refs = reference.run(list(requests))
 
     engine = _make_engine(model, pool, mode, chunk, block_size,
                           swap_codec=swap_codec, spill_codec=spill_codec,
-                          proactive=proactive)
+                          proactive=proactive, batch=batch)
     engine.victim_log = []
     # Stagger submissions and plan a few aborts at random step indices.
     submit_at = {0: requests[:2]}
@@ -287,7 +318,26 @@ def run_fuzz_seed(model, seed):
         if rid in aborted:
             continue
         assert rid in finals, f"{context}: request {rid} never finished"
-        _outputs_equal(finals[rid], refs[rid])
+        out = finals[rid]
+        if out.finish_reason == "deadline":
+            # A deadline shed must be genuine: either the clock had already
+            # passed the absolute deadline when the request was dropped, or
+            # admission control proved the deadline unmeetable from the
+            # TTFT lower bound alone.
+            assert request.qos.deadline is not None, (
+                f"{context}: {rid} shed for a deadline it never had"
+            )
+            missed = out.metrics.finish_time > out.metrics.deadline
+            infeasible = (
+                engine.min_ttft_lower_bound(len(request.prompt_ids))
+                > request.qos.deadline
+            )
+            assert missed or infeasible, (
+                f"{context}: {rid} shed at clock {out.metrics.finish_time} "
+                f"before its deadline {out.metrics.deadline}"
+            )
+            continue
+        _outputs_equal(out, refs[rid])
     return engine
 
 

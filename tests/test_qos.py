@@ -390,8 +390,8 @@ class TestQoSMetrics:
         bucket = metrics.class_bucket(1)
         bucket.requests_submitted = 3
         bucket.requests_finished = 2
-        bucket.ttft_sum = 4.0
-        bucket.ttft_count = 2
+        bucket.ttft.observe(1.5)
+        bucket.ttft.observe(2.5)
         metrics.tenant_bucket("chat").requests_submitted = 3
         return metrics
 
@@ -412,6 +412,7 @@ class TestQoSMetrics:
         assert a.requests_shed == 2  # counters sum
         assert a.per_class[1].requests_submitted == 6
         assert a.per_class[1].mean_ttft == pytest.approx(2.0)
+        assert a.per_class[1].ttft.count == 4  # digests merge exactly
         assert a.per_class[2].requests_submitted == 4
         assert a.per_tenant["chat"].requests_submitted == 6
         # Merging does not alias: mutating the source leaves the sink alone.
@@ -429,17 +430,22 @@ class TestQoSMetrics:
         assert metrics.per_class[0].requests_submitted == 1
 
     def test_qos_class_metrics_roundtrip(self):
-        bucket = QoSClassMetrics(requests_finished=2, ttft_sum=3.0,
-                                 ttft_count=2, tpot_sum=1.0, tpot_count=2)
+        bucket = QoSClassMetrics(requests_finished=2)
+        for ttft, tpot in ((1.0, 0.4), (2.0, 0.6)):
+            bucket.ttft.observe(ttft)
+            bucket.tpot.observe(tpot)
         assert bucket.mean_ttft == pytest.approx(1.5)
         assert bucket.mean_tpot == pytest.approx(0.5)
         assert QoSClassMetrics().mean_ttft is None
         merged = bucket.snapshot().merge(bucket)
         assert merged.requests_finished == 4
+        assert merged.ttft.count == 4
         assert bucket.requests_finished == 2  # snapshot detached
+        assert bucket.ttft.count == 2  # digest snapshot detached too
         report = bucket.as_dict()
         assert report["requests_finished"] == 2
         assert report["mean_ttft"] == pytest.approx(1.5)
+        assert report["ttft"]["p99"] == pytest.approx(2.0, rel=0.03)
 
     def test_request_metrics_backward_compatible_defaults(self):
         metrics = Request(prompt_ids=[1]).qos  # untouched default spec
